@@ -1,0 +1,130 @@
+// Ablation A: parameter sweeps behind the paper's Section V claims.
+//
+//  - Replay-rate sweep: "the attacker will make the platoon oscillate"
+//    (Section V-A.1) -- how much injection bandwidth does the attacker need?
+//  - Jammer-power sweep: "by flooding the communication frequencies ... the
+//    platoon disbands" (Section V-B) -- where is the cliff, and how does the
+//    SP-VLC hybrid change it?
+//  - Sybil ghost-count sweep: marginal damage per fabricated identity.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace pb = platoon::bench;
+namespace pc = platoon::core;
+namespace ps = platoon::security;
+
+namespace {
+
+// Lifetime contract: an Attack must not outlive the Scenario it attached
+// to (its radio deregisters from the scenario's network on destruction), so
+// the factory constructs it inside the scenario's scope.
+using AttackFactory =
+    std::function<std::unique_ptr<platoon::security::Attack>(pc::Scenario&)>;
+
+pb::MetricMap run_with(const AttackFactory& make_attack, bool hybrid = false,
+                       std::uint64_t seed = 42) {
+    auto config = pb::eval_config(seed);
+    config.security.hybrid_comms = hybrid;
+    pc::Scenario scenario(config);
+    std::unique_ptr<platoon::security::Attack> attack = make_attack(scenario);
+    if (attack) attack->attach(scenario);
+    scenario.run_until(pb::kEvalDuration);
+    return scenario.summarize().as_map();
+}
+
+void replay_rate_sweep() {
+    pc::print_banner(std::cout,
+                     "Replay-rate sweep (open platoon): oscillation vs "
+                     "injection bandwidth");
+    pc::Table table({"replay rate (Hz)", "spacing RMS (m)",
+                     "speed stddev (m/s)", "max |accel| (m/s^2)"});
+    for (const double rate : {0.0, 2.0, 5.0, 10.0, 20.0, 40.0}) {
+        const auto m = run_with([rate](pc::Scenario&)
+                                    -> std::unique_ptr<platoon::security::Attack> {
+            if (rate <= 0.0) return nullptr;
+            ps::ReplayAttack::Params params;
+            params.replay_rate_hz = rate;
+            return std::make_unique<ps::ReplayAttack>(params);
+        });
+        table.add_row({pc::Table::num(rate),
+                       pc::Table::num(pb::metric(m, "spacing_rms_m")),
+                       pc::Table::num(pb::metric(m, "follower_speed_stddev")),
+                       pc::Table::num(pb::metric(m, "max_abs_accel"))});
+    }
+    table.print(std::cout);
+}
+
+void jammer_power_sweep() {
+    pc::print_banner(std::cout,
+                     "Jammer-power sweep: RF-only vs SP-VLC hybrid");
+    pc::Table table({"jammer power (dBm)", "PDR (rf-only)",
+                     "CACC avail (rf-only)", "spacing RMS (rf-only)",
+                     "CACC avail (hybrid)", "spacing RMS (hybrid)"});
+    for (const double power : {-100.0, 10.0, 20.0, 25.0, 30.0, 35.0, 40.0}) {
+        const auto factory = [power](pc::Scenario&)
+            -> std::unique_ptr<platoon::security::Attack> {
+            if (power < -50.0) return nullptr;  // no jammer baseline
+            ps::JammingAttack::Params params;
+            params.power_dbm = power;
+            return std::make_unique<ps::JammingAttack>(params);
+        };
+        const auto rf = run_with(factory, false);
+        const auto hy = run_with(factory, true);
+        table.add_row(
+            {power < -50.0 ? "none" : pc::Table::num(power),
+             pc::Table::num(pb::metric(rf, "pdr")),
+             pc::Table::num(pb::metric(rf, "cacc_availability")),
+             pc::Table::num(pb::metric(rf, "spacing_rms_m")),
+             pc::Table::num(pb::metric(hy, "cacc_availability")),
+             pc::Table::num(pb::metric(hy, "spacing_rms_m"))});
+    }
+    table.print(std::cout);
+}
+
+void sybil_ghost_sweep() {
+    pc::print_banner(std::cout, "Sybil ghost-count sweep (open platoon)");
+    pc::Table table({"ghosts", "spacing RMS (m)", "min gap (m)",
+                     "admission slots held"});
+    for (const std::size_t ghosts : {0u, 1u, 2u, 3u}) {
+        auto config = pb::eval_config();
+        pc::Scenario scenario(config);
+        ps::SybilAttack::Params params;
+        params.ghosts = ghosts;
+        auto attack = std::make_unique<ps::SybilAttack>(params);
+        if (ghosts > 0) attack->attach(scenario);
+        scenario.run_until(pb::kEvalDuration);
+        const std::size_t pending = scenario.leader().admission().pending();
+        const auto m = scenario.summarize().as_map();
+        table.add_row({pc::Table::num(static_cast<double>(ghosts)),
+                       pc::Table::num(pb::metric(m, "spacing_rms_m")),
+                       pc::Table::num(pb::metric(m, "min_gap_m")),
+                       pc::Table::num(static_cast<double>(pending))});
+    }
+    table.print(std::cout);
+}
+
+void BM_JammedScenario(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(run_with(
+            [](pc::Scenario&) -> std::unique_ptr<platoon::security::Attack> {
+                return std::make_unique<ps::JammingAttack>();
+            },
+            false, static_cast<std::uint64_t>(state.range(0))));
+    }
+}
+BENCHMARK(BM_JammedScenario)->Arg(1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    replay_rate_sweep();
+    jammer_power_sweep();
+    sybil_ghost_sweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,143 @@
+// Engineering performance: simulator kernel throughput and crypto costs.
+// Not a paper table -- this is what makes the table benches cheap enough to
+// run hundreds of attack/defense scenarios on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "core/scenario.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/eddsa.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace platoon;
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Scheduler scheduler;
+        int counter = 0;
+        for (int i = 0; i < 10000; ++i) {
+            scheduler.schedule_at(static_cast<double>(i % 100), [&counter] {
+                ++counter;
+            });
+        }
+        scheduler.run_until(200.0);
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_PeriodicEvents(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Scheduler scheduler;
+        long counter = 0;
+        for (int i = 0; i < 64; ++i) {
+            scheduler.schedule_every(0.01 * (i + 1) / 64.0, 0.01,
+                                     [&counter] { ++counter; });
+        }
+        scheduler.run_until(10.0);
+        benchmark::DoNotOptimize(counter);
+    }
+}
+BENCHMARK(BM_PeriodicEvents);
+
+void BM_ScenarioSimRate(benchmark::State& state) {
+    const auto size = static_cast<std::size_t>(state.range(0));
+    double simulated = 0.0;
+    for (auto _ : state) {
+        core::ScenarioConfig config;
+        config.seed = 1;
+        config.platoon_size = size;
+        core::Scenario scenario(config);
+        scenario.run_until(20.0);
+        simulated += 20.0;
+        benchmark::DoNotOptimize(scenario.summarize().spacing_rms_m);
+    }
+    state.counters["sim_s_per_wall_s"] = benchmark::Counter(
+        simulated, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScenarioSimRate)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioSignedSimRate(benchmark::State& state) {
+    double simulated = 0.0;
+    for (auto _ : state) {
+        core::ScenarioConfig config;
+        config.seed = 1;
+        config.platoon_size = 6;
+        config.security.auth_mode = crypto::AuthMode::kSignature;
+        core::Scenario scenario(config);
+        scenario.run_until(10.0);
+        simulated += 10.0;
+        benchmark::DoNotOptimize(scenario.summarize().spacing_rms_m);
+    }
+    state.counters["sim_s_per_wall_s"] = benchmark::Counter(
+        simulated, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScenarioSignedSimRate)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Sha256(benchmark::State& state) {
+    const crypto::Bytes data(static_cast<std::size_t>(state.range(0)), 0xA5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+    const crypto::Bytes key(32, 0x0B);
+    const crypto::Bytes data(256, 0xA5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+    }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_ChaCha20(benchmark::State& state) {
+    const crypto::Bytes key(32, 0x42);
+    const crypto::Bytes nonce(12, 0x24);
+    const crypto::Bytes data(static_cast<std::size_t>(state.range(0)), 0xA5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::ChaCha20::crypt(key, nonce, data));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(64)->Arg(4096);
+
+void BM_SchnorrSign(benchmark::State& state) {
+    const auto kp = crypto::KeyPair::from_seed(crypto::Bytes(32, 1));
+    const auto msg = crypto::to_bytes("beacon pos=120.5 speed=25.0 a=0.2");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::sign(kp, msg));
+    }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+    const auto kp = crypto::KeyPair::from_seed(crypto::Bytes(32, 1));
+    const auto msg = crypto::to_bytes("beacon pos=120.5 speed=25.0 a=0.2");
+    const auto sig = crypto::sign(kp, msg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::verify(kp.public_bytes, msg, sig));
+    }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_EcdhSharedKey(benchmark::State& state) {
+    const auto a = crypto::KeyPair::from_seed(crypto::Bytes(32, 1));
+    const auto b = crypto::KeyPair::from_seed(crypto::Bytes(32, 2));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crypto::dh_shared_key(a.secret, b.public_bytes));
+    }
+}
+BENCHMARK(BM_EcdhSharedKey);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Defense in depth: a combined assault -- RF jamming + replay injection +
+// a DoS join-flood, all at once -- against three security postures:
+//
+//   open      : bare 802.11p platoon (the paper's status quo),
+//   keys-only : signatures + encryption (Table III row 1 alone),
+//   hardened  : SecurityPolicy::hardened() -- the full Table III stack
+//               (PKI, VPD-ADA, SP-VLC hybrid, sensor fusion, firewall,
+//               misbehaviour reporting) plus RSUs along the road.
+//
+// Usage: ./build/examples/defense_in_depth
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "security/attacks/dos.hpp"
+#include "security/attacks/jamming.hpp"
+#include "security/attacks/replay.hpp"
+
+using namespace platoon;
+
+namespace {
+
+struct Outcome {
+    core::MetricsSummary summary;
+    bool joiner_admitted = false;
+};
+
+Outcome run(const security::SecurityPolicy& policy, std::size_t rsus) {
+    core::ScenarioConfig config;
+    config.seed = 29;
+    config.platoon_size = 6;
+    config.security = policy;
+    config.rsu_count = rsus;
+    core::Scenario scenario(config);
+
+    // The barrage. (Attacks must not outlive the scenario: stack order.)
+    security::JammingAttack::Params jam;
+    jam.window.start_s = 20.0;
+    jam.power_dbm = 38.0;
+    security::JammingAttack jamming(jam);
+    security::ReplayAttack replay;
+    security::DosAttack dos;
+    jamming.attach(scenario);
+    replay.attach(scenario);
+    dos.attach(scenario);
+
+    // A legitimate truck tries to join mid-assault.
+    core::VehicleConfig joiner;
+    joiner.id = sim::NodeId{300};
+    joiner.role = control::Role::kFree;
+    joiner.platoon_id = 0;
+    joiner.security = policy;
+    joiner.initial_state.position_m =
+        scenario.tail().dynamics().position() - 80.0;
+    joiner.initial_state.speed_mps = 25.0;
+    joiner.desired_speed_mps = 28.0;
+    auto& vehicle = scenario.add_vehicle(joiner);
+    scenario.scheduler().schedule_at(30.0, [&] {
+        vehicle.request_join(scenario.platoon_id(), scenario.leader().id());
+    });
+
+    scenario.run_until(100.0);
+    Outcome out;
+    out.summary = scenario.summarize();
+    out.joiner_admitted = vehicle.role() == control::Role::kMember;
+    return out;
+}
+
+std::string fmt(double v) { return core::Table::num(v); }
+
+}  // namespace
+
+int main() {
+    security::SecurityPolicy keys_only;
+    keys_only.auth_mode = crypto::AuthMode::kSignature;
+    keys_only.encrypt_payloads = true;
+
+    const auto open = run(security::SecurityPolicy::open(), 0);
+    const auto keys = run(keys_only, 0);
+    const auto hardened = run(security::SecurityPolicy::hardened(), 4);
+
+    core::print_banner(std::cout,
+                       "Combined assault: 38 dBm jammer + replay injector + "
+                       "20 req/s DoS flood, t=20..100 s");
+    core::Table table({"metric", "open", "keys only", "hardened stack"});
+    table.add_row({"spacing RMS error (m)", fmt(open.summary.spacing_rms_m),
+                   fmt(keys.summary.spacing_rms_m),
+                   fmt(hardened.summary.spacing_rms_m)});
+    table.add_row({"CACC availability", fmt(open.summary.cacc_availability),
+                   fmt(keys.summary.cacc_availability),
+                   fmt(hardened.summary.cacc_availability)});
+    table.add_row({"collisions", fmt(open.summary.collisions),
+                   fmt(keys.summary.collisions),
+                   fmt(hardened.summary.collisions)});
+    table.add_row({"fuel, followers (L/100km)",
+                   fmt(open.summary.fuel_l_per_100km),
+                   fmt(keys.summary.fuel_l_per_100km),
+                   fmt(hardened.summary.fuel_l_per_100km)});
+    // Note: under the hardened stack the replayed frames never even reach
+    // the crypto layer -- the SP-VLC duplicate filter eats re-broadcasts of
+    // already-delivered (sender, seq) pairs first.
+    table.add_row({"replays rejected by crypto",
+                   fmt(static_cast<double>(open.summary.rejected_auth)),
+                   fmt(static_cast<double>(keys.summary.rejected_auth)),
+                   fmt(static_cast<double>(hardened.summary.rejected_auth))});
+    table.add_row({"legitimate joiner admitted",
+                   open.joiner_admitted ? "yes" : "NO",
+                   keys.joiner_admitted ? "yes" : "NO",
+                   hardened.joiner_admitted ? "yes" : "NO"});
+    table.print(std::cout);
+
+    std::printf(
+        "\nKeys alone stop the replay and the DoS flood but cannot buy back\n"
+        "the jammed channel -- the platoon survives *authenticated* and\n"
+        "*disbanded*. The hardened stack keeps the formation and the fuel\n"
+        "savings through the whole barrage. One honest limitation remains:\n"
+        "*new* members cannot join while the RF band is jammed -- the\n"
+        "admission handshake needs either RF or optical proximity the\n"
+        "approaching truck does not yet have. Joining under active jamming\n"
+        "is exactly the kind of open problem the paper's Section VI-B\n"
+        "anticipates.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+// Eavesdropping & privacy (paper Sections V-C, V-E and III).
+//
+// A roadside listener records every frame the platoon broadcasts. Three
+// configurations show the privacy ladder the paper discusses:
+//   1. open beacons                  -> full trajectories, linkable all run;
+//   2. + ChaCha20 payload encryption -> nothing decodes;
+//   3. + pseudonym rotation          -> plaintext for interop, but identity
+//                                       links break every 10 s.
+//
+// Usage: ./build/examples/eavesdropper_privacy
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "security/attacks/eavesdrop.hpp"
+
+using namespace platoon;
+
+namespace {
+
+struct Outcome {
+    std::uint64_t heard = 0;
+    std::uint64_t decoded = 0;
+    double longest_track_s = 0.0;
+    double tracking_error_m = 0.0;
+    double identities = 0.0;
+};
+
+Outcome run(bool encrypt, double pseudonym_period) {
+    core::ScenarioConfig config;
+    config.seed = 23;
+    config.platoon_size = 6;
+    if (encrypt) {
+        config.security.auth_mode = crypto::AuthMode::kGroupMac;
+        config.security.encrypt_payloads = true;
+    }
+    if (pseudonym_period > 0.0) {
+        config.security.auth_mode = crypto::AuthMode::kSignature;
+        config.security.pseudonym_rotation_s = pseudonym_period;
+    }
+    core::Scenario scenario(config);
+
+    security::EavesdropAttack::Params params;
+    params.mobile = true;  // tails the platoon: best case for the attacker
+    security::EavesdropAttack attack(params);
+    attack.attach(scenario);
+    scenario.run_until(70.0);
+
+    core::MetricMap stats;
+    attack.collect(stats);
+    Outcome out;
+    out.heard = attack.frames_heard();
+    out.decoded = attack.beacons_decoded();
+    out.longest_track_s = attack.longest_track_s();
+    out.tracking_error_m = attack.tracking_error_m();
+    out.identities = stats["attack.identities_tracked"];
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    const auto open = run(false, 0.0);
+    const auto encrypted = run(true, 0.0);
+    const auto pseudonyms = run(false, 10.0);
+
+    core::print_banner(std::cout,
+                       "Roadside eavesdropper vs 6-truck platoon, 70 s");
+    core::Table table({"attacker's yield", "open", "encrypted",
+                       "pseudonyms (10 s)"});
+    table.add_row({"frames heard", core::Table::num(double(open.heard)),
+                   core::Table::num(double(encrypted.heard)),
+                   core::Table::num(double(pseudonyms.heard))});
+    table.add_row({"beacons decoded", core::Table::num(double(open.decoded)),
+                   core::Table::num(double(encrypted.decoded)),
+                   core::Table::num(double(pseudonyms.decoded))});
+    table.add_row({"identities tracked", core::Table::num(open.identities),
+                   core::Table::num(encrypted.identities),
+                   core::Table::num(pseudonyms.identities)});
+    table.add_row({"longest linkable trajectory (s)",
+                   core::Table::num(open.longest_track_s),
+                   core::Table::num(encrypted.longest_track_s),
+                   core::Table::num(pseudonyms.longest_track_s)});
+    table.add_row({"position reconstruction error (m)",
+                   core::Table::num(open.tracking_error_m), "-",
+                   core::Table::num(pseudonyms.tracking_error_m)});
+    table.print(std::cout);
+
+    std::printf(
+        "\nOpen beacons hand the listener metre-accurate trajectories for\n"
+        "the whole run -- the 'rest stops and high-value cargo' scenario of\n"
+        "Section V-C. Encryption removes the content entirely; pseudonym\n"
+        "rotation keeps beacons readable for interoperability but caps how\n"
+        "long any identity can be followed.\n");
+    return 0;
+}

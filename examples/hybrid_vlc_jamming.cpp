@@ -1,0 +1,89 @@
+// SP-VLC hybrid communication vs RF jamming (paper Section VI-A.4, [2]).
+//
+// A high-power mobile jammer drives alongside the platoon and floods the
+// 5.9 GHz band. Without the hybrid stack, beaconing dies, every follower
+// degrades to radar-only ACC and the formation stretches from 5 m CACC gaps
+// to ~32 m ACC gaps -- the "platoon disbands" outcome of Table II. With
+// SP-VLC, beacons also hop vehicle-to-vehicle over visible light (leader
+// beacons are relayed down the chain), so the CACC never starves.
+//
+// Usage: ./build/examples/hybrid_vlc_jamming
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "security/attacks/jamming.hpp"
+
+using namespace platoon;
+
+namespace {
+
+struct Outcome {
+    core::MetricsSummary summary;
+    double jam_detected_frac = 0.0;
+};
+
+Outcome run(bool hybrid) {
+    core::ScenarioConfig config;
+    config.seed = 9;
+    config.platoon_size = 6;
+    config.security.hybrid_comms = hybrid;
+    core::Scenario scenario(config);
+
+    security::JammingAttack::Params params;
+    params.window.start_s = 20.0;
+    params.power_dbm = 40.0;
+    security::JammingAttack attack(params);
+    attack.attach(scenario);
+
+    // Sample the jam detector on one member.
+    int samples = 0, jam_flags = 0;
+    scenario.scheduler().schedule_every(25.0, 1.0, [&] {
+        ++samples;
+        if (scenario.vehicle(3).hybrid().rf_jam_suspected(
+                scenario.scheduler().now()))
+            ++jam_flags;
+    });
+
+    scenario.run_until(70.0);
+    Outcome out;
+    out.summary = scenario.summarize();
+    out.jam_detected_frac =
+        samples > 0 ? static_cast<double>(jam_flags) / samples : 0.0;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    const auto rf_only = run(false);
+    const auto hybrid = run(true);
+
+    core::print_banner(std::cout,
+                       "40 dBm mobile jammer vs 6-truck platoon (t=20 s on)");
+    core::Table table({"metric", "802.11p only", "SP-VLC hybrid"});
+    table.add_row({"beacon delivery ratio",
+                   core::Table::num(rf_only.summary.pdr),
+                   core::Table::num(hybrid.summary.pdr)});
+    table.add_row({"CACC availability",
+                   core::Table::num(rf_only.summary.cacc_availability),
+                   core::Table::num(hybrid.summary.cacc_availability)});
+    table.add_row({"spacing RMS error (m)",
+                   core::Table::num(rf_only.summary.spacing_rms_m),
+                   core::Table::num(hybrid.summary.spacing_rms_m)});
+    table.add_row({"fuel, followers (L/100km)",
+                   core::Table::num(rf_only.summary.fuel_l_per_100km),
+                   core::Table::num(hybrid.summary.fuel_l_per_100km)});
+    table.add_row({"member flags RF jamming", "-",
+                   core::Table::num(100.0 * hybrid.jam_detected_frac) + "%"});
+    table.print(std::cout);
+
+    std::printf(
+        "\nRF-only: the jammer starves the CSMA medium and the CACC feed;\n"
+        "followers fall back to radar ACC and the platooning gains are gone.\n"
+        "Hybrid: the optical side-channel (jam-immune, line-of-sight,\n"
+        "chain-relayed) keeps the cooperative controller fed; the platoon\n"
+        "holds its 5 m formation and even *detects* that RF is being jammed.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Replay attack demo: an attacker records the leader's beacons and
+// re-injects them 3 s stale at twice the beacon rate.
+//
+//   Run 1: open 802.11p platoon       -> followers oscillate on stale data.
+//   Run 2: authenticated + replay guard -> every replayed frame bounces.
+//
+// Usage: ./build/examples/replay_attack_demo
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "security/attacks/replay.hpp"
+
+using namespace platoon;
+
+namespace {
+
+core::MetricsSummary run(bool defended, std::uint64_t* replayed) {
+    core::ScenarioConfig config;
+    config.seed = 3;
+    config.platoon_size = 6;
+    if (defended) {
+        config.security.auth_mode = crypto::AuthMode::kGroupMac;
+        // Freshness window + sequence numbers come with the envelope.
+    }
+    core::Scenario scenario(config);
+    security::ReplayAttack attack;
+    attack.attach(scenario);
+    scenario.run_until(70.0);
+    if (replayed != nullptr) *replayed = attack.frames_replayed();
+    return scenario.summarize();
+}
+
+}  // namespace
+
+int main() {
+    std::uint64_t replayed_open = 0, replayed_defended = 0;
+    const auto open = run(false, &replayed_open);
+    const auto defended = run(true, &replayed_defended);
+
+    core::print_banner(std::cout,
+                       "Replay attack on a 6-truck platoon (attack from t=20 s)");
+    core::Table table({"metric", "open 802.11p", "group key + replay guard"});
+    table.add_row({"frames replayed by attacker",
+                   core::Table::num(static_cast<double>(replayed_open)),
+                   core::Table::num(static_cast<double>(replayed_defended))});
+    table.add_row({"spacing RMS error (m)", core::Table::num(open.spacing_rms_m),
+                   core::Table::num(defended.spacing_rms_m)});
+    table.add_row({"max |spacing error| (m)",
+                   core::Table::num(open.spacing_max_abs_m),
+                   core::Table::num(defended.spacing_max_abs_m)});
+    table.add_row({"follower speed stddev (m/s)",
+                   core::Table::num(open.follower_speed_stddev),
+                   core::Table::num(defended.follower_speed_stddev)});
+    table.add_row({"collisions", core::Table::num(open.collisions),
+                   core::Table::num(defended.collisions)});
+    table.add_row({"replayed frames rejected", "0 (accepted!)",
+                   core::Table::num(static_cast<double>(
+                       defended.rejected_replay + defended.rejected_auth))});
+    table.print(std::cout);
+
+    std::printf(
+        "\nThe paper's claim (Table II): \"the attacker will make the platoon\n"
+        "oscillate as members position themselves on the information they\n"
+        "receive\" -- visible as the %.1fx spacing-error blowup in the open\n"
+        "run. Timestamps + sequence numbers inside the authenticated envelope\n"
+        "neutralise every replayed frame.\n",
+        open.spacing_rms_m / defended.spacing_rms_m);
+    return 0;
+}

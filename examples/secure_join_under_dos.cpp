@@ -1,0 +1,103 @@
+// Join maneuver under a DoS join-flood (paper Section V-D).
+//
+// A legitimate truck wants to join the platoon at t=25 s while an attacker
+// floods the leader with join requests under rotating fake identities.
+//
+//   Run 1: open admission             -> the pending table clogs; denied.
+//   Run 2: signed join requests       -> the flood is discarded before
+//                                        admission; the real truck gets in.
+//
+// Usage: ./build/examples/secure_join_under_dos
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "security/attacks/dos.hpp"
+
+using namespace platoon;
+
+namespace {
+
+struct Outcome {
+    bool joined = false;
+    double join_time_s = 0.0;
+    std::uint64_t flood_requests = 0;
+    std::uint64_t rejected = 0;
+    std::size_t members = 0;
+};
+
+Outcome run(bool signed_requests) {
+    core::ScenarioConfig config;
+    config.seed = 17;
+    config.platoon_size = 5;
+    if (signed_requests)
+        config.security.auth_mode = crypto::AuthMode::kSignature;
+    core::Scenario scenario(config);
+
+    security::DosAttack attack;
+    attack.attach(scenario);
+
+    core::VehicleConfig joiner_config;
+    joiner_config.id = sim::NodeId{300};
+    joiner_config.role = control::Role::kFree;
+    joiner_config.platoon_id = 0;
+    joiner_config.security = config.security;
+    joiner_config.initial_state.position_m =
+        scenario.tail().dynamics().position() - 80.0;
+    joiner_config.initial_state.speed_mps = 25.0;
+    joiner_config.desired_speed_mps = 28.0;
+    auto& joiner = scenario.add_vehicle(joiner_config);
+
+    double joined_at = 0.0;
+    scenario.scheduler().schedule_at(25.0, [&] {
+        joiner.request_join(scenario.platoon_id(), scenario.leader().id());
+    });
+    scenario.scheduler().schedule_every(25.1, 0.5, [&] {
+        if (joined_at == 0.0 && joiner.role() == control::Role::kMember)
+            joined_at = scenario.scheduler().now();
+    });
+
+    scenario.run_until(90.0);
+
+    Outcome out;
+    out.joined = joiner.role() == control::Role::kMember;
+    out.join_time_s = joined_at > 0.0 ? joined_at - 25.0 : 0.0;
+    out.flood_requests = attack.requests_sent();
+    out.rejected = scenario.leader().counters().rejected_total();
+    out.members = scenario.leader().membership()->size();
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    const auto open = run(false);
+    const auto defended = run(true);
+
+    core::print_banner(std::cout,
+                       "Join-at-tail during a 20 req/s join-flood DoS");
+    core::Table table({"metric", "open admission", "signed requests"});
+    table.add_row({"attacker join requests",
+                   core::Table::num(static_cast<double>(open.flood_requests)),
+                   core::Table::num(static_cast<double>(defended.flood_requests))});
+    table.add_row({"flood discarded by crypto", "0",
+                   core::Table::num(static_cast<double>(defended.rejected))});
+    table.add_row({"legitimate truck admitted", open.joined ? "yes" : "NO",
+                   defended.joined ? "yes" : "NO"});
+    table.add_row({"time to join (s)",
+                   open.joined ? core::Table::num(open.join_time_s) : "-",
+                   defended.joined ? core::Table::num(defended.join_time_s)
+                                   : "-"});
+    table.add_row({"platoon size at end",
+                   core::Table::num(static_cast<double>(open.members)),
+                   core::Table::num(static_cast<double>(defended.members))});
+    table.print(std::cout);
+
+    std::printf(
+        "\nThe leader's pending-admission table is bounded (3 slots, 15 s\n"
+        "timeout). Unsigned ghost requests occupy every slot indefinitely;\n"
+        "requiring certified signatures on join requests (fake identities\n"
+        "cannot produce them) restores join availability.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Controller degradation policy.
+//
+// CACC is only safe while cooperation data is fresh; when beacons stop
+// arriving (jamming, DoS at the MAC, leader gone) the vehicle must degrade:
+//
+//   CACC (beacons fresh)  ->  ACC on radar (beacons stale, radar alive)
+//                         ->  open-loop gap widening (nothing trustworthy)
+//
+// This is the behaviour Plexe implements and the paper's jamming discussion
+// assumes ("platoon disbands", Section V-B): degradation to ACC stretches
+// the gaps from 5 m to a time-gap policy, destroying the platooning gains
+// but preserving safety.
+#pragma once
+
+#include <memory>
+
+#include "control/controller.hpp"
+
+namespace platoon::control {
+
+enum class ControlMode : std::uint8_t {
+    kCacc = 0,      ///< Full cooperation.
+    kAccFallback,   ///< Beacons stale; radar-based ACC.
+    kCoast,         ///< No beacons, no radar: gentle deceleration.
+    kLeader,        ///< This vehicle leads (speed control).
+};
+
+[[nodiscard]] const char* to_string(ControlMode m);
+
+struct FallbackPolicy {
+    sim::SimTime beacon_timeout_s = 0.5;  ///< Staleness bound for CACC.
+    double coast_decel_mps2 = -1.0;
+};
+
+/// Wraps a CACC controller with the degradation ladder. Tracks how much
+/// time was spent in each mode (a key platoon-availability metric).
+class ControllerStack {
+public:
+    ControllerStack(std::unique_ptr<LongitudinalController> cacc,
+                    FallbackPolicy policy = {});
+
+    /// Computes the command, choosing the mode from input freshness.
+    double compute(const ControlInputs& in, double dt);
+
+    [[nodiscard]] ControlMode mode() const { return mode_; }
+    [[nodiscard]] double time_in_mode(ControlMode m) const;
+    [[nodiscard]] double cacc_availability() const;
+    [[nodiscard]] LongitudinalController& cacc() { return *cacc_; }
+    [[nodiscard]] AccController& acc() { return acc_; }
+
+    /// Forces ACC fallback regardless of freshness (used by defenses when
+    /// beacons are detected as untrustworthy, e.g. VPD-ADA mitigation).
+    void quarantine_beacons(bool on) { quarantine_ = on; }
+    [[nodiscard]] bool quarantined() const { return quarantine_; }
+
+private:
+    std::unique_ptr<LongitudinalController> cacc_;
+    AccController acc_;
+    FallbackPolicy policy_;
+    ControlMode mode_ = ControlMode::kCacc;
+    bool quarantine_ = false;
+    double mode_time_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace platoon::control

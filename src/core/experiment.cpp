@@ -1,0 +1,39 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+namespace platoon::core {
+
+MetricMap run_once(const RunSpec& spec) {
+    Scenario scenario(spec.scenario);
+    if (spec.setup) spec.setup(scenario);
+    scenario.run_until(spec.duration_s);
+    MetricMap out = scenario.summarize().as_map();
+    if (spec.collect) spec.collect(scenario, out);
+    return out;
+}
+
+Aggregate run_seeds(RunSpec spec, std::size_t seeds) {
+    Aggregate agg;
+    MetricMap sum, sum_sq;
+    const std::uint64_t base_seed = spec.scenario.seed;
+    for (std::size_t k = 0; k < seeds; ++k) {
+        spec.scenario.seed = base_seed + k;
+        const MetricMap result = run_once(spec);
+        for (const auto& [name, value] : result) {
+            sum[name] += value;
+            sum_sq[name] += value * value;
+        }
+        ++agg.runs;
+    }
+    for (const auto& [name, total] : sum) {
+        const double mean = total / static_cast<double>(agg.runs);
+        agg.mean[name] = mean;
+        const double var =
+            sum_sq[name] / static_cast<double>(agg.runs) - mean * mean;
+        agg.stddev[name] = std::sqrt(std::max(0.0, var));
+    }
+    return agg;
+}
+
+}  // namespace platoon::core

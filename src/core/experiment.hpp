@@ -1,0 +1,39 @@
+// Experiment harness: runs scenarios across seeds and aggregates metric
+// maps. Attacks/defenses compose through a setup callback so that this
+// module stays independent of the attack library (benches link both).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace platoon::core {
+
+using MetricMap = std::map<std::string, double>;
+
+struct RunSpec {
+    ScenarioConfig scenario;
+    sim::SimTime duration_s = 100.0;
+    /// Called after the scenario is built, before it runs (attach attacks,
+    /// tweak vehicles, add joiners, ...).
+    std::function<void(Scenario&)> setup;
+    /// Called after the run; merge extra metrics into the result
+    /// (attack-specific outcomes such as "bytes leaked").
+    std::function<void(Scenario&, MetricMap&)> collect;
+};
+
+/// Runs one scenario to completion and returns its metrics.
+[[nodiscard]] MetricMap run_once(const RunSpec& spec);
+
+struct Aggregate {
+    MetricMap mean;
+    MetricMap stddev;
+    std::size_t runs = 0;
+};
+
+/// Runs `seeds` independent replications (seed = base_seed + k).
+[[nodiscard]] Aggregate run_seeds(RunSpec spec, std::size_t seeds);
+
+}  // namespace platoon::core

@@ -1,0 +1,81 @@
+// Metrics: what an attack (or a defense) did to the platoon.
+//
+// A PlatoonMetrics samples the ground-truth state of a fixed set of vehicles
+// at 10 Hz and aggregates, after a configurable warm-up:
+//  - spacing statistics (RMS error vs the CACC set-point, min gap),
+//  - collision episodes (bumper-to-bumper gap reaching ~0),
+//  - speed oscillation (stddev of follower speeds, max |accel|),
+//  - platooning availability (time the CACC stayed engaged),
+//  - fuel economy (the quantity platooning exists to improve),
+// plus network and security counters read from the stack at summary time.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/vehicle.hpp"
+#include "sim/trace.hpp"
+
+namespace platoon::core {
+
+struct MetricsParams {
+    double desired_gap_m = 5.0;     ///< CACC set-point.
+    double collision_gap_m = 0.05;  ///< Gap below this counts as a collision.
+    sim::SimTime warmup_s = 10.0;   ///< Excluded from aggregate statistics.
+    sim::SimTime sample_period_s = 0.1;
+};
+
+/// Aggregated outcome of one run; also the row format for benches (flat
+/// name -> value map keeps reporting generic).
+struct MetricsSummary {
+    double spacing_rms_m = 0.0;      ///< RMS of (gap - desired) over pairs.
+    double spacing_max_abs_m = 0.0;
+    double min_gap_m = 0.0;
+    int collisions = 0;
+    double follower_speed_stddev = 0.0;
+    double max_abs_accel = 0.0;
+    double cacc_availability = 1.0;  ///< Fraction of time CACC engaged.
+    double fuel_l_per_100km = 0.0;   ///< Mean across followers.
+    double pdr = 1.0;                ///< Network packet delivery ratio.
+    std::uint64_t frames_sent = 0;
+    std::uint64_t rejected_auth = 0; ///< Sum of all crypto rejections.
+    std::uint64_t rejected_replay = 0;
+    std::uint64_t vpd_detections = 0;
+    std::uint64_t self_echoes = 0;
+
+    [[nodiscard]] std::map<std::string, double> as_map() const;
+};
+
+class PlatoonMetrics {
+public:
+    explicit PlatoonMetrics(MetricsParams params = {}) : params_(params) {}
+
+    /// Fixes the set of vehicles whose formation is being scored (usually
+    /// the initial platoon, leader first). Order is irrelevant; samples
+    /// sort by ground-truth position.
+    void watch(std::vector<const PlatoonVehicle*> vehicles) {
+        vehicles_ = std::move(vehicles);
+    }
+
+    /// Takes one ground-truth sample (wired to the scheduler by Scenario).
+    void sample(sim::SimTime now);
+
+    /// Aggregates everything sampled after warm-up. `network_stats` and the
+    /// per-vehicle counters are read live.
+    [[nodiscard]] MetricsSummary summarize(
+        const net::NetworkStats& network_stats) const;
+
+    [[nodiscard]] const sim::TraceRecorder& traces() const { return traces_; }
+    [[nodiscard]] sim::TraceRecorder& traces() { return traces_; }
+    [[nodiscard]] const MetricsParams& params() const { return params_; }
+
+private:
+    MetricsParams params_;
+    std::vector<const PlatoonVehicle*> vehicles_;
+    sim::TraceRecorder traces_;
+    int collisions_ = 0;
+    bool in_collision_ = false;
+};
+
+}  // namespace platoon::core

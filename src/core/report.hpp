@@ -1,0 +1,32 @@
+// ASCII table / CSV reporting for benches and examples.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace platoon::core {
+
+/// Column-aligned ASCII table.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Formats a double compactly ("3.14", "0.002", "12400").
+    [[nodiscard]] static std::string num(double v, int precision = 3);
+
+    void print(std::ostream& os) const;
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner (bench output structure).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace platoon::core

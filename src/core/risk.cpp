@@ -1,0 +1,124 @@
+#include "core/risk.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace platoon::core {
+
+const char* to_string(Likelihood l) {
+    switch (l) {
+        case Likelihood::kVeryLow: return "very-low";
+        case Likelihood::kLow: return "low";
+        case Likelihood::kMedium: return "medium";
+        case Likelihood::kHigh: return "high";
+        case Likelihood::kVeryHigh: return "very-high";
+    }
+    return "?";
+}
+
+const char* to_string(Severity s) {
+    switch (s) {
+        case Severity::kNegligible: return "negligible";
+        case Severity::kMinor: return "minor";
+        case Severity::kModerate: return "moderate";
+        case Severity::kMajor: return "major";
+        case Severity::kSevere: return "severe";
+    }
+    return "?";
+}
+
+Likelihood likelihood_for(AttackKind kind) {
+    switch (kind) {
+        case AttackKind::kEavesdropping:
+            // Purely passive; any 802.11p-capable receiver works.
+            return Likelihood::kVeryHigh;
+        case AttackKind::kJamming:
+            // A noise source needs no protocol knowledge at all.
+            return Likelihood::kVeryHigh;
+        case AttackKind::kReplay:
+            // Record & re-send with a commodity SDR.
+            return Likelihood::kHigh;
+        case AttackKind::kDenialOfService:
+            // Crafting join requests needs only the public standard.
+            return Likelihood::kHigh;
+        case AttackKind::kSybil:
+        case AttackKind::kFakeManeuver:
+            // Protocol-aware injection: public standard + an SDR.
+            return Likelihood::kHigh;
+        case AttackKind::kSensorSpoofing:
+            // Sustained physical proximity + emitter hardware (radar/GNSS
+            // spoofers, laser) -- harder to stage on a moving platoon.
+            return Likelihood::kLow;
+        case AttackKind::kMalware:
+            // Needs an infection vector onto the OBU.
+            return Likelihood::kMedium;
+        case AttackKind::kImpersonation:
+            // Needs extracted key material (HSM compromise, insider).
+            return Likelihood::kVeryLow;
+        default:
+            return Likelihood::kMedium;
+    }
+}
+
+namespace {
+double metric_or(const std::map<std::string, double>& m,
+                 const std::string& name, double fallback) {
+    const auto it = m.find(name);
+    return it == m.end() ? fallback : it->second;
+}
+}  // namespace
+
+Severity severity_from_metrics(const std::map<std::string, double>& attacked,
+                               const std::map<std::string, double>& clean) {
+    if (metric_or(attacked, "collisions", 0.0) > 0.0) return Severity::kSevere;
+    if (metric_or(attacked, "min_gap_m", 10.0) < 1.0) return Severity::kMajor;
+
+    const double avail = metric_or(attacked, "cacc_availability", 1.0);
+    const double clean_spacing = std::max(
+        0.05, metric_or(clean, "spacing_rms_m", 0.4));
+    const double spacing_ratio =
+        metric_or(attacked, "spacing_rms_m", 0.0) / clean_spacing;
+    if (avail < 0.7 || spacing_ratio > 10.0) return Severity::kModerate;
+
+    const bool privacy_leak =
+        metric_or(attacked, "attack.decode_ratio", 0.0) > 0.5 ||
+        metric_or(attacked, "attack.longest_track_s", 0.0) > 30.0;
+    const bool function_denied =
+        metric_or(attacked, "join_success", 1.0) < 0.5;
+    if (spacing_ratio > 2.0 || privacy_leak || function_denied)
+        return Severity::kMinor;
+    return Severity::kNegligible;
+}
+
+std::vector<RiskEntry> build_risk_register(
+    const std::vector<std::pair<AttackKind,
+                                std::pair<std::map<std::string, double>,
+                                          std::map<std::string, double>>>>&
+        measured) {
+    std::vector<RiskEntry> out;
+    out.reserve(measured.size());
+    for (const auto& [kind, runs] : measured) {
+        const auto& [attacked, clean] = runs;
+        RiskEntry entry;
+        entry.kind = kind;
+        entry.likelihood = likelihood_for(kind);
+        entry.severity = severity_from_metrics(attacked, clean);
+        entry.score = static_cast<int>(entry.likelihood) *
+                      static_cast<int>(entry.severity);
+
+        std::ostringstream why;
+        why << "feasibility " << to_string(entry.likelihood) << "; measured "
+            << to_string(entry.severity);
+        if (metric_or(attacked, "collisions", 0.0) > 0.0) why << " (collision)";
+        entry.rationale = why.str();
+        out.push_back(std::move(entry));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RiskEntry& a, const RiskEntry& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+              });
+    return out;
+}
+
+}  // namespace platoon::core

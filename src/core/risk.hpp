@@ -1,0 +1,66 @@
+// Risk-assessment framework (paper open challenge VI-B.4).
+//
+// The paper notes that SAE J3061 / ISO/SAE 21434 risk assessment has not
+// been applied to platoons. This module closes that loop with the
+// simulator: *likelihood* is encoded from each attack's feasibility profile
+// (equipment cost, required proximity, required knowledge/keys -- the
+// attack-potential factors of ISO/SAE 21434 annex G), and *severity* is
+// derived from the attack's MEASURED impact on the simulated platoon, not
+// from expert guesses. The product is a ranked risk register.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+
+namespace platoon::core {
+
+/// ISO/SAE 21434-style attack-feasibility rating (higher = easier).
+enum class Likelihood : int {
+    kVeryLow = 1,   ///< Needs stolen key material or physical access.
+    kLow = 2,       ///< Needs sustained proximity and custom hardware.
+    kMedium = 3,    ///< Needs commodity SDR and protocol knowledge.
+    kHigh = 4,      ///< Needs commodity hardware, public standard only.
+    kVeryHigh = 5,  ///< Passive or trivial with off-the-shelf equipment.
+};
+
+/// Severity of the measured outcome (higher = worse).
+enum class Severity : int {
+    kNegligible = 1,  ///< No operational effect measured.
+    kMinor = 2,       ///< Efficiency/privacy degradation.
+    kModerate = 3,    ///< Platooning function lost (fallback engaged).
+    kMajor = 4,       ///< Dangerous proximity / emergency interventions.
+    kSevere = 5,      ///< Collision observed.
+};
+
+[[nodiscard]] const char* to_string(Likelihood l);
+[[nodiscard]] const char* to_string(Severity s);
+
+struct RiskEntry {
+    AttackKind kind;
+    Likelihood likelihood;
+    Severity severity;
+    int score = 0;  ///< likelihood x severity (1..25).
+    std::string rationale;
+};
+
+/// Feasibility profile per attack (deterministic, from the threat model).
+[[nodiscard]] Likelihood likelihood_for(AttackKind kind);
+
+/// Grades measured harm into a severity class. Inputs are the metric maps
+/// of an attacked run and its clean baseline (core::MetricMap from
+/// run_once/run_eval).
+[[nodiscard]] Severity severity_from_metrics(
+    const std::map<std::string, double>& attacked,
+    const std::map<std::string, double>& clean);
+
+/// Builds the ranked register (highest risk first).
+[[nodiscard]] std::vector<RiskEntry> build_risk_register(
+    const std::vector<std::pair<AttackKind,
+                                std::pair<std::map<std::string, double>,
+                                          std::map<std::string, double>>>>&
+        measured);
+
+}  // namespace platoon::core

@@ -1,0 +1,245 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+
+#include "crypto/fading_key_agreement.hpp"
+#include "sim/assert.hpp"
+#include "sim/logging.hpp"
+
+namespace platoon::core {
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)),
+      network_(std::make_unique<net::Network>(scheduler_, config_.network,
+                                              config_.seed)),
+      metrics_(config_.metrics),
+      scenario_rng_(config_.seed, "scenario") {
+    PLATOON_EXPECTS(config_.platoon_size >= 2);
+
+    crypto::Bytes ta_seed;
+    crypto::append_u64(ta_seed, config_.seed);
+    crypto::append(ta_seed, crypto::to_bytes("trusted-authority"));
+    authority_ = std::make_unique<rsu::TrustedAuthority>(
+        crypto::BytesView(ta_seed));
+
+    // Group key (generated lazily but deterministically).
+    if (config_.security.auth_mode == crypto::AuthMode::kGroupMac ||
+        config_.security.encrypt_payloads) {
+        group_key_.resize(32);
+        for (auto& b : group_key_)
+            b = static_cast<std::uint8_t>(scenario_rng_.bits());
+    }
+
+    // --- platoon -----------------------------------------------------------
+    const double length = phys::truck_params().length_m;
+    std::vector<const PlatoonVehicle*> watched;
+    for (std::size_t i = 0; i < config_.platoon_size; ++i) {
+        VehicleConfig vc;
+        vc.id = platoon_node(i);
+        vc.role = i == 0 ? control::Role::kLeader : control::Role::kMember;
+        vc.platoon_id = platoon_id();
+        vc.leader_hint = platoon_node(0);
+        vc.initial_state.position_m =
+            config_.leader_start_m -
+            static_cast<double>(i) * (config_.initial_gap_m + length);
+        vc.initial_state.speed_mps = config_.initial_speed_mps;
+        vc.cacc_type = config_.controller;
+        vc.desired_speed_mps = config_.initial_speed_mps;
+        vc.control_period_s = config_.control_period_s;
+        vc.beacon_period_s = config_.beacon_period_s;
+        vc.security = config_.security;
+        vc.admission = config_.admission;
+        if (!rsus_.empty()) vc.rsu_hint = rsus_.front()->id();
+
+        auto vehicle = std::make_unique<PlatoonVehicle>(vc, scheduler_,
+                                                        *network_, config_.seed);
+        provision(*vehicle, vc.security);
+        install_radar_resolver(*vehicle);
+        vehicles_.push_back(std::move(vehicle));
+    }
+
+    if (config_.security.auth_mode == crypto::AuthMode::kGroupMac &&
+        config_.security.key_establishment ==
+            security::KeyEstablishment::kFadingChannel) {
+        establish_pairwise_keys();
+    }
+
+    // --- RSUs ----------------------------------------------------------------
+    for (std::size_t i = 0; i < config_.rsu_count; ++i) {
+        const sim::NodeId rsu_id{1000u + static_cast<std::uint32_t>(i)};
+        rsu::RsuNode::Params rp;
+        // RSUs line the road ahead of the platoon's starting point so the
+        // convoy drives through their coverage during the run.
+        rp.position_m = config_.leader_start_m + 200.0 +
+                        static_cast<double>(i) * config_.rsu_spacing_m;
+        rp.require_signatures = config_.rsus_require_signatures;
+        auto node = std::make_unique<rsu::RsuNode>(rsu_id, rp, scheduler_,
+                                                   *network_, *authority_);
+        node->set_credential(
+            authority_->enroll(rsu_id, scheduler_.now()).long_term);
+        if (!group_key_.empty()) node->set_group_key(group_key_);
+        node->start();
+        rsus_.push_back(std::move(node));
+    }
+    // Vehicles report to the first RSU when present (hint set post hoc is
+    // not possible through config; reports are broadcast anyway).
+
+    // The pre-formed platoon is already admitted: seed the leader's
+    // membership with every initial member.
+    if (auto* membership = vehicles_.front()->membership()) {
+        for (std::size_t i = 1; i < config_.platoon_size; ++i)
+            membership->append(platoon_node(i));
+    }
+
+    // --- start everything ----------------------------------------------------
+    for (auto& v : vehicles_) {
+        v->start();
+        watched.push_back(v.get());
+    }
+    metrics_.watch(std::move(watched));
+
+    // Leader speed profile.
+    for (const SpeedStep& step : config_.speed_profile) {
+        PlatoonVehicle* leader = vehicles_.front().get();
+        scheduler_.schedule_at(step.at, [leader, speed = step.speed_mps] {
+            leader->set_desired_speed(speed);
+        });
+    }
+
+    // Metrics sampling.
+    scheduler_.schedule_every(config_.metrics.sample_period_s,
+                              config_.metrics.sample_period_s,
+                              [this] { metrics_.sample(scheduler_.now()); });
+}
+
+Scenario::~Scenario() {
+    for (auto& r : rsus_) r->stop();
+    for (auto& v : vehicles_) v->stop();
+}
+
+void Scenario::run_until(sim::SimTime until) { scheduler_.run_until(until); }
+
+PlatoonVehicle& Scenario::vehicle(std::size_t index) {
+    PLATOON_EXPECTS(index < vehicles_.size());
+    return *vehicles_[index];
+}
+
+PlatoonVehicle* Scenario::find(sim::NodeId id) {
+    for (auto& v : vehicles_) {
+        if (v->id() == id) return v.get();
+    }
+    return nullptr;
+}
+
+PlatoonVehicle& Scenario::tail() {
+    PLATOON_EXPECTS(!vehicles_.empty());
+    return *vehicles_[config_.platoon_size - 1];
+}
+
+std::vector<rsu::RsuNode*> Scenario::rsus() {
+    std::vector<rsu::RsuNode*> out;
+    out.reserve(rsus_.size());
+    for (auto& r : rsus_) out.push_back(r.get());
+    return out;
+}
+
+PlatoonVehicle& Scenario::add_vehicle(VehicleConfig config) {
+    auto vehicle = std::make_unique<PlatoonVehicle>(config, scheduler_,
+                                                    *network_, config_.seed);
+    provision(*vehicle, config.security);
+    install_radar_resolver(*vehicle);
+    vehicle->start();
+    vehicles_.push_back(std::move(vehicle));
+    return *vehicles_.back();
+}
+
+rsu::TrustedAuthority::Enrollment Scenario::enroll(sim::NodeId id) {
+    return authority_->enroll(id, scheduler_.now());
+}
+
+void Scenario::provision(PlatoonVehicle& vehicle,
+                         const security::SecurityPolicy& policy) {
+    vehicle.set_ca_public_key(authority_->public_key());
+
+    if (policy.auth_mode == crypto::AuthMode::kSignature ||
+        policy.pseudonym_rotation_s > 0.0) {
+        auto enrollment = authority_->enroll(vehicle.id(), scheduler_.now());
+        vehicle.provision_credential(std::move(enrollment.long_term),
+                                     std::move(enrollment.pseudonyms));
+    }
+
+    const bool needs_group_key =
+        policy.auth_mode == crypto::AuthMode::kGroupMac ||
+        policy.encrypt_payloads;
+    if (needs_group_key &&
+        policy.key_establishment == security::KeyEstablishment::kPreShared) {
+        if (group_key_.empty()) {
+            group_key_.resize(32);
+            for (auto& b : group_key_)
+                b = static_cast<std::uint8_t>(scenario_rng_.bits());
+        }
+        vehicle.provision_group_key(group_key_);
+    }
+    // kFadingChannel handled in establish_pairwise_keys();
+    // kRsuDistribution happens at runtime via request_group_key().
+}
+
+void Scenario::establish_pairwise_keys() {
+    // Li et al. [5]: the leader agrees a secret with each member from the
+    // reciprocal fading of their link, then uses those secured channels to
+    // share the platoon key. A member whose agreement failed stays unkeyed
+    // (its messages will be rejected and it degrades to radar ACC).
+    PLATOON_EXPECTS(!vehicles_.empty());
+    PLATOON_EXPECTS(!group_key_.empty());
+    PlatoonVehicle& leader = *vehicles_.front();
+    leader.provision_group_key(group_key_);
+
+    sim::RandomStream noise(config_.seed, "fka.noise");
+    constexpr std::size_t kProbes = 512;
+    constexpr double kProbeSpacing = 0.04;  // ~coherence time: fresh fading
+    constexpr double kMeasurementNoiseDb = 0.35;
+
+    for (std::size_t i = 1; i < vehicles_.size(); ++i) {
+        PlatoonVehicle& member = *vehicles_[i];
+        std::vector<double> leader_samples(kProbes), member_samples(kProbes);
+        for (std::size_t p = 0; p < kProbes; ++p) {
+            const double t = -30.0 + static_cast<double>(p) * kProbeSpacing;
+            const double gain = network_->channel().fading_db(
+                leader.id(), member.id(), t);
+            leader_samples[p] = gain + noise.normal(0.0, kMeasurementNoiseDb);
+            member_samples[p] = gain + noise.normal(0.0, kMeasurementNoiseDb);
+        }
+        const auto result = crypto::agree(leader_samples, member_samples);
+        if (result.success) {
+            member.provision_group_key(group_key_);
+            // Record the pairwise key too (usable for unicast).
+            leader.set_pairwise_key(member.id().value, result.key);
+            member.set_pairwise_key(leader.id().value, result.key);
+        } else {
+            PLATOON_LOG_WARN("fading key agreement failed for node %u",
+                             member.id().value);
+        }
+    }
+}
+
+void Scenario::install_radar_resolver(PlatoonVehicle& vehicle) {
+    vehicle.set_radar_target_resolver(
+        [this](const PlatoonVehicle& self) -> const phys::VehicleDynamics* {
+            const double my_pos = self.dynamics().position();
+            const PlatoonVehicle* best = nullptr;
+            double best_gap = 1e18;
+            for (const auto& other : vehicles_) {
+                if (other.get() == &self) continue;
+                if (other->lane() != self.lane()) continue;
+                const double gap = other->dynamics().position() -
+                                   other->dynamics().length() - my_pos;
+                if (gap > -2.0 && gap < best_gap) {
+                    best_gap = gap;
+                    best = other.get();
+                }
+            }
+            return best != nullptr ? &best->dynamics() : nullptr;
+        });
+}
+
+}  // namespace platoon::core

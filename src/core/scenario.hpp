@@ -1,0 +1,110 @@
+// Scenario: builds and runs one complete simulated world -- scheduler,
+// network, trusted authority, RSUs, a platoon of PlatoonVehicles with the
+// configured controller and security policy, leader speed profile, and the
+// metrics sampler. Attacks attach to a built Scenario (they are external
+// actors), defenses are switched on through the SecurityPolicy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/vehicle.hpp"
+#include "net/network.hpp"
+#include "rsu/rsu.hpp"
+#include "rsu/trusted_authority.hpp"
+#include "sim/scheduler.hpp"
+
+namespace platoon::core {
+
+struct SpeedStep {
+    sim::SimTime at;
+    double speed_mps;
+};
+
+struct ScenarioConfig {
+    std::uint64_t seed = 42;
+    std::size_t platoon_size = 8;
+    control::ControllerType controller = control::ControllerType::kCaccPath;
+    double initial_speed_mps = 25.0;
+    double initial_gap_m = 5.0;
+    double leader_start_m = 2000.0;
+    security::SecurityPolicy security;
+    net::Network::Params network;
+    control::AdmissionControl::Params admission;
+    /// Leader speed profile (a braking/re-acceleration disturbance excites
+    /// string-stability problems; defaults below).
+    std::vector<SpeedStep> speed_profile = {
+        {0.0, 25.0}, {40.0, 20.0}, {60.0, 25.0}};
+    MetricsParams metrics;
+    std::size_t rsu_count = 0;
+    double rsu_spacing_m = 1000.0;
+    bool rsus_require_signatures = false;
+    sim::SimTime control_period_s = 0.01;
+    sim::SimTime beacon_period_s = 0.1;
+};
+
+class Scenario {
+public:
+    explicit Scenario(ScenarioConfig config);
+    ~Scenario();
+    Scenario(const Scenario&) = delete;
+    Scenario& operator=(const Scenario&) = delete;
+
+    /// Advances the simulation to absolute time `until` (seconds).
+    void run_until(sim::SimTime until);
+
+    /// --- access -----------------------------------------------------------
+    [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+    [[nodiscard]] net::Network& network() { return *network_; }
+    [[nodiscard]] rsu::TrustedAuthority& authority() { return *authority_; }
+    [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+    [[nodiscard]] PlatoonMetrics& metrics() { return metrics_; }
+    [[nodiscard]] std::uint64_t seed() const { return config_.seed; }
+
+    [[nodiscard]] std::size_t vehicle_count() const { return vehicles_.size(); }
+    [[nodiscard]] PlatoonVehicle& vehicle(std::size_t index);
+    [[nodiscard]] PlatoonVehicle* find(sim::NodeId id);
+    [[nodiscard]] PlatoonVehicle& leader() { return vehicle(0); }
+    [[nodiscard]] PlatoonVehicle& tail();
+    [[nodiscard]] std::vector<rsu::RsuNode*> rsus();
+
+    /// Node id of platoon slot `index` (0 = leader).
+    [[nodiscard]] static sim::NodeId platoon_node(std::size_t index) {
+        return sim::NodeId{100u + static_cast<std::uint32_t>(index)};
+    }
+    [[nodiscard]] std::uint32_t platoon_id() const { return 1; }
+
+    /// Adds an extra vehicle (joiner, attacker platform, ...) and starts it.
+    /// Security material is provisioned per the vehicle's own policy.
+    PlatoonVehicle& add_vehicle(VehicleConfig config);
+
+    /// Enrolls `id` with the TA and returns its credentials (used to model
+    /// credential theft: the attacker is handed a copy).
+    rsu::TrustedAuthority::Enrollment enroll(sim::NodeId id);
+
+    /// The shared platoon group key (empty unless group-MAC/encryption on).
+    [[nodiscard]] const crypto::Bytes& group_key() const { return group_key_; }
+
+    /// Summarizes the run so far.
+    [[nodiscard]] MetricsSummary summarize() const {
+        return metrics_.summarize(network_->stats());
+    }
+
+private:
+    void provision(PlatoonVehicle& vehicle, const security::SecurityPolicy& policy);
+    void install_radar_resolver(PlatoonVehicle& vehicle);
+    void establish_pairwise_keys();
+
+    ScenarioConfig config_;
+    sim::Scheduler scheduler_;
+    std::unique_ptr<net::Network> network_;
+    std::unique_ptr<rsu::TrustedAuthority> authority_;
+    std::vector<std::unique_ptr<PlatoonVehicle>> vehicles_;
+    std::vector<std::unique_ptr<rsu::RsuNode>> rsus_;
+    PlatoonMetrics metrics_;
+    crypto::Bytes group_key_;
+    sim::RandomStream scenario_rng_;
+};
+
+}  // namespace platoon::core

@@ -1,0 +1,113 @@
+// The survey's knowledge base as data: attacks, compromised security
+// attributes, targeted assets, mitigating mechanisms and the surveyed prior
+// work. This is the machine-readable form of the paper's Tables I, II and
+// III; the table benches regenerate those tables from this registry and
+// cross-check every attack row against the implemented attack suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace platoon::core {
+
+/// Security attributes (the cryptography-related classification the paper
+/// adopts from [11], [22]).
+enum class Attribute : std::uint8_t {
+    kAuthenticity,
+    kIntegrity,
+    kAvailability,
+    kConfidentiality,
+};
+[[nodiscard]] const char* to_string(Attribute a);
+
+/// Network assets an attack can target (paper Section IV).
+enum class Asset : std::uint8_t {
+    kLeader,
+    kMember,
+    kJoinLeave,
+    kRsu,
+    kTrustedAuthority,
+    kSensors,
+    kV2vLink,
+    kV2iLink,
+};
+[[nodiscard]] const char* to_string(Asset a);
+
+/// The attack catalogue of Table II.
+enum class AttackKind : std::uint8_t {
+    kSybil = 0,
+    kFakeManeuver,
+    kReplay,
+    kJamming,
+    kEavesdropping,
+    kDenialOfService,
+    kImpersonation,
+    kSensorSpoofing,  ///< GPS & sensor jamming/spoofing (one Table II row).
+    kMalware,
+    kCount_,
+};
+[[nodiscard]] const char* to_string(AttackKind k);
+
+/// Table III's defense mechanisms.
+enum class DefenseKind : std::uint8_t {
+    kSecretPublicKeys = 0,
+    kRoadsideUnits,
+    kControlAlgorithms,
+    kHybridCommunications,
+    kOnboardSecurity,
+    kCount_,
+};
+[[nodiscard]] const char* to_string(DefenseKind d);
+
+struct AttackEntry {
+    AttackKind kind;
+    std::vector<Attribute> compromises;
+    std::vector<Asset> targets;
+    std::string summary;          ///< Table II wording (condensed).
+    std::string implemented_by;   ///< Class in security/attacks.
+    std::string references;       ///< Paper citation keys.
+};
+
+struct DefenseEntry {
+    DefenseKind kind;
+    std::vector<AttackKind> mitigates;          ///< Table III mapping.
+    std::string open_challenge;                 ///< Table III column 3.
+    std::string implemented_by;
+};
+
+/// One row of Table I (related surveys).
+struct SurveyEntry {
+    std::string authors_year;
+    std::string classification;   ///< How that survey organises attacks.
+    std::vector<std::string> attacks_discussed;
+};
+
+class Taxonomy {
+public:
+    /// The singleton registry, populated with the paper's content.
+    [[nodiscard]] static const Taxonomy& instance();
+
+    [[nodiscard]] const std::vector<AttackEntry>& attacks() const {
+        return attacks_;
+    }
+    [[nodiscard]] const std::vector<DefenseEntry>& defenses() const {
+        return defenses_;
+    }
+    [[nodiscard]] const std::vector<SurveyEntry>& surveys() const {
+        return surveys_;
+    }
+
+    [[nodiscard]] const AttackEntry& attack(AttackKind kind) const;
+    [[nodiscard]] const DefenseEntry& defense(DefenseKind kind) const;
+    /// Whether Table III marks `defense` as mitigating `attack`.
+    [[nodiscard]] bool mitigates(DefenseKind defense, AttackKind attack) const;
+
+private:
+    Taxonomy();
+    std::vector<AttackEntry> attacks_;
+    std::vector<DefenseEntry> defenses_;
+    std::vector<SurveyEntry> surveys_;
+};
+
+}  // namespace platoon::core

@@ -1,0 +1,88 @@
+#include "crypto/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace platoon::crypto {
+
+Bytes to_bytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+std::string to_hex(BytesView data) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(kDigits[b >> 4]);
+        out.push_back(kDigits[b & 0xF]);
+    }
+    return out;
+}
+
+namespace {
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("bad hex digit");
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+    if (hex.size() % 2 != 0) throw std::invalid_argument("odd hex length");
+    Bytes out(hex.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<std::uint8_t>(hex_value(hex[2 * i]) * 16 +
+                                           hex_value(hex[2 * i + 1]));
+    }
+    return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+    if (a.size() != b.size()) return false;
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+    return diff == 0;
+}
+
+void append(Bytes& dst, BytesView src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void append_u64(Bytes& dst, std::uint64_t v) {
+    for (int i = 7; i >= 0; --i)
+        dst.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u32(Bytes& dst, std::uint32_t v) {
+    for (int i = 3; i >= 0; --i)
+        dst.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_f64(Bytes& dst, double v) {
+    append_u64(dst, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t read_u64(BytesView src, std::size_t& offset) {
+    if (offset + 8 > src.size()) throw std::out_of_range("read_u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | src[offset + i];
+    offset += 8;
+    return v;
+}
+
+std::uint32_t read_u32(BytesView src, std::size_t& offset) {
+    if (offset + 4 > src.size()) throw std::out_of_range("read_u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | src[offset + i];
+    offset += 4;
+    return v;
+}
+
+double read_f64(BytesView src, std::size_t& offset) {
+    return std::bit_cast<double>(read_u64(src, offset));
+}
+
+}  // namespace platoon::crypto

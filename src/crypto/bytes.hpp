@@ -1,0 +1,45 @@
+// Byte-buffer vocabulary used throughout the crypto substrate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace platoon::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Converts a string's characters to bytes (no encoding applied).
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Lower-case hex encoding.
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Parses lower/upper-case hex; throws std::invalid_argument on bad input.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality (length leaks; contents do not).
+[[nodiscard]] bool ct_equal(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Appends a 64-bit integer big-endian (canonical wire order for envelopes).
+void append_u64(Bytes& dst, std::uint64_t v);
+
+/// Appends a 32-bit integer big-endian.
+void append_u32(Bytes& dst, std::uint32_t v);
+
+/// Appends a double through its IEEE-754 bit pattern (big-endian).
+void append_f64(Bytes& dst, double v);
+
+/// Reads back what append_u64/append_u32/append_f64 wrote; the offset is
+/// advanced. Throws std::out_of_range when the buffer is too short.
+[[nodiscard]] std::uint64_t read_u64(BytesView src, std::size_t& offset);
+[[nodiscard]] std::uint32_t read_u32(BytesView src, std::size_t& offset);
+[[nodiscard]] double read_f64(BytesView src, std::size_t& offset);
+
+}  // namespace platoon::crypto

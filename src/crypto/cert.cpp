@@ -1,0 +1,74 @@
+#include "crypto/cert.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace platoon::crypto {
+
+Bytes Certificate::tbs() const {
+    Bytes out;
+    append(out, to_bytes("platoonsec.cert.v1"));
+    append_u64(out, serial);
+    append_u32(out, subject.value);
+    append_u64(out, pseudonym_id);
+    append(out, public_key);
+    append_f64(out, valid_from);
+    append_f64(out, valid_until);
+    return out;
+}
+
+CertCheck verify_certificate(const Certificate& cert, BytesView ca_public_key,
+                             sim::SimTime now) {
+    Signature sig{cert.ca_signature};
+    if (!verify(ca_public_key, cert.tbs(), sig)) return CertCheck::kBadSignature;
+    if (now < cert.valid_from) return CertCheck::kNotYetValid;
+    if (now > cert.valid_until) return CertCheck::kExpired;
+    return CertCheck::kOk;
+}
+
+std::vector<std::uint64_t> RevocationList::serials() const {
+    std::vector<std::uint64_t> out(revoked_.begin(), revoked_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void RevocationList::merge(const RevocationList& other) {
+    revoked_.insert(other.revoked_.begin(), other.revoked_.end());
+}
+
+CertificateAuthority::CertificateAuthority(BytesView seed)
+    : key_(KeyPair::from_seed(seed)) {}
+
+Certificate CertificateAuthority::issue(sim::NodeId subject,
+                                        std::uint64_t pseudonym_id,
+                                        BytesView subject_public_key,
+                                        sim::SimTime valid_from,
+                                        sim::SimTime valid_until) {
+    PLATOON_EXPECTS(subject_public_key.size() == 64);
+    PLATOON_EXPECTS(valid_until > valid_from);
+    Certificate cert;
+    cert.serial = next_serial_++;
+    cert.subject = subject;
+    cert.pseudonym_id = pseudonym_id;
+    cert.public_key = Bytes(subject_public_key.begin(),
+                            subject_public_key.end());
+    cert.valid_from = valid_from;
+    cert.valid_until = valid_until;
+    cert.ca_signature = sign(key_, cert.tbs()).bytes;
+    return cert;
+}
+
+const Credential& PseudonymPool::active() const {
+    PLATOON_EXPECTS(!pool_.empty());
+    return pool_[active_];
+}
+
+const Credential& PseudonymPool::rotate() {
+    PLATOON_EXPECTS(!pool_.empty());
+    active_ = (active_ + 1) % pool_.size();
+    ++rotations_;
+    return pool_[active_];
+}
+
+}  // namespace platoon::crypto

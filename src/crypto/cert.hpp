@@ -1,0 +1,120 @@
+// Certificates, certificate authority and revocation.
+//
+// Models the PKI the paper's "Secret and Public Keys" mechanism relies on
+// (Section VI-A.1, [8], [30]): a trusted authority signs bindings between a
+// vehicle identity (or a rotating pseudonym, for privacy) and a public key;
+// verifiers check the CA signature, validity window and the revocation list.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/eddsa.hpp"
+#include "sim/types.hpp"
+
+namespace platoon::crypto {
+
+struct Certificate {
+    std::uint64_t serial = 0;
+    sim::NodeId subject;             ///< Real registered identity.
+    std::uint64_t pseudonym_id = 0;  ///< 0 = long-term cert; else pseudonym.
+    Bytes public_key;                ///< 64-byte uncompressed point.
+    sim::SimTime valid_from = 0.0;
+    sim::SimTime valid_until = 0.0;
+    Bytes ca_signature;              ///< 96-byte Schnorr signature.
+
+    /// Canonical to-be-signed encoding.
+    [[nodiscard]] Bytes tbs() const;
+};
+
+enum class CertCheck {
+    kOk,
+    kBadSignature,
+    kNotYetValid,
+    kExpired,
+    kRevoked,
+};
+
+/// Signature + validity check against a CA public key (no revocation; the
+/// caller consults a CRL separately, since CRL freshness is a distribution
+/// problem the RSU mechanism owns).
+[[nodiscard]] CertCheck verify_certificate(const Certificate& cert,
+                                           BytesView ca_public_key,
+                                           sim::SimTime now);
+
+/// Certificate revocation list: set of revoked serials.
+class RevocationList {
+public:
+    void revoke(std::uint64_t serial) { revoked_.insert(serial); }
+    [[nodiscard]] bool is_revoked(std::uint64_t serial) const {
+        return revoked_.contains(serial);
+    }
+    [[nodiscard]] std::size_t size() const { return revoked_.size(); }
+    /// Snapshot of revoked serials (sorted, for deterministic broadcasts).
+    [[nodiscard]] std::vector<std::uint64_t> serials() const;
+    /// Merges another CRL (e.g. received from an RSU broadcast).
+    void merge(const RevocationList& other);
+
+private:
+    std::unordered_set<std::uint64_t> revoked_;
+};
+
+class CertificateAuthority {
+public:
+    /// Deterministic CA keyed from a seed (scenario reproducibility).
+    explicit CertificateAuthority(BytesView seed);
+
+    [[nodiscard]] const Bytes& public_key() const {
+        return key_.public_bytes;
+    }
+
+    /// Issues a certificate for `subject_public_key`.
+    Certificate issue(sim::NodeId subject, std::uint64_t pseudonym_id,
+                      BytesView subject_public_key, sim::SimTime valid_from,
+                      sim::SimTime valid_until);
+
+    void revoke(std::uint64_t serial) { crl_.revoke(serial); }
+    [[nodiscard]] const RevocationList& crl() const { return crl_; }
+    [[nodiscard]] std::uint64_t issued_count() const { return next_serial_ - 1; }
+
+private:
+    KeyPair key_;
+    std::uint64_t next_serial_ = 1;
+    RevocationList crl_;
+};
+
+/// A vehicle's credential: key pair + certificate chain material.
+struct Credential {
+    KeyPair key;
+    Certificate cert;
+};
+
+/// Pool of pseudonymous credentials for one vehicle; rotation decorrelates
+/// beacons over time (privacy defense, paper Section III / [25]-[27]).
+class PseudonymPool {
+public:
+    PseudonymPool() = default;
+
+    void add(Credential credential) {
+        pool_.push_back(std::move(credential));
+    }
+    [[nodiscard]] std::size_t size() const { return pool_.size(); }
+    [[nodiscard]] bool empty() const { return pool_.empty(); }
+
+    /// Currently active credential; pool must be non-empty.
+    [[nodiscard]] const Credential& active() const;
+
+    /// Advances to the next pseudonym (wraps around). Returns the new one.
+    const Credential& rotate();
+
+    [[nodiscard]] std::size_t rotations() const { return rotations_; }
+
+private:
+    std::vector<Credential> pool_;
+    std::size_t active_ = 0;
+    std::size_t rotations_ = 0;
+};
+
+}  // namespace platoon::crypto

@@ -1,0 +1,77 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+
+#include "sim/assert.hpp"
+
+namespace platoon::crypto {
+
+namespace {
+std::uint32_t load_le32(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+void ChaCha20::quarter_round(std::uint32_t& a, std::uint32_t& b,
+                             std::uint32_t& c, std::uint32_t& d) {
+    a += b; d ^= a; d = std::rotl(d, 16);
+    c += d; b ^= c; b = std::rotl(b, 12);
+    a += b; d ^= a; d = std::rotl(d, 8);
+    c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+ChaCha20::ChaCha20(BytesView key, BytesView nonce,
+                   std::uint32_t initial_counter) {
+    PLATOON_EXPECTS(key.size() == kKeySize);
+    PLATOON_EXPECTS(nonce.size() == kNonceSize);
+    state_[0] = 0x61707865;
+    state_[1] = 0x3320646e;
+    state_[2] = 0x79622d32;
+    state_[3] = 0x6b206574;
+    for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+    state_[12] = initial_counter;
+    for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::next_block() {
+    std::array<std::uint32_t, 16> x = state_;
+    for (int round = 0; round < 10; ++round) {
+        quarter_round(x[0], x[4], x[8], x[12]);
+        quarter_round(x[1], x[5], x[9], x[13]);
+        quarter_round(x[2], x[6], x[10], x[14]);
+        quarter_round(x[3], x[7], x[11], x[15]);
+        quarter_round(x[0], x[5], x[10], x[15]);
+        quarter_round(x[1], x[6], x[11], x[12]);
+        quarter_round(x[2], x[7], x[8], x[13]);
+        quarter_round(x[3], x[4], x[9], x[14]);
+    }
+    for (int i = 0; i < 16; ++i) {
+        const std::uint32_t word = x[i] + state_[i];
+        keystream_[4 * i] = static_cast<std::uint8_t>(word);
+        keystream_[4 * i + 1] = static_cast<std::uint8_t>(word >> 8);
+        keystream_[4 * i + 2] = static_cast<std::uint8_t>(word >> 16);
+        keystream_[4 * i + 3] = static_cast<std::uint8_t>(word >> 24);
+    }
+    ++state_[12];
+    keystream_used_ = 0;
+}
+
+void ChaCha20::apply(Bytes& data) {
+    for (auto& byte : data) {
+        if (keystream_used_ == 64) next_block();
+        byte ^= keystream_[keystream_used_++];
+    }
+}
+
+Bytes ChaCha20::crypt(BytesView key, BytesView nonce, BytesView data,
+                      std::uint32_t initial_counter) {
+    ChaCha20 cipher(key, nonce, initial_counter);
+    Bytes out(data.begin(), data.end());
+    cipher.apply(out);
+    return out;
+}
+
+}  // namespace platoon::crypto

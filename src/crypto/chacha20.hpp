@@ -1,0 +1,42 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//
+// Used for confidentiality of platoon beacons and maneuver messages when the
+// "Secret and Public Keys" mechanism (paper Table III) enables encryption.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace platoon::crypto {
+
+class ChaCha20 {
+public:
+    static constexpr std::size_t kKeySize = 32;
+    static constexpr std::size_t kNonceSize = 12;
+
+    ChaCha20(BytesView key, BytesView nonce, std::uint32_t initial_counter = 0);
+
+    /// XORs the keystream into `data` in place (encrypt == decrypt).
+    void apply(Bytes& data);
+
+    /// One-shot: returns the (en|de)crypted copy of `data`.
+    [[nodiscard]] static Bytes crypt(BytesView key, BytesView nonce,
+                                     BytesView data,
+                                     std::uint32_t initial_counter = 0);
+
+    /// The ChaCha20 quarter round, exposed for testing against the RFC 8439
+    /// test vector.
+    static void quarter_round(std::uint32_t& a, std::uint32_t& b,
+                              std::uint32_t& c, std::uint32_t& d);
+
+private:
+    void next_block();
+
+    std::array<std::uint32_t, 16> state_;
+    std::array<std::uint8_t, 64> keystream_;
+    std::size_t keystream_used_ = 64;  // force generation on first use
+};
+
+}  // namespace platoon::crypto

@@ -1,0 +1,177 @@
+#include "crypto/fading_key_agreement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "crypto/sha256.hpp"
+#include "sim/assert.hpp"
+
+namespace platoon::crypto {
+
+namespace {
+
+/// Mean and standard deviation of a sample vector.
+std::pair<double, double> moments(std::span<const double> samples) {
+    PLATOON_EXPECTS(!samples.empty());
+    double sum = 0.0;
+    for (double s : samples) sum += s;
+    const double mean = sum / static_cast<double>(samples.size());
+    double var = 0.0;
+    for (double s : samples) var += (s - mean) * (s - mean);
+    var /= static_cast<double>(samples.size());
+    return {mean, std::sqrt(var)};
+}
+
+/// Extracts the bit each side produced for the sample indices in `indices`.
+/// `q` maps kept-sample order to bits; indices not kept by this side are
+/// skipped by the caller (they never enter `indices`).
+std::vector<std::uint8_t> bits_at(const QuantizedBits& q,
+                                  const std::vector<std::size_t>& indices) {
+    std::unordered_map<std::size_t, std::uint8_t> by_index;
+    by_index.reserve(q.kept.size());
+    for (std::size_t i = 0; i < q.kept.size(); ++i)
+        by_index.emplace(q.kept[i], q.bits[i]);
+    std::vector<std::uint8_t> out;
+    out.reserve(indices.size());
+    for (std::size_t idx : indices) {
+        const auto it = by_index.find(idx);
+        PLATOON_ASSERT(it != by_index.end());
+        out.push_back(it->second);
+    }
+    return out;
+}
+
+std::uint8_t block_parity(std::span<const std::uint8_t> bits) {
+    std::uint8_t p = 0;
+    for (std::uint8_t b : bits) p ^= b;
+    return p;
+}
+
+/// Concatenates surviving blocks (dropping the last bit of each block, which
+/// pays for the leaked parity bit) and hashes into a 32-byte key.
+Bytes amplify(const std::vector<std::uint8_t>& bits, std::size_t block_bits,
+              const std::vector<bool>& block_kept,
+              std::size_t* harvested_out) {
+    Bytes bitstream;
+    std::size_t harvested = 0;
+    const std::size_t blocks = block_kept.size();
+    for (std::size_t b = 0; b < blocks; ++b) {
+        if (!block_kept[b]) continue;
+        const std::size_t begin = b * block_bits;
+        const std::size_t end =
+            std::min(bits.size(), begin + block_bits) - 1;  // drop parity bit
+        for (std::size_t i = begin; i < end; ++i) {
+            bitstream.push_back(bits[i]);
+            ++harvested;
+        }
+    }
+    if (harvested_out != nullptr) *harvested_out = harvested;
+    Sha256 h;
+    h.update(std::string_view("platoonsec.fka.v1"));
+    h.update(BytesView(bitstream));
+    const auto d = h.finish();
+    return Bytes(d.begin(), d.end());
+}
+
+}  // namespace
+
+QuantizedBits quantize(std::span<const double> samples,
+                       const QuantizerConfig& config) {
+    PLATOON_EXPECTS(config.guard_sigma >= 0.0);
+    QuantizedBits out;
+    if (samples.empty()) return out;
+    const auto [mean, stddev] = moments(samples);
+    const double guard = config.guard_sigma * stddev;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double d = samples[i] - mean;
+        if (std::abs(d) < guard) continue;  // unreliable: drop
+        out.kept.push_back(i);
+        out.bits.push_back(d >= 0.0 ? 1 : 0);
+    }
+    return out;
+}
+
+AgreementResult agree(std::span<const double> alice_samples,
+                      std::span<const double> bob_samples,
+                      const AgreementConfig& config) {
+    PLATOON_EXPECTS(alice_samples.size() == bob_samples.size());
+    PLATOON_EXPECTS(config.block_bits >= 2);
+
+    AgreementResult result;
+    result.transcript.block_bits = config.block_bits;
+
+    const QuantizedBits qa = quantize(alice_samples, config.quantizer);
+    const QuantizedBits qb = quantize(bob_samples, config.quantizer);
+
+    // Index reconciliation: both publish which probe indices they kept;
+    // the protocol proceeds on the intersection (public information —
+    // indices reveal nothing about bit values).
+    std::set_intersection(qa.kept.begin(), qa.kept.end(), qb.kept.begin(),
+                          qb.kept.end(),
+                          std::back_inserter(result.transcript.common_indices));
+
+    const auto bits_a = bits_at(qa, result.transcript.common_indices);
+    const auto bits_b = bits_at(qb, result.transcript.common_indices);
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < bits_a.size(); ++i)
+        if (bits_a[i] != bits_b[i]) ++mismatches;
+    result.raw_mismatch =
+        bits_a.empty() ? 0.0
+                       : static_cast<double>(mismatches) /
+                             static_cast<double>(bits_a.size());
+
+    // Block-parity reconciliation: Alice publishes each block's parity; Bob
+    // keeps only blocks whose parity he reproduces. (CASCADE would correct
+    // instead of discard; discarding is simpler and strictly safe.)
+    const std::size_t blocks = bits_a.size() / config.block_bits;
+    result.transcript.alice_parities.reserve(blocks);
+    result.transcript.block_kept.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t begin = b * config.block_bits;
+        const std::uint8_t pa = block_parity(
+            std::span(bits_a).subspan(begin, config.block_bits));
+        const std::uint8_t pb = block_parity(
+            std::span(bits_b).subspan(begin, config.block_bits));
+        result.transcript.alice_parities.push_back(pa);
+        result.transcript.block_kept.push_back(pa == pb);
+    }
+
+    std::size_t harvested_a = 0;
+    std::size_t harvested_b = 0;
+    const Bytes key_a = amplify(bits_a, config.block_bits,
+                                result.transcript.block_kept, &harvested_a);
+    const Bytes key_b = amplify(bits_b, config.block_bits,
+                                result.transcript.block_kept, &harvested_b);
+
+    result.key = key_a;
+    result.harvested_bits = harvested_a;
+    // Key confirmation: both sides exchange H(key || role); success iff the
+    // keys match and enough entropy was harvested.
+    result.success =
+        (key_a == key_b) && harvested_a >= config.min_key_bits;
+    return result;
+}
+
+Bytes eavesdrop_key(std::span<const double> eve_samples,
+                    const Transcript& transcript,
+                    const QuantizerConfig& config) {
+    // Eve cannot afford to drop samples that Alice/Bob kept, so she
+    // quantizes with no guard band and reads her bit at every published
+    // common index.
+    QuantizerConfig no_guard = config;
+    no_guard.guard_sigma = 0.0;
+    const QuantizedBits qe = quantize(eve_samples, no_guard);
+
+    std::vector<std::uint8_t> bits_e;
+    bits_e.reserve(transcript.common_indices.size());
+    for (std::size_t idx : transcript.common_indices) {
+        PLATOON_EXPECTS(idx < qe.bits.size());
+        bits_e.push_back(qe.bits[idx]);
+    }
+    return amplify(bits_e, transcript.block_bits, transcript.block_kept,
+                   nullptr);
+}
+
+}  // namespace platoon::crypto

@@ -1,0 +1,75 @@
+// Secret-key agreement from quantized channel-fading randomness.
+//
+// Implements the mechanism of Li et al. [5], [9] cited by the paper
+// (Section VI-A.1): two platoon members probe their (reciprocal) radio
+// channel, quantize the correlated gain samples into bits, reconcile
+// disagreements over the public channel, and apply privacy amplification.
+// An eavesdropper at a different position observes de-correlated fading and
+// cannot reproduce the key even though it hears the entire public discussion.
+//
+// The module is pure (operates on sample vectors); the reciprocal sample
+// streams come from net::Channel's time-correlated fading model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace platoon::crypto {
+
+struct QuantizerConfig {
+    /// Guard band half-width as a multiple of the sample standard deviation:
+    /// samples within +-guard_sigma*stddev of the mean are dropped (their
+    /// bit would be unreliable).
+    double guard_sigma = 0.4;
+};
+
+struct QuantizedBits {
+    std::vector<std::uint8_t> bits;     ///< One 0/1 per kept sample.
+    std::vector<std::size_t> kept;      ///< Indices of kept samples.
+};
+
+/// Mean-threshold quantization with a guard band.
+[[nodiscard]] QuantizedBits quantize(std::span<const double> samples,
+                                     const QuantizerConfig& config = {});
+
+/// What the protocol reveals on the public channel; an eavesdropper sees all
+/// of this.
+struct Transcript {
+    std::vector<std::size_t> common_indices;  ///< Samples both sides kept.
+    std::size_t block_bits = 8;               ///< Reconciliation block size.
+    std::vector<std::uint8_t> alice_parities; ///< Parity per block.
+    std::vector<bool> block_kept;             ///< Blocks surviving reconcile.
+};
+
+struct AgreementResult {
+    bool success = false;        ///< Keys matched (confirmed via key hash).
+    Bytes key;                   ///< 32-byte agreed key (Alice's).
+    double raw_mismatch = 0.0;   ///< Pre-reconciliation bit error rate.
+    std::size_t harvested_bits = 0;  ///< Bits surviving reconciliation.
+    Transcript transcript;
+};
+
+struct AgreementConfig {
+    QuantizerConfig quantizer;
+    std::size_t block_bits = 8;
+    /// Minimum surviving bits for a usable key (else failure).
+    std::size_t min_key_bits = 64;
+};
+
+/// Runs the full protocol between two correlated sample vectors (same
+/// length). Returns Alice's view; success means Bob derived the same key.
+[[nodiscard]] AgreementResult agree(std::span<const double> alice_samples,
+                                    std::span<const double> bob_samples,
+                                    const AgreementConfig& config = {});
+
+/// Eavesdropper attack: Eve quantizes her own observations and replays the
+/// public transcript. Returns her candidate key (compare with result.key to
+/// score the attack).
+[[nodiscard]] Bytes eavesdrop_key(std::span<const double> eve_samples,
+                                  const Transcript& transcript,
+                                  const QuantizerConfig& config = {});
+
+}  // namespace platoon::crypto

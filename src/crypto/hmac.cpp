@@ -1,0 +1,51 @@
+#include "crypto/hmac.hpp"
+
+#include "sim/assert.hpp"
+
+namespace platoon::crypto {
+
+Sha256::Digest hmac_sha256(BytesView key, BytesView data) {
+    std::array<std::uint8_t, 64> k{};
+    if (key.size() > 64) {
+        const auto d = Sha256::hash(key);
+        std::copy(d.begin(), d.end(), k.begin());
+    } else {
+        std::copy(key.begin(), key.end(), k.begin());
+    }
+
+    std::array<std::uint8_t, 64> ipad, opad;
+    for (int i = 0; i < 64; ++i) {
+        ipad[i] = k[i] ^ 0x36;
+        opad[i] = k[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(BytesView(ipad.data(), ipad.size()));
+    inner.update(data);
+    const auto inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(BytesView(opad.data(), opad.size()));
+    outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+    return outer.finish();
+}
+
+Bytes hmac_tag(BytesView key, BytesView data, std::size_t tag_len) {
+    PLATOON_EXPECTS(tag_len >= 1 && tag_len <= Sha256::kDigestSize);
+    const auto d = hmac_sha256(key, data);
+    return Bytes(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(tag_len));
+}
+
+Bytes hkdf(BytesView ikm, BytesView salt, std::string_view info,
+           std::size_t out_len) {
+    PLATOON_EXPECTS(out_len >= 1 && out_len <= Sha256::kDigestSize);
+    const auto prk = hmac_sha256(salt, ikm);
+    Bytes block;
+    append(block, to_bytes(info));
+    block.push_back(0x01);
+    const auto okm =
+        hmac_sha256(BytesView(prk.data(), prk.size()), BytesView(block));
+    return Bytes(okm.begin(), okm.begin() + static_cast<std::ptrdiff_t>(out_len));
+}
+
+}  // namespace platoon::crypto

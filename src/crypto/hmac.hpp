@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) and HKDF-style key derivation.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace platoon::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+[[nodiscard]] Sha256::Digest hmac_sha256(BytesView key, BytesView data);
+
+/// Truncated MAC tag as Bytes (tag_len in [1, 32]).
+[[nodiscard]] Bytes hmac_tag(BytesView key, BytesView data,
+                             std::size_t tag_len = 16);
+
+/// HKDF-Extract-then-Expand (RFC 5869, single-block output up to 32 bytes):
+/// derives a subkey bound to `info` from input keying material `ikm`.
+[[nodiscard]] Bytes hkdf(BytesView ikm, BytesView salt, std::string_view info,
+                         std::size_t out_len = 32);
+
+}  // namespace platoon::crypto

@@ -1,0 +1,204 @@
+#include "crypto/secured_message.hpp"
+
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace platoon::crypto {
+
+const char* to_string(VerifyResult r) {
+    switch (r) {
+        case VerifyResult::kOk: return "ok";
+        case VerifyResult::kUnprotected: return "unprotected";
+        case VerifyResult::kBadTag: return "bad-tag";
+        case VerifyResult::kBadCert: return "bad-cert";
+        case VerifyResult::kRevoked: return "revoked";
+        case VerifyResult::kStale: return "stale";
+        case VerifyResult::kReplay: return "replay";
+        case VerifyResult::kNoKey: return "no-key";
+    }
+    return "?";
+}
+
+Bytes Envelope::authenticated_bytes() const {
+    Bytes out;
+    append(out, to_bytes("platoonsec.env.v1"));
+    out.push_back(static_cast<std::uint8_t>(mode));
+    out.push_back(encrypted ? 1 : 0);
+    append_u32(out, sender);
+    append_u64(out, seq);
+    append_f64(out, timestamp);
+    append_u64(out, payload.size());
+    append(out, payload);
+    return out;
+}
+
+std::size_t Envelope::wire_size() const {
+    // Header (sender, seq, timestamp, flags) + payload + tag + certificate.
+    std::size_t size = 4 + 8 + 8 + 2 + payload.size() + tag.size();
+    if (cert) size += 64 /*key*/ + 96 /*sig*/ + 28 /*fields*/;
+    return size;
+}
+
+VerifyResult ReplayGuard::check(std::uint32_t sender, std::uint64_t seq,
+                                sim::SimTime timestamp, sim::SimTime now) {
+    if (std::abs(now - timestamp) > window_) return VerifyResult::kStale;
+    auto [it, inserted] = last_seq_.try_emplace(sender, seq);
+    if (!inserted) {
+        if (seq <= it->second) return VerifyResult::kReplay;
+        it->second = seq;
+    }
+    return VerifyResult::kOk;
+}
+
+bool MessageProtection::cert_signature_valid(const Certificate& cert) const {
+    if (verified_cert_serials_.contains(cert.serial)) return true;
+    Signature sig{cert.ca_signature};
+    if (!verify(BytesView(ca_public_key_), cert.tbs(), sig)) return false;
+    verified_cert_serials_.insert(cert.serial);
+    return true;
+}
+
+Bytes MessageProtection::mac_key_for(std::uint32_t peer) const {
+    if (config_.mode == AuthMode::kGroupMac) {
+        return hkdf(BytesView(group_key_), {}, "platoon.mac");
+    }
+    const auto it = pairwise_keys_.find(peer);
+    if (it == pairwise_keys_.end()) return {};
+    return hkdf(BytesView(it->second), {}, "platoon.mac");
+}
+
+Bytes MessageProtection::encryption_key() const {
+    if (group_key_.empty()) return {};
+    return hkdf(BytesView(group_key_), {}, "platoon.enc");
+}
+
+Bytes MessageProtection::nonce_for(std::uint32_t sender,
+                                   std::uint64_t seq) const {
+    Bytes nonce;
+    append_u32(nonce, sender);
+    append_u64(nonce, seq);
+    PLATOON_ENSURES(nonce.size() == ChaCha20::kNonceSize);
+    return nonce;
+}
+
+Envelope MessageProtection::protect(std::uint32_t sender, BytesView payload,
+                                    sim::SimTime now,
+                                    std::optional<std::uint32_t> receiver) {
+    Envelope env;
+    env.mode = config_.mode;
+    env.sender = sender;
+    env.seq = next_seq_++;
+    env.timestamp = now;
+    env.payload = Bytes(payload.begin(), payload.end());
+
+    if (config_.encrypt) {
+        const Bytes key = encryption_key();
+        if (!key.empty()) {
+            ChaCha20 cipher(BytesView(key), BytesView(nonce_for(sender, env.seq)));
+            cipher.apply(env.payload);
+            env.encrypted = true;
+        }
+    }
+
+    switch (config_.mode) {
+        case AuthMode::kNone:
+            break;
+        case AuthMode::kGroupMac: {
+            PLATOON_EXPECTS(!group_key_.empty());
+            env.tag = hmac_tag(BytesView(mac_key_for(sender)),
+                               BytesView(env.authenticated_bytes()));
+            break;
+        }
+        case AuthMode::kPairwiseMac: {
+            PLATOON_EXPECTS(receiver.has_value());
+            const Bytes key = mac_key_for(*receiver);
+            PLATOON_EXPECTS(!key.empty());
+            env.tag = hmac_tag(BytesView(key),
+                               BytesView(env.authenticated_bytes()));
+            break;
+        }
+        case AuthMode::kSignature: {
+            PLATOON_EXPECTS(credential_.has_value());
+            env.tag = sign(credential_->key, env.authenticated_bytes()).bytes;
+            env.cert = credential_->cert;
+            break;
+        }
+    }
+    return env;
+}
+
+VerifyResult MessageProtection::verify_and_open(Envelope& envelope,
+                                                sim::SimTime now) {
+    if (config_.mode != AuthMode::kNone) {
+        // A signature is acceptable under any policy that demands
+        // authentication (it is strictly stronger than a MAC) -- RSUs sign
+        // even when the platoon runs on a group key. Everything else must
+        // match the configured mode.
+        if (envelope.mode != config_.mode &&
+            envelope.mode != AuthMode::kSignature)
+            return VerifyResult::kUnprotected;
+
+        switch (envelope.mode) {
+            case AuthMode::kNone:
+                return VerifyResult::kUnprotected;
+            case AuthMode::kGroupMac: {
+                if (group_key_.empty()) return VerifyResult::kNoKey;
+                const Bytes expected =
+                    hmac_tag(BytesView(mac_key_for(envelope.sender)),
+                             BytesView(envelope.authenticated_bytes()));
+                if (!ct_equal(BytesView(expected), BytesView(envelope.tag)))
+                    return VerifyResult::kBadTag;
+                break;
+            }
+            case AuthMode::kPairwiseMac: {
+                const Bytes key = mac_key_for(envelope.sender);
+                if (key.empty()) return VerifyResult::kNoKey;
+                const Bytes expected = hmac_tag(
+                    BytesView(key), BytesView(envelope.authenticated_bytes()));
+                if (!ct_equal(BytesView(expected), BytesView(envelope.tag)))
+                    return VerifyResult::kBadTag;
+                break;
+            }
+            case AuthMode::kSignature: {
+                if (ca_public_key_.empty()) return VerifyResult::kNoKey;
+                if (!envelope.cert) return VerifyResult::kBadCert;
+                if (!cert_signature_valid(*envelope.cert))
+                    return VerifyResult::kBadCert;
+                if (now < envelope.cert->valid_from ||
+                    now > envelope.cert->valid_until)
+                    return VerifyResult::kBadCert;
+                // The claimed sender must be the certified identity --
+                // otherwise any certificate holder could speak as anyone
+                // (identity binding, IEEE 1609.2 semantics).
+                if (envelope.cert->subject.value != envelope.sender)
+                    return VerifyResult::kBadCert;
+                if (crl_.is_revoked(envelope.cert->serial))
+                    return VerifyResult::kRevoked;
+                Signature sig{envelope.tag};
+                if (!verify(BytesView(envelope.cert->public_key),
+                            envelope.authenticated_bytes(), sig))
+                    return VerifyResult::kBadTag;
+                break;
+            }
+        }
+
+        if (config_.check_replay) {
+            const VerifyResult fresh = replay_guard_.check(
+                envelope.sender, envelope.seq, envelope.timestamp, now);
+            if (fresh != VerifyResult::kOk) return fresh;
+        }
+    }
+
+    if (envelope.encrypted) {
+        const Bytes key = encryption_key();
+        if (key.empty()) return VerifyResult::kNoKey;
+        ChaCha20 cipher(BytesView(key),
+                        BytesView(nonce_for(envelope.sender, envelope.seq)));
+        cipher.apply(envelope.payload);
+        envelope.encrypted = false;
+    }
+    return VerifyResult::kOk;
+}
+
+}  // namespace platoon::crypto

@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Streaming interface plus one-shot helper. Used for message digests,
+// HMAC, certificate fingerprints and privacy amplification in the fading
+// key-agreement scheme.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace platoon::crypto {
+
+class Sha256 {
+public:
+    static constexpr std::size_t kDigestSize = 32;
+    using Digest = std::array<std::uint8_t, kDigestSize>;
+
+    Sha256();
+
+    Sha256& update(BytesView data);
+    Sha256& update(std::string_view s) {
+        return update(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                                s.size()));
+    }
+
+    /// Finalises and returns the digest; the object must not be reused
+    /// afterwards (construct a fresh one).
+    [[nodiscard]] Digest finish();
+
+    /// One-shot convenience.
+    [[nodiscard]] static Digest hash(BytesView data);
+    [[nodiscard]] static Digest hash(std::string_view s);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bytes_ = 0;
+    bool finished_ = false;
+};
+
+/// Digest as a Bytes value (handy for concatenation).
+[[nodiscard]] Bytes digest_bytes(const Sha256::Digest& d);
+
+}  // namespace platoon::crypto

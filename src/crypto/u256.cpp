@@ -1,0 +1,201 @@
+#include "crypto/u256.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sim/assert.hpp"
+
+namespace platoon::crypto {
+
+using u128 = unsigned __int128;
+
+int U256::top_bit() const {
+    for (int word = 3; word >= 0; --word) {
+        if (w[static_cast<std::size_t>(word)] != 0) {
+            return word * 64 + 63 -
+                   std::countl_zero(w[static_cast<std::size_t>(word)]);
+        }
+    }
+    return -1;
+}
+
+Bytes U256::to_le_bytes() const {
+    Bytes out(32);
+    for (int i = 0; i < 32; ++i)
+        out[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(w[static_cast<std::size_t>(i) / 8] >>
+                                      (8 * (i % 8)));
+    return out;
+}
+
+U256 U256::from_le_bytes(BytesView b) {
+    PLATOON_EXPECTS(b.size() <= 32);
+    U256 out;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        out.w[i / 8] |= static_cast<std::uint64_t>(b[i]) << (8 * (i % 8));
+    return out;
+}
+
+U256 U256::from_hex(std::string_view hex_be) {
+    if (hex_be.size() > 64) throw std::invalid_argument("hex too long");
+    // Left-pad to full width, then reverse into little-endian bytes.
+    std::string padded(64 - hex_be.size(), '0');
+    padded.append(hex_be);
+    const Bytes be = ::platoon::crypto::from_hex(padded);
+    Bytes le(be.rbegin(), be.rend());
+    return from_le_bytes(le);
+}
+
+std::string U256::to_hex() const {
+    const Bytes le = to_le_bytes();
+    const Bytes be(le.rbegin(), le.rend());
+    return ::platoon::crypto::to_hex(be);
+}
+
+std::strong_ordering cmp(const U256& a, const U256& b) {
+    for (int i = 3; i >= 0; --i) {
+        const auto ai = a.w[static_cast<std::size_t>(i)];
+        const auto bi = b.w[static_cast<std::size_t>(i)];
+        if (ai != bi) return ai < bi ? std::strong_ordering::less
+                                     : std::strong_ordering::greater;
+    }
+    return std::strong_ordering::equal;
+}
+
+U256 add(const U256& a, const U256& b, bool& carry_out) {
+    U256 r;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const u128 sum = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+        r.w[i] = static_cast<std::uint64_t>(sum);
+        carry = sum >> 64;
+    }
+    carry_out = carry != 0;
+    return r;
+}
+
+U256 sub(const U256& a, const U256& b, bool& borrow_out) {
+    U256 r;
+    u128 borrow = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const u128 diff =
+            static_cast<u128>(a.w[i]) - b.w[i] - borrow;
+        r.w[i] = static_cast<std::uint64_t>(diff);
+        borrow = (diff >> 64) & 1;
+    }
+    borrow_out = borrow != 0;
+    return r;
+}
+
+int U512::top_bit() const {
+    for (int word = 7; word >= 0; --word) {
+        if (w[static_cast<std::size_t>(word)] != 0) {
+            return word * 64 + 63 -
+                   std::countl_zero(w[static_cast<std::size_t>(word)]);
+        }
+    }
+    return -1;
+}
+
+U512 U512::from_le_bytes(BytesView b) {
+    PLATOON_EXPECTS(b.size() <= 64);
+    U512 out;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        out.w[i / 8] |= static_cast<std::uint64_t>(b[i]) << (8 * (i % 8));
+    return out;
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+    U512 r;
+    for (std::size_t i = 0; i < 4; ++i) {
+        u128 carry = 0;
+        for (std::size_t j = 0; j < 4; ++j) {
+            const u128 cur = static_cast<u128>(a.w[i]) * b.w[j] +
+                             r.w[i + j] + carry;
+            r.w[i + j] = static_cast<std::uint64_t>(cur);
+            carry = cur >> 64;
+        }
+        r.w[i + 4] = static_cast<std::uint64_t>(carry);
+    }
+    return r;
+}
+
+namespace {
+
+// Shifts a U512 remainder-accumulator left by one bit and ORs in `in_bit`.
+void shl1(U256& x, bool in_bit) {
+    std::uint64_t carry = in_bit ? 1u : 0u;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const std::uint64_t next = x.w[i] >> 63;
+        x.w[i] = (x.w[i] << 1) | carry;
+        carry = next;
+    }
+    // A carry out of the top would mean remainder >= 2^256; cannot happen
+    // because the remainder is kept < m <= 2^256-1 and shifting m-1 left
+    // by one plus one bit is < 2^257 -- we subtract m before that occurs.
+}
+
+}  // namespace
+
+U256 mod(const U512& x, const U256& m) {
+    PLATOON_EXPECTS(!m.is_zero());
+    U256 rem;
+    const int top = x.top_bit();
+    for (int i = top; i >= 0; --i) {
+        // rem = rem*2 + bit; since rem < m <= 2^256-1, rem*2+1 < 2^257.
+        // To avoid overflow past 256 bits we check the would-be carry:
+        const bool top_set = (rem.w[3] >> 63) != 0;
+        shl1(rem, x.bit(i));
+        if (top_set) {
+            // rem overflowed 2^256: rem_true = rem + 2^256; subtract m once
+            // (m > rem_true - 2^256 is impossible since m < 2^256 <= rem_true).
+            bool borrow;
+            rem = sub(rem, m, borrow);
+            // Conceptually rem_true - m = (rem - m) + 2^256*(1 - borrow...);
+            // because rem_true >= 2^256 > m, exactly one subtraction of the
+            // "+2^256" is absorbed; after it rem may still be >= m.
+        }
+        if (cmp(rem, m) != std::strong_ordering::less) {
+            bool borrow;
+            rem = sub(rem, m, borrow);
+            PLATOON_ASSERT(!borrow);
+        }
+    }
+    return rem;
+}
+
+U256 mod(const U256& x, const U256& m) {
+    U512 wide;
+    for (std::size_t i = 0; i < 4; ++i) wide.w[i] = x.w[i];
+    return mod(wide, m);
+}
+
+U256 add_mod(const U256& a, const U256& b, const U256& m) {
+    PLATOON_EXPECTS(cmp(a, m) == std::strong_ordering::less);
+    PLATOON_EXPECTS(cmp(b, m) == std::strong_ordering::less);
+    bool carry;
+    U256 r = add(a, b, carry);
+    if (carry || cmp(r, m) != std::strong_ordering::less) {
+        bool borrow;
+        r = sub(r, m, borrow);
+    }
+    return r;
+}
+
+U256 sub_mod(const U256& a, const U256& b, const U256& m) {
+    PLATOON_EXPECTS(cmp(a, m) == std::strong_ordering::less);
+    PLATOON_EXPECTS(cmp(b, m) == std::strong_ordering::less);
+    bool borrow;
+    U256 r = sub(a, b, borrow);
+    if (borrow) {
+        bool carry;
+        r = add(r, m, carry);
+    }
+    return r;
+}
+
+U256 mul_mod(const U256& a, const U256& b, const U256& m) {
+    return mod(mul_wide(a, b), m);
+}
+
+}  // namespace platoon::crypto

@@ -1,0 +1,74 @@
+// Fixed-width 256/512-bit unsigned integers with modular arithmetic.
+//
+// Used for scalar arithmetic modulo the edwards25519 group order L in the
+// Schnorr signature scheme. Division is binary shift-subtract: simple,
+// obviously correct, and fast enough for a network simulator (a few
+// microseconds per reduction).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace platoon::crypto {
+
+struct U256 {
+    // Little-endian 64-bit words: w[0] is least significant.
+    std::array<std::uint64_t, 4> w{};
+
+    constexpr U256() = default;
+    constexpr explicit U256(std::uint64_t v) : w{v, 0, 0, 0} {}
+
+    friend constexpr bool operator==(const U256&, const U256&) = default;
+
+    [[nodiscard]] bool is_zero() const {
+        return (w[0] | w[1] | w[2] | w[3]) == 0;
+    }
+    [[nodiscard]] bool bit(int i) const {
+        return (w[static_cast<std::size_t>(i) / 64] >> (i % 64)) & 1u;
+    }
+    /// Index of the highest set bit, or -1 for zero.
+    [[nodiscard]] int top_bit() const;
+
+    /// 32-byte little-endian encoding (the EdDSA convention).
+    [[nodiscard]] Bytes to_le_bytes() const;
+    static U256 from_le_bytes(BytesView b);  // b.size() <= 32
+    static U256 from_hex(std::string_view hex_be);  // big-endian hex
+    [[nodiscard]] std::string to_hex() const;        // big-endian hex
+};
+
+/// Comparison (unsigned).
+[[nodiscard]] std::strong_ordering cmp(const U256& a, const U256& b);
+
+/// a + b, returning the carry-out.
+U256 add(const U256& a, const U256& b, bool& carry_out);
+/// a - b, returning the borrow-out (true iff a < b).
+U256 sub(const U256& a, const U256& b, bool& borrow_out);
+
+struct U512 {
+    std::array<std::uint64_t, 8> w{};
+
+    [[nodiscard]] bool bit(int i) const {
+        return (w[static_cast<std::size_t>(i) / 64] >> (i % 64)) & 1u;
+    }
+    [[nodiscard]] int top_bit() const;
+    static U512 from_le_bytes(BytesView b);  // b.size() <= 64
+};
+
+/// Full 256x256 -> 512-bit product.
+[[nodiscard]] U512 mul_wide(const U256& a, const U256& b);
+
+/// x mod m (m != 0) via binary long division.
+[[nodiscard]] U256 mod(const U512& x, const U256& m);
+[[nodiscard]] U256 mod(const U256& x, const U256& m);
+
+/// (a + b) mod m ; inputs must already be < m.
+[[nodiscard]] U256 add_mod(const U256& a, const U256& b, const U256& m);
+/// (a - b) mod m ; inputs must already be < m.
+[[nodiscard]] U256 sub_mod(const U256& a, const U256& b, const U256& m);
+/// (a * b) mod m.
+[[nodiscard]] U256 mul_mod(const U256& a, const U256& b, const U256& m);
+
+}  // namespace platoon::crypto

@@ -1,0 +1,82 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace platoon::net {
+
+const char* to_string(Band band) {
+    switch (band) {
+        case Band::kDsrc: return "802.11p";
+        case Band::kVlc: return "vlc";
+        case Band::kCv2x: return "c-v2x";
+    }
+    return "?";
+}
+
+Channel::Channel(ChannelParams params, std::uint64_t master_seed)
+    : params_(params), fading_rng_(master_seed, "channel.fading") {
+    PLATOON_EXPECTS(params_.coherence_time_s > 0.0);
+    PLATOON_EXPECTS(params_.data_rate_bps > 0.0);
+}
+
+double Channel::path_loss_db(double distance_m) const {
+    const double d = std::max(distance_m, 1.0);
+    return params_.ref_loss_db +
+           10.0 * params_.path_loss_exponent * std::log10(d);
+}
+
+Channel::PairKey Channel::pair_key(sim::NodeId a, sim::NodeId b) {
+    const std::uint64_t lo = std::min(a.value, b.value);
+    const std::uint64_t hi = std::max(a.value, b.value);
+    return PairKey{(hi << 32) | lo};
+}
+
+double Channel::fading_db(sim::NodeId a, sim::NodeId b, sim::SimTime t) {
+    FadingState& state = fading_[pair_key(a, b)];
+    if (!state.initialised) {
+        state.initialised = true;
+        state.value_db = fading_rng_.normal(0.0, params_.fading_stddev_db);
+        state.last_t = t;
+        return state.value_db;
+    }
+    const double dt = t - state.last_t;
+    if (dt <= 0.0) return state.value_db;  // same instant: reciprocal & stable
+    const double rho = std::exp(-dt / params_.coherence_time_s);
+    state.value_db = rho * state.value_db +
+                     std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
+                         fading_rng_.normal(0.0, params_.fading_stddev_db);
+    state.last_t = t;
+    return state.value_db;
+}
+
+double Channel::gain_db(sim::NodeId a, sim::NodeId b, double distance_m,
+                        sim::SimTime t) {
+    return -path_loss_db(distance_m) + fading_db(a, b, t);
+}
+
+double Channel::rx_power_dbm(sim::NodeId from, sim::NodeId to,
+                             double distance_m, sim::SimTime t,
+                             double tx_power_dbm) {
+    return tx_power_dbm + gain_db(from, to, distance_m, t);
+}
+
+sim::SimTime Channel::airtime(std::size_t bytes) const {
+    return params_.preamble_s +
+           static_cast<double>(bytes) * 8.0 / params_.data_rate_bps;
+}
+
+double Channel::packet_error_rate(double sinr_db, std::size_t bytes) const {
+    // Sigmoid PER centred on the capture threshold; longer frames shift the
+    // curve right (more bits to corrupt) by ~1 dB per 4x length over 100 B.
+    const double length_shift =
+        std::log2(std::max<double>(static_cast<double>(bytes), 32.0) / 100.0) *
+        0.5;
+    const double x = (sinr_db - params_.capture_threshold_db - length_shift) /
+                     params_.per_slope_db;
+    return 1.0 / (1.0 + std::exp(x * 2.0));
+}
+
+}  // namespace platoon::net

@@ -1,0 +1,97 @@
+// Radio propagation: log-distance path loss plus a reciprocal,
+// time-correlated small-scale fading process.
+//
+// Reciprocity matters twice in this codebase: it is what makes the
+// fading-based key agreement of [5]/[9] work (both ends of a link observe
+// the same gain, an eavesdropper elsewhere observes an independent one), and
+// it keeps the SINR model symmetric. Temporal correlation is modelled as an
+// AR(1) (Gauss-Markov) process in dB per unordered node pair, parameterised
+// by a coherence time.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace platoon::net {
+
+enum class Band : std::uint8_t {
+    kDsrc = 0,  ///< IEEE 802.11p at 5.9 GHz.
+    kVlc,       ///< Visible light, line-of-sight to adjacent vehicle.
+    kCv2x,      ///< 3GPP C-V2X sidelink (separate RF resource).
+};
+
+[[nodiscard]] const char* to_string(Band band);
+
+struct ChannelParams {
+    double tx_power_dbm = 20.0;
+    double ref_loss_db = 47.86;      ///< Free-space loss at 1 m, 5.9 GHz.
+    double path_loss_exponent = 2.2;
+    double noise_floor_dbm = -95.0;
+    double fading_stddev_db = 4.0;   ///< Small-scale fading sigma (dB).
+    double coherence_time_s = 0.05;  ///< Fading decorrelation time.
+    double carrier_sense_dbm = -85.0;
+    double capture_threshold_db = 6.0;  ///< SINR for near-certain reception.
+    double per_slope_db = 1.5;          ///< PER sigmoid slope.
+    double data_rate_bps = 6'000'000.0;
+    double preamble_s = 40e-6;
+};
+
+class Channel {
+public:
+    Channel(ChannelParams params, std::uint64_t master_seed);
+
+    [[nodiscard]] const ChannelParams& params() const { return params_; }
+
+    /// Deterministic path loss (dB) over `distance_m`.
+    [[nodiscard]] double path_loss_db(double distance_m) const;
+
+    /// Instantaneous channel gain (dB, negative) between nodes `a` and `b`
+    /// at time `t`, including fading. Symmetric in (a, b): gain(a,b,t) ==
+    /// gain(b,a,t) exactly (reciprocity).
+    double gain_db(sim::NodeId a, sim::NodeId b, double distance_m,
+                   sim::SimTime t);
+
+    /// Received power (dBm) for a transmission at `tx_power_dbm`.
+    double rx_power_dbm(sim::NodeId from, sim::NodeId to, double distance_m,
+                        sim::SimTime t, double tx_power_dbm);
+
+    /// Airtime of a frame of `bytes` at the configured data rate.
+    [[nodiscard]] sim::SimTime airtime(std::size_t bytes) const;
+
+    /// Packet-error rate given SINR: sigmoid centred on the capture
+    /// threshold, steeper for short frames.
+    [[nodiscard]] double packet_error_rate(double sinr_db,
+                                           std::size_t bytes) const;
+
+    /// The raw fading value (dB) of the pair process — exposed so the
+    /// fading key agreement can probe the same reciprocal randomness the
+    /// packets experience.
+    double fading_db(sim::NodeId a, sim::NodeId b, sim::SimTime t);
+
+private:
+    struct PairKey {
+        std::uint64_t key;
+        friend bool operator==(PairKey, PairKey) = default;
+    };
+    struct PairKeyHash {
+        std::size_t operator()(PairKey k) const {
+            return std::hash<std::uint64_t>{}(k.key);
+        }
+    };
+    struct FadingState {
+        bool initialised = false;
+        sim::SimTime last_t = 0.0;
+        double value_db = 0.0;
+    };
+
+    static PairKey pair_key(sim::NodeId a, sim::NodeId b);
+
+    ChannelParams params_;
+    sim::RandomStream fading_rng_;
+    std::unordered_map<PairKey, FadingState, PairKeyHash> fading_;
+};
+
+}  // namespace platoon::net

@@ -1,0 +1,129 @@
+#include "net/message.hpp"
+
+#include <stdexcept>
+
+namespace platoon::net {
+
+namespace {
+constexpr std::uint32_t kBeaconMagic = 0x4245434Eu;    // "BECN"
+constexpr std::uint32_t kManeuverMagic = 0x4D4E5652u;  // "MNVR"
+constexpr std::uint32_t kKeyMgmtMagic = 0x4B455953u;   // "KEYS"
+}  // namespace
+
+crypto::Bytes Beacon::encode() const {
+    crypto::Bytes out;
+    crypto::append_u32(out, kBeaconMagic);
+    crypto::append_u32(out, sender);
+    crypto::append_u32(out, platoon_id);
+    out.push_back(platoon_index);
+    out.push_back(lane);
+    crypto::append_f64(out, position_m);
+    crypto::append_f64(out, speed_mps);
+    crypto::append_f64(out, accel_mps2);
+    crypto::append_f64(out, length_m);
+    return out;
+}
+
+std::optional<Beacon> Beacon::decode(crypto::BytesView bytes) {
+    try {
+        std::size_t off = 0;
+        if (crypto::read_u32(bytes, off) != kBeaconMagic) return std::nullopt;
+        Beacon b;
+        b.sender = crypto::read_u32(bytes, off);
+        b.platoon_id = crypto::read_u32(bytes, off);
+        if (off >= bytes.size()) return std::nullopt;
+        b.platoon_index = bytes[off++];
+        if (off >= bytes.size()) return std::nullopt;
+        b.lane = bytes[off++];
+        b.position_m = crypto::read_f64(bytes, off);
+        b.speed_mps = crypto::read_f64(bytes, off);
+        b.accel_mps2 = crypto::read_f64(bytes, off);
+        b.length_m = crypto::read_f64(bytes, off);
+        return b;
+    } catch (const std::out_of_range&) {
+        return std::nullopt;
+    }
+}
+
+const char* to_string(ManeuverType t) {
+    switch (t) {
+        case ManeuverType::kJoinRequest: return "join-request";
+        case ManeuverType::kJoinAccept: return "join-accept";
+        case ManeuverType::kJoinDeny: return "join-deny";
+        case ManeuverType::kGapOpen: return "gap-open";
+        case ManeuverType::kGapReady: return "gap-ready";
+        case ManeuverType::kJoinComplete: return "join-complete";
+        case ManeuverType::kLeaveRequest: return "leave-request";
+        case ManeuverType::kLeaveAccept: return "leave-accept";
+        case ManeuverType::kLeaveComplete: return "leave-complete";
+        case ManeuverType::kSplitRequest: return "split-request";
+        case ManeuverType::kDissolve: return "dissolve";
+    }
+    return "?";
+}
+
+crypto::Bytes ManeuverMsg::encode() const {
+    crypto::Bytes out;
+    crypto::append_u32(out, kManeuverMagic);
+    out.push_back(static_cast<std::uint8_t>(type));
+    crypto::append_u32(out, platoon_id);
+    crypto::append_u32(out, sender);
+    crypto::append_u32(out, subject);
+    crypto::append_f64(out, param);
+    return out;
+}
+
+std::optional<ManeuverMsg> ManeuverMsg::decode(crypto::BytesView bytes) {
+    try {
+        std::size_t off = 0;
+        if (crypto::read_u32(bytes, off) != kManeuverMagic) return std::nullopt;
+        if (off >= bytes.size()) return std::nullopt;
+        ManeuverMsg m;
+        m.type = static_cast<ManeuverType>(bytes[off++]);
+        if (static_cast<std::uint8_t>(m.type) <
+                static_cast<std::uint8_t>(ManeuverType::kJoinRequest) ||
+            static_cast<std::uint8_t>(m.type) >
+                static_cast<std::uint8_t>(ManeuverType::kDissolve)) {
+            return std::nullopt;
+        }
+        m.platoon_id = crypto::read_u32(bytes, off);
+        m.sender = crypto::read_u32(bytes, off);
+        m.subject = crypto::read_u32(bytes, off);
+        m.param = crypto::read_f64(bytes, off);
+        return m;
+    } catch (const std::out_of_range&) {
+        return std::nullopt;
+    }
+}
+
+crypto::Bytes KeyMgmtMsg::encode() const {
+    crypto::Bytes out;
+    crypto::append_u32(out, kKeyMgmtMagic);
+    out.push_back(static_cast<std::uint8_t>(type));
+    crypto::append_u32(out, sender);
+    crypto::append_u32(out, receiver);
+    crypto::append_u64(out, blob.size());
+    crypto::append(out, blob);
+    return out;
+}
+
+std::optional<KeyMgmtMsg> KeyMgmtMsg::decode(crypto::BytesView bytes) {
+    try {
+        std::size_t off = 0;
+        if (crypto::read_u32(bytes, off) != kKeyMgmtMagic) return std::nullopt;
+        if (off >= bytes.size()) return std::nullopt;
+        KeyMgmtMsg m;
+        m.type = static_cast<KeyMgmtType>(bytes[off++]);
+        m.sender = crypto::read_u32(bytes, off);
+        m.receiver = crypto::read_u32(bytes, off);
+        const std::uint64_t len = crypto::read_u64(bytes, off);
+        if (off + len > bytes.size()) return std::nullopt;
+        m.blob.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(off + len));
+        return m;
+    } catch (const std::out_of_range&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace platoon::net

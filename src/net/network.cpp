@@ -1,0 +1,279 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+#include "sim/logging.hpp"
+
+namespace platoon::net {
+
+namespace {
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+double mw_to_dbm(double mw) { return 10.0 * std::log10(std::max(mw, 1e-15)); }
+}  // namespace
+
+Network::Network(sim::Scheduler& scheduler, Params params, std::uint64_t seed)
+    : scheduler_(scheduler),
+      params_(params),
+      channel_(params.channel, seed),
+      rng_(seed, "network.mac") {}
+
+void Network::register_node(sim::NodeId id, PositionFn position,
+                            ReceiveHandler on_receive) {
+    register_node(id, std::move(position), std::move(on_receive),
+                  NodeTraits{});
+}
+
+void Network::register_node(sim::NodeId id, PositionFn position,
+                            ReceiveHandler on_receive, NodeTraits traits) {
+    PLATOON_EXPECTS(id.valid());
+    PLATOON_EXPECTS(position != nullptr);
+    PLATOON_EXPECTS(on_receive != nullptr);
+    nodes_[id] = Node{std::move(position), std::move(on_receive), traits,
+                      false};
+}
+
+void Network::unregister_node(sim::NodeId id) { nodes_.erase(id); }
+
+bool Network::is_registered(sim::NodeId id) const {
+    return nodes_.contains(id);
+}
+
+double Network::node_position(sim::NodeId id) const {
+    const auto it = nodes_.find(id);
+    PLATOON_EXPECTS(it != nodes_.end());
+    return it->second.position();
+}
+
+int Network::add_jammer(JammerConfig config) {
+    const int id = next_jammer_id_++;
+    jammers_[id] = std::move(config);
+    return id;
+}
+
+void Network::remove_jammer(int jammer_id) { jammers_.erase(jammer_id); }
+
+double Network::jammer_power_mw(double rx_pos, Band band, sim::NodeId rx,
+                                sim::SimTime t) {
+    double total = 0.0;
+    for (auto& [id, jammer] : jammers_) {
+        if (jammer.band != band) continue;
+        const double jam_pos =
+            jammer.mobile && jammer.position_fn ? jammer.position_fn()
+                                                : jammer.position_m;
+        const double dist = std::abs(jam_pos - rx_pos);
+        // Jammer noise experiences the same propagation; use a synthetic
+        // node id far outside the normal range for its fading process.
+        const sim::NodeId jam_node{0xFFFF0000u + static_cast<std::uint32_t>(id)};
+        const double rx_dbm =
+            channel_.rx_power_dbm(jam_node, rx, dist, t, jammer.power_dbm);
+        total += dbm_to_mw(rx_dbm) * jammer.duty_cycle;
+    }
+    return total;
+}
+
+bool Network::medium_busy(sim::NodeId at, Band band) {
+    if (band != Band::kDsrc) return false;  // VLC/C-V2X: no CSMA
+    const auto it = nodes_.find(at);
+    if (it == nodes_.end()) return false;
+    const double my_pos = it->second.position();
+    const sim::SimTime now = scheduler_.now();
+
+    for (const auto& tx : active_) {
+        if (tx.frame.band != band || tx.end <= now || tx.from == at) continue;
+        const double dist = std::abs(tx.tx_position - my_pos);
+        const double rx_dbm = channel_.rx_power_dbm(
+            tx.from, at, dist, now, params_.channel.tx_power_dbm);
+        if (rx_dbm > params_.channel.carrier_sense_dbm) return true;
+    }
+    const double jam_mw = jammer_power_mw(my_pos, band, at, now);
+    return mw_to_dbm(jam_mw) > params_.channel.carrier_sense_dbm;
+}
+
+void Network::broadcast(sim::NodeId from, Frame frame) {
+    PLATOON_EXPECTS(nodes_.contains(from));
+    if (frame.band == Band::kVlc) {
+        ++stats_.sent;
+        deliver_vlc(from, frame);
+        return;
+    }
+    attempt_transmit(from, std::move(frame), 0);
+}
+
+void Network::attempt_transmit(sim::NodeId from, Frame frame, int attempt) {
+    if (!nodes_.contains(from)) return;  // node left while backing off
+    if (attempt > params_.max_mac_attempts) {
+        ++stats_.dropped_mac;
+        return;
+    }
+    // Half-duplex: one outgoing frame at a time, on any band -- a second
+    // send while transmitting waits for a backoff slot like a busy medium.
+    const auto self_it = nodes_.find(from);
+    const bool self_busy = self_it->second.transmitting;
+    if (self_busy || (frame.band == Band::kDsrc && medium_busy(from, frame.band))) {
+        const int cw = (params_.cw_min + 1) << std::min(attempt, 5);
+        const double backoff =
+            params_.aifs_s +
+            params_.slot_time_s *
+                static_cast<double>(rng_.uniform_int(static_cast<std::uint64_t>(cw)));
+        scheduler_.schedule_in(backoff, [this, from, frame = std::move(frame),
+                                         attempt]() mutable {
+            attempt_transmit(from, std::move(frame), attempt + 1);
+        });
+        return;
+    }
+    start_transmission(from, std::move(frame));
+}
+
+void Network::prune_finished(sim::SimTime now) {
+    std::erase_if(active_, [now](const Transmission& tx) {
+        return tx.end < now - 0.001;
+    });
+}
+
+void Network::start_transmission(sim::NodeId from, Frame frame) {
+    auto node_it = nodes_.find(from);
+    if (node_it == nodes_.end()) return;
+    const sim::SimTime now = scheduler_.now();
+    prune_finished(now);
+
+    Transmission tx;
+    tx.from = from;
+    tx.start = now;
+    tx.end = now + channel_.airtime(frame.wire_size());
+    tx.tx_position = node_it->second.position();
+    tx.frame = std::move(frame);
+    active_.push_back(std::move(tx));
+    node_it->second.transmitting = true;
+    ++stats_.sent;
+
+    // Identify this transmission by its (from, start) pair at finish time;
+    // (a node cannot start two simultaneous transmissions on one band).
+    const sim::SimTime start = now;
+    scheduler_.schedule_at(active_.back().end, [this, from, start] {
+        for (std::size_t i = 0; i < active_.size(); ++i) {
+            if (active_[i].from == from && active_[i].start == start) {
+                finish_transmission(i);
+                return;
+            }
+        }
+    });
+}
+
+void Network::finish_transmission(std::size_t tx_index) {
+    PLATOON_EXPECTS(tx_index < active_.size());
+    // Copy: delivery handlers may trigger new transmissions that mutate
+    // active_.
+    const Transmission tx = active_[tx_index];
+
+    if (auto it = nodes_.find(tx.from); it != nodes_.end())
+        it->second.transmitting = false;
+
+    const sim::SimTime now = scheduler_.now();
+    const double noise_mw = dbm_to_mw(params_.channel.noise_floor_dbm);
+
+    // Snapshot receivers: handlers can (un)register nodes.
+    std::vector<sim::NodeId> receivers;
+    receivers.reserve(nodes_.size());
+    for (const auto& [id, node] : nodes_) {
+        if (id != tx.from) receivers.push_back(id);
+    }
+    std::sort(receivers.begin(), receivers.end());  // deterministic order
+
+    for (const sim::NodeId rx : receivers) {
+        const auto it = nodes_.find(rx);
+        if (it == nodes_.end()) continue;
+        const double rx_pos = it->second.position();
+        const double dist = std::abs(tx.tx_position - rx_pos);
+        if (dist > params_.max_range_m) {
+            ++stats_.dropped_range;
+            continue;
+        }
+        if (it->second.transmitting) {
+            ++stats_.dropped_half_duplex;
+            continue;
+        }
+        const double signal_mw = dbm_to_mw(channel_.rx_power_dbm(
+            tx.from, rx, dist, tx.start, params_.channel.tx_power_dbm));
+        const double interference =
+            interference_mw(rx, rx_pos, tx.frame.band, tx.start, tx.end,
+                            tx_index) +
+            jammer_power_mw(rx_pos, tx.frame.band, rx, now);
+        const double sinr_db =
+            mw_to_dbm(signal_mw) - mw_to_dbm(noise_mw + interference);
+        const double per =
+            channel_.packet_error_rate(sinr_db, tx.frame.wire_size());
+        if (rng_.chance(per)) {
+            ++stats_.dropped_per;
+            continue;
+        }
+        ++stats_.delivered;
+        RxInfo info{sinr_db, tx.frame.band, now, tx.from};
+        it->second.on_receive(tx.frame, info);
+    }
+}
+
+double Network::interference_mw(sim::NodeId rx, double rx_pos, Band band,
+                                sim::SimTime start, sim::SimTime end,
+                                std::optional<std::size_t> self_index) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (self_index && i == *self_index) continue;
+        const Transmission& other = active_[i];
+        if (other.frame.band != band) continue;
+        if (other.from == rx) continue;  // own tx counted as half-duplex
+        const double overlap =
+            std::min(end, other.end) - std::max(start, other.start);
+        if (overlap <= 0.0) continue;
+        const double dist = std::abs(other.tx_position - rx_pos);
+        const double rx_dbm = channel_.rx_power_dbm(
+            other.from, rx, dist, other.start, params_.channel.tx_power_dbm);
+        total += dbm_to_mw(rx_dbm);
+    }
+    return total;
+}
+
+void Network::deliver_vlc(sim::NodeId from, const Frame& frame) {
+    // Line-of-sight optical link: reaches only the nearest vehicle ahead and
+    // the nearest behind (the bodies of vehicles block anything further),
+    // within the optical range. Immune to RF jamming by construction; an
+    // ambient-light loss probability models glare (paper Section VI-A.4).
+    const auto from_it = nodes_.find(from);
+    if (from_it == nodes_.end()) return;
+    const double my_pos = from_it->second.position();
+
+    sim::NodeId ahead, behind;
+    double best_ahead = params_.vlc_range_m + 1.0;
+    double best_behind = params_.vlc_range_m + 1.0;
+    for (const auto& [id, node] : nodes_) {
+        if (id == from) continue;
+        if (!node.traits.vlc) continue;  // not in the optical chain
+        const double delta = node.position() - my_pos;
+        if (delta > 0.0 && delta < best_ahead) {
+            best_ahead = delta;
+            ahead = id;
+        } else if (delta < 0.0 && -delta < best_behind) {
+            best_behind = -delta;
+            behind = id;
+        }
+    }
+
+    for (const sim::NodeId rx : {ahead, behind}) {
+        if (!rx.valid()) continue;
+        if (rng_.chance(params_.vlc_loss_prob)) {
+            ++stats_.dropped_per;
+            continue;
+        }
+        scheduler_.schedule_in(
+            params_.vlc_latency_s, [this, rx, frame, from] {
+                const auto it = nodes_.find(rx);
+                if (it == nodes_.end()) return;
+                ++stats_.delivered;
+                RxInfo info{40.0, Band::kVlc, scheduler_.now(), from};
+                it->second.on_receive(frame, info);
+            });
+    }
+}
+
+}  // namespace platoon::net

@@ -1,0 +1,168 @@
+// The wireless network: node registry, CSMA/CA broadcast MAC (802.11p-like),
+// SINR-based reception with interference and capture, RF jammers, a VLC
+// side-channel and a C-V2X slotted band.
+//
+// Everything a frame experiences is modelled per receiver: path loss +
+// fading (Channel), interference from overlapping transmissions in the same
+// band, jammer noise, half-duplex deafness while transmitting, and a
+// PER-vs-SINR reception draw. Jamming "fills the frequencies with random
+// noise" (paper Section V-B) by raising the interference floor — which both
+// corrupts receptions and starves the CSMA medium.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/secured_message.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace platoon::net {
+
+/// What the radio carries: a typed security envelope.
+struct Frame {
+    MsgType type = MsgType::kBeacon;
+    crypto::Envelope envelope;
+    Band band = Band::kDsrc;
+
+    [[nodiscard]] std::size_t wire_size() const {
+        return envelope.wire_size() + 8;  // MAC/PHY header
+    }
+};
+
+struct RxInfo {
+    double sinr_db = 0.0;
+    Band band = Band::kDsrc;
+    sim::SimTime rx_time = 0.0;
+    sim::NodeId physical_sender;  ///< Ground truth (NOT what crypto claims).
+};
+
+struct JammerConfig {
+    double position_m = 0.0;
+    double power_dbm = 33.0;       ///< Effective radiated power.
+    Band band = Band::kDsrc;
+    double duty_cycle = 1.0;       ///< 1.0 = continuous.
+    bool mobile = false;           ///< Follows position_fn when set.
+    std::function<double()> position_fn;
+};
+
+struct NetworkStats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_per = 0;         ///< Lost to SINR/PER draw.
+    std::uint64_t dropped_mac = 0;         ///< CSMA gave up (medium busy).
+    std::uint64_t dropped_half_duplex = 0; ///< Receiver was transmitting.
+    std::uint64_t dropped_range = 0;
+
+    /// Delivery ratio over receivers in range. MAC-starved frames count
+    /// once each (they reached nobody); under total starvation this goes
+    /// to zero even though per-receiver drops were never evaluated.
+    [[nodiscard]] double pdr() const {
+        const std::uint64_t attempts =
+            delivered + dropped_per + dropped_half_duplex + dropped_mac;
+        return attempts == 0
+                   ? 1.0
+                   : static_cast<double>(delivered) /
+                         static_cast<double>(attempts);
+    }
+};
+
+class Network {
+public:
+    struct Params {
+        ChannelParams channel;
+        double vlc_range_m = 30.0;
+        double vlc_loss_prob = 0.02;
+        double vlc_latency_s = 0.002;
+        double slot_time_s = 13e-6;
+        int cw_min = 15;
+        double aifs_s = 58e-6;
+        int max_mac_attempts = 7;
+        double max_range_m = 800.0;
+    };
+
+    using ReceiveHandler = std::function<void(const Frame&, const RxInfo&)>;
+    using PositionFn = std::function<double()>;
+
+    /// Physical capabilities of a node beyond "has an RF radio".
+    struct NodeTraits {
+        /// Participates in the in-lane visible-light chain (has front/rear
+        /// optical transceivers and a vehicle body in the lane). RSUs,
+        /// roadside listeners and adjacent-lane attackers do not -- VLC is
+        /// directional and lane-bound.
+        bool vlc = false;
+    };
+
+    Network(sim::Scheduler& scheduler, Params params, std::uint64_t seed);
+
+    /// Registers a node. `position` is sampled lazily whenever propagation
+    /// needs it; `on_receive` is invoked for every successfully decoded
+    /// frame (broadcast medium: every node in range hears everything).
+    void register_node(sim::NodeId id, PositionFn position,
+                       ReceiveHandler on_receive);
+    void register_node(sim::NodeId id, PositionFn position,
+                       ReceiveHandler on_receive, NodeTraits traits);
+    void unregister_node(sim::NodeId id);
+    [[nodiscard]] bool is_registered(sim::NodeId id) const;
+
+    /// Queues a broadcast through the band's MAC.
+    void broadcast(sim::NodeId from, Frame frame);
+
+    /// --- jammers ----------------------------------------------------------
+    int add_jammer(JammerConfig config);
+    void remove_jammer(int jammer_id);
+    [[nodiscard]] std::size_t active_jammers() const { return jammers_.size(); }
+
+    [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+    [[nodiscard]] NetworkStats& mutable_stats() { return stats_; }
+    [[nodiscard]] Channel& channel() { return channel_; }
+    [[nodiscard]] const Params& params() const { return params_; }
+    [[nodiscard]] double node_position(sim::NodeId id) const;
+
+private:
+    struct Node {
+        PositionFn position;
+        ReceiveHandler on_receive;
+        NodeTraits traits;
+        bool transmitting = false;
+    };
+
+    struct Transmission {
+        sim::NodeId from;
+        Frame frame;
+        sim::SimTime start;
+        sim::SimTime end;
+        double tx_position;
+    };
+
+    void attempt_transmit(sim::NodeId from, Frame frame, int attempt);
+    void start_transmission(sim::NodeId from, Frame frame);
+    void finish_transmission(std::size_t tx_index);
+    void deliver_vlc(sim::NodeId from, const Frame& frame);
+    [[nodiscard]] bool medium_busy(sim::NodeId at, Band band);
+    /// Total interference power (mW) at `rx_pos` for `rx` during [start,end],
+    /// excluding transmission `self_index`.
+    double interference_mw(sim::NodeId rx, double rx_pos, Band band,
+                           sim::SimTime start, sim::SimTime end,
+                           std::optional<std::size_t> self_index);
+    double jammer_power_mw(double rx_pos, Band band, sim::NodeId rx,
+                           sim::SimTime t);
+    void prune_finished(sim::SimTime now);
+
+    sim::Scheduler& scheduler_;
+    Params params_;
+    Channel channel_;
+    sim::RandomStream rng_;
+    std::unordered_map<sim::NodeId, Node> nodes_;
+    std::vector<Transmission> active_;  // includes recently finished
+    std::unordered_map<int, JammerConfig> jammers_;
+    int next_jammer_id_ = 1;
+    NetworkStats stats_;
+};
+
+}  // namespace platoon::net

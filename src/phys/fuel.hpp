@@ -1,0 +1,56 @@
+// Instantaneous fuel-consumption / CO2 model.
+//
+// VT-Micro-style polynomial model: fuel rate is a polynomial in speed and
+// acceleration, with an aerodynamic drag-reduction factor applied when the
+// vehicle drives in another vehicle's slipstream — this is the mechanism by
+// which platooning saves fuel (paper Section I / [1]). Coefficients are
+// calibrated to give plausible heavy-truck magnitudes (~30 L/100km cruising
+// at 25 m/s, ~8-15% saving at 8-15 m gaps), not to match a particular engine.
+#pragma once
+
+namespace platoon::phys {
+
+struct FuelParams {
+    double idle_rate_mlps = 0.6;     ///< Fuel burned at idle (ml/s).
+    double drag_coeff = 0.00036;     ///< ml/s per (m/s)^3 of aero drag term.
+    double rolling_coeff = 0.10;     ///< ml/s per m/s.
+    double accel_coeff = 2.2;        ///< ml/s per (m/s^2 * m/s) positive power.
+    double co2_g_per_ml = 2.64;      ///< Diesel: ~2.64 g CO2 per ml.
+};
+// Calibration: a lone truck cruising at 25 m/s burns ~8.7 ml/s = ~35 L/100km;
+// drafting at a 5 m gap cuts the aero term by ~33%, i.e. ~20% total saving --
+// consistent with published truck-platooning measurements.
+
+/// Fraction of aerodynamic drag remaining when following at `gap` metres
+/// behind a leading vehicle (1.0 = no reduction). Empirical exponential fit
+/// to truck-platooning drag measurements: ~55% drag at 5 m, ~75% at 15 m.
+[[nodiscard]] double drag_fraction(double gap_m);
+
+class FuelModel {
+public:
+    explicit FuelModel(FuelParams params = {}) : params_(params) {}
+
+    /// Instantaneous fuel rate (ml/s) at speed v, acceleration a, with the
+    /// aerodynamic term scaled by drag_frac (from drag_fraction()).
+    [[nodiscard]] double rate_mlps(double v_mps, double a_mps2,
+                                   double drag_frac = 1.0) const;
+
+    /// Integrates consumption over a step of dt seconds.
+    void accumulate(double v_mps, double a_mps2, double drag_frac, double dt);
+
+    [[nodiscard]] double total_ml() const { return total_ml_; }
+    [[nodiscard]] double total_co2_g() const {
+        return total_ml_ * params_.co2_g_per_ml;
+    }
+    [[nodiscard]] double distance_m() const { return distance_m_; }
+
+    /// Litres per 100 km over everything accumulated so far (0 if no travel).
+    [[nodiscard]] double litres_per_100km() const;
+
+private:
+    FuelParams params_;
+    double total_ml_ = 0.0;
+    double distance_m_ = 0.0;
+};
+
+}  // namespace platoon::phys

@@ -1,0 +1,24 @@
+// Road geometry. The platooning scenarios use a straight multi-lane highway;
+// position along the road is a single coordinate, and lane changes are
+// instantaneous lateral hops gated by the maneuver protocol (as in Plexe,
+// where SUMO handles lateral motion separately from the longitudinal model).
+#pragma once
+
+#include <cstdint>
+
+namespace platoon::phys {
+
+struct Road {
+    double length_m = 50000.0;
+    int lanes = 3;
+    double lane_width_m = 3.5;
+};
+
+/// Lane index (0 = rightmost). Kept as a tiny strong type so lane numbers
+/// don't mix with platoon positions.
+struct Lane {
+    std::int32_t index = 0;
+    friend constexpr bool operator==(Lane, Lane) = default;
+};
+
+}  // namespace platoon::phys

@@ -1,0 +1,36 @@
+#include "phys/sensors.hpp"
+
+#include <cmath>
+
+namespace platoon::phys {
+
+GpsSensor::Fix GpsSensor::read() {
+    Fix fix{vehicle_->position() + rng_->normal(0.0, params_.position_noise_m),
+            vehicle_->speed() + rng_->normal(0.0, params_.speed_noise_mps)};
+    if (spoof_offset_m_) fix.position_m += *spoof_offset_m_;
+    return fix;
+}
+
+std::optional<RadarSensor::Measurement> RadarSensor::read() {
+    if (jammed_) return std::nullopt;
+    if (spoof_) {
+        Measurement m = *spoof_;
+        m.gap_m += rng_->normal(0.0, params_.range_noise_m);
+        m.closing_mps += rng_->normal(0.0, params_.rate_noise_mps);
+        return m;
+    }
+    if (target_ == nullptr) return std::nullopt;
+    const double gap =
+        target_->position() - target_->length() - self_->position();
+    if (gap < 0.0 || gap > params_.max_range_m) return std::nullopt;
+    Measurement m{gap + rng_->normal(0.0, params_.range_noise_m),
+                  (self_->speed() - target_->speed()) +
+                      rng_->normal(0.0, params_.rate_noise_mps)};
+    return m;
+}
+
+double OdometrySensor::read_speed() {
+    return vehicle_->speed() + rng_->normal(0.0, params_.speed_noise_mps);
+}
+
+}  // namespace platoon::phys

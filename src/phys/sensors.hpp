@@ -1,0 +1,117 @@
+// On-board sensor models with attack hooks.
+//
+// Each sensor reads ground truth from a VehicleDynamics and degrades it with
+// noise; attacks (GPS spoofing, sensor spoofing/jamming — paper Section V-G)
+// act through the explicit spoof/jam interfaces rather than by patching the
+// dynamics, so defended and attacked code paths are identical except for the
+// injected error.
+#pragma once
+
+#include <optional>
+
+#include "phys/vehicle_dynamics.hpp"
+#include "sim/random.hpp"
+
+namespace platoon::phys {
+
+/// GPS receiver: absolute position + speed with white noise. An attacker who
+/// "captures" the receiver (overpowered fake constellation, Section V-G) can
+/// inject an additive offset that it walks over time.
+class GpsSensor {
+public:
+    struct Params {
+        double position_noise_m = 1.5;  ///< 1-sigma position error.
+        double speed_noise_mps = 0.15;  ///< 1-sigma speed error.
+    };
+
+    GpsSensor(const VehicleDynamics& vehicle, Params params,
+              sim::RandomStream& rng)
+        : vehicle_(&vehicle), params_(params), rng_(&rng) {}
+
+    struct Fix {
+        double position_m;
+        double speed_mps;
+    };
+
+    /// Current fix, including noise and any active spoof offset.
+    [[nodiscard]] Fix read();
+
+    /// --- attack interface -------------------------------------------------
+    /// Starts a spoof: subsequent fixes are offset by `offset_m`, which the
+    /// attacker can update (walk-off) while the spoof is held.
+    void spoof_set_offset(double offset_m) { spoof_offset_m_ = offset_m; }
+    void spoof_clear() { spoof_offset_m_.reset(); }
+    [[nodiscard]] bool spoofed() const { return spoof_offset_m_.has_value(); }
+
+private:
+    const VehicleDynamics* vehicle_;
+    Params params_;
+    sim::RandomStream* rng_;
+    std::optional<double> spoof_offset_m_;
+};
+
+/// Forward radar / LiDAR: relative gap and closing speed to the predecessor.
+/// Jamming or spoofing replaces the measurement with attacker-chosen values
+/// or invalidates it entirely (blinding, Section V-G).
+class RadarSensor {
+public:
+    struct Params {
+        double range_noise_m = 0.10;   ///< 1-sigma range error.
+        double rate_noise_mps = 0.10;  ///< 1-sigma range-rate error.
+        double max_range_m = 250.0;
+    };
+
+    RadarSensor(const VehicleDynamics& self, Params params,
+                sim::RandomStream& rng)
+        : self_(&self), params_(params), rng_(&rng) {}
+
+    /// The vehicle ahead; may be null (no target).
+    void set_target(const VehicleDynamics* target) { target_ = target; }
+    [[nodiscard]] const VehicleDynamics* target() const { return target_; }
+
+    struct Measurement {
+        double gap_m;           ///< Bumper-to-bumper distance to target.
+        double closing_mps;     ///< Positive when approaching the target.
+    };
+
+    /// nullopt when there is no target in range or the sensor is blinded.
+    [[nodiscard]] std::optional<Measurement> read();
+
+    /// --- attack interface -------------------------------------------------
+    void jam(bool on) { jammed_ = on; }
+    [[nodiscard]] bool jammed() const { return jammed_; }
+    void spoof_set(Measurement fake) { spoof_ = fake; }
+    void spoof_clear() { spoof_.reset(); }
+    [[nodiscard]] bool spoofed() const { return spoof_.has_value(); }
+
+private:
+    const VehicleDynamics* self_;
+    const VehicleDynamics* target_ = nullptr;
+    Params params_;
+    sim::RandomStream* rng_;
+    bool jammed_ = false;
+    std::optional<Measurement> spoof_;
+};
+
+/// Wheel odometry: dead-reckoned speed, immune to RF attacks; drift-free in
+/// this model but noisier than GPS speed. Used by sensor-fusion defenses as
+/// an independent cross-check.
+class OdometrySensor {
+public:
+    struct Params {
+        double speed_noise_mps = 0.25;
+    };
+
+    OdometrySensor(const VehicleDynamics& vehicle, Params params,
+                   sim::RandomStream& rng)
+        : vehicle_(&vehicle), params_(params), rng_(&rng) {}
+
+    [[nodiscard]] double read_speed();
+
+private:
+    const VehicleDynamics* vehicle_;
+    Params params_;
+    sim::RandomStream* rng_;
+};
+
+}  // namespace platoon::phys

@@ -1,0 +1,90 @@
+// Roadside unit (paper Section VI-A.2): fixed infrastructure node that
+//  - distributes the platoon group key to vehicles with valid certificates
+//    (wrapped under an ECDH-derived pairwise key -- real key exchange),
+//  - broadcasts CRL updates sourced from the trusted authority,
+//  - monitors beacons in its coverage for impossible motion (the same
+//    identity claiming two far-apart positions in a short window: the
+//    impersonation / Sybil signature), and
+//  - relays vehicles' misbehaviour reports to the TA over its backhaul.
+#pragma once
+
+#include <unordered_map>
+
+#include "crypto/secured_message.hpp"
+#include "net/network.hpp"
+#include "rsu/trusted_authority.hpp"
+#include "sim/scheduler.hpp"
+
+namespace platoon::rsu {
+
+class RsuNode {
+public:
+    struct Params {
+        double position_m = 0.0;
+        double coverage_m = 400.0;
+        sim::SimTime crl_broadcast_period_s = 1.0;
+        /// Same-identity position jump implying impersonation (m/s).
+        double impossible_speed_mps = 80.0;
+        bool require_signatures = false;  ///< Verify inbound crypto.
+    };
+
+    RsuNode(sim::NodeId id, Params params, sim::Scheduler& scheduler,
+            net::Network& network, TrustedAuthority& authority);
+
+    /// Registers with the network and starts periodic duties.
+    void start();
+    void stop();
+
+    /// Provisions the group key this RSU hands out to authorised vehicles.
+    void set_group_key(crypto::Bytes key) { group_key_ = std::move(key); }
+
+    [[nodiscard]] sim::NodeId id() const { return id_; }
+    [[nodiscard]] double position() const { return params_.position_m; }
+    [[nodiscard]] std::uint64_t keys_distributed() const {
+        return keys_distributed_;
+    }
+    [[nodiscard]] std::uint64_t impossible_motion_flags() const {
+        return impossible_motion_flags_;
+    }
+    [[nodiscard]] std::uint64_t reports_relayed() const {
+        return reports_relayed_;
+    }
+    [[nodiscard]] crypto::MessageProtection& protection() {
+        return protection_;
+    }
+
+    /// Installs this RSU's signing credential (issued by the TA).
+    void set_credential(crypto::Credential credential);
+
+private:
+    void on_frame(const net::Frame& frame, const net::RxInfo& info);
+    void handle_beacon(const net::Beacon& beacon, std::uint32_t envelope_sender);
+    void handle_keymgmt(const net::KeyMgmtMsg& msg);
+    void broadcast_crl();
+    void send_group_key(std::uint32_t requester,
+                        crypto::BytesView requester_pub);
+
+    sim::NodeId id_;
+    Params params_;
+    sim::Scheduler& scheduler_;
+    net::Network& network_;
+    TrustedAuthority& authority_;
+    crypto::MessageProtection protection_;
+    crypto::KeyPair dh_key_;
+    crypto::Bytes group_key_;
+    sim::EventHandle crl_timer_;
+    bool running_ = false;
+    bool monitor_unprotected_ = true;
+
+    struct Sighting {
+        double position_m;
+        sim::SimTime at;
+    };
+    std::unordered_map<std::uint32_t, Sighting> sightings_;
+
+    std::uint64_t keys_distributed_ = 0;
+    std::uint64_t impossible_motion_flags_ = 0;
+    std::uint64_t reports_relayed_ = 0;
+};
+
+}  // namespace platoon::rsu

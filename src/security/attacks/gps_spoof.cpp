@@ -1,0 +1,34 @@
+#include "security/attacks/gps_spoof.hpp"
+
+#include <algorithm>
+
+namespace platoon::security {
+
+void GpsSpoofAttack::attach(core::Scenario& scenario) {
+    scenario_ = &scenario;
+
+    scenario.scheduler().schedule_every(
+        params_.window.start_s + params_.lock_on_delay_s,
+        params_.update_period_s, [this] {
+            const sim::SimTime now = scenario_->scheduler().now();
+            auto& victim = scenario_->vehicle(params_.victim_index);
+            if (now > params_.window.stop_s) {
+                if (locked_) {
+                    victim.gps().spoof_clear();
+                    locked_ = false;
+                }
+                return;
+            }
+            locked_ = true;
+            offset_m_ = std::min(
+                params_.max_offset_m,
+                offset_m_ + params_.walk_rate_mps * params_.update_period_s);
+            victim.gps().spoof_set_offset(offset_m_);
+        });
+}
+
+void GpsSpoofAttack::collect(core::MetricMap& out) const {
+    out["attack.gps_offset_m"] = offset_m_;
+}
+
+}  // namespace platoon::security

@@ -1,0 +1,44 @@
+#include "security/attacks/jamming.hpp"
+
+namespace platoon::security {
+
+void JammingAttack::attach(core::Scenario& scenario) {
+    scenario_ = &scenario;
+
+    scenario.scheduler().schedule_at(params_.window.start_s, [this] {
+        net::JammerConfig jam;
+        jam.power_dbm = params_.power_dbm;
+        jam.duty_cycle = params_.duty_cycle;
+        jam.band = net::Band::kDsrc;
+        if (params_.mobile) {
+            jam.mobile = true;
+            jam.position_fn = track_vehicle(
+                *scenario_, scenario_->config().platoon_size / 2, 0.0);
+        } else {
+            jam.position_m =
+                scenario_->vehicle(scenario_->config().platoon_size / 2)
+                    .dynamics()
+                    .position();
+        }
+        jammer_ids_.push_back(scenario_->network().add_jammer(jam));
+        if (params_.jam_cv2x_too) {
+            jam.band = net::Band::kCv2x;
+            jammer_ids_.push_back(scenario_->network().add_jammer(jam));
+        }
+    });
+
+    if (params_.window.stop_s < 1e17) {
+        scenario.scheduler().schedule_at(params_.window.stop_s, [this] {
+            for (const int id : jammer_ids_)
+                scenario_->network().remove_jammer(id);
+            jammer_ids_.clear();
+        });
+    }
+}
+
+void JammingAttack::collect(core::MetricMap& out) const {
+    out["attack.jammer_power_dbm"] = params_.power_dbm;
+    out["attack.jammer_duty"] = params_.duty_cycle;
+}
+
+}  // namespace platoon::security

@@ -1,0 +1,32 @@
+#include "security/attacks/sensor_spoof.hpp"
+
+namespace platoon::security {
+
+void SensorSpoofAttack::attach(core::Scenario& scenario) {
+    scenario_ = &scenario;
+
+    scenario.scheduler().schedule_at(params_.window.start_s, [this] {
+        auto& victim = scenario_->vehicle(params_.victim_index);
+        active_ = true;
+        if (params_.mode == Mode::kJam) {
+            victim.radar().jam(true);
+        } else {
+            victim.radar().spoof_set(
+                {params_.phantom_gap_m, params_.phantom_closing_mps});
+        }
+    });
+    if (params_.window.stop_s < 1e17) {
+        scenario.scheduler().schedule_at(params_.window.stop_s, [this] {
+            auto& victim = scenario_->vehicle(params_.victim_index);
+            active_ = false;
+            victim.radar().jam(false);
+            victim.radar().spoof_clear();
+        });
+    }
+}
+
+void SensorSpoofAttack::collect(core::MetricMap& out) const {
+    out["attack.sensor_mode"] = params_.mode == Mode::kJam ? 0.0 : 1.0;
+}
+
+}  // namespace platoon::security

@@ -1,0 +1,86 @@
+#include "security/defense/onboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace platoon::security {
+
+GpsFusion::GpsFusion() : GpsFusion(Params{}) {}
+
+GpsFusion::Output GpsFusion::update(sim::SimTime now, double gps_position_m,
+                                    double odo_speed_mps, double dt) {
+    if (!initialised_) {
+        initialised_ = true;
+        estimate_m_ = gps_position_m;
+        drift_budget_m_ = 2.0;
+        return Output{gps_position_m, true, false};
+    }
+
+    // Propagate dead reckoning.
+    estimate_m_ += odo_speed_mps * dt;
+    drift_budget_m_ += params_.drift_rate_m_per_s * dt;
+
+    const double innovation = std::abs(gps_position_m - estimate_m_);
+    const double gate = params_.innovation_gate_m + drift_budget_m_;
+
+    bool raised = false;
+    if (innovation > gate) {
+        raised = now >= distrust_until_;  // only count new alarms
+        if (raised) {
+            ++detections_;
+            if (first_detection_ < 0.0) first_detection_ = now;
+        }
+        distrust_until_ = now + params_.distrust_hold_s;
+    }
+
+    const bool trusted = now >= distrust_until_;
+    if (trusted) {
+        // Slowly anchor dead reckoning to GPS (a fast blend would make the
+        // estimate chase a walking spoof and blind the gate).
+        const double alpha = std::min(1.0, dt / params_.anchor_tau_s);
+        estimate_m_ += alpha * (gps_position_m - estimate_m_);
+        drift_budget_m_ += alpha * (2.0 - drift_budget_m_);
+        return Output{gps_position_m, true, raised};
+    }
+    return Output{estimate_m_, false, raised};
+}
+
+RadarFusion::RadarFusion() : RadarFusion(Params{}) {}
+
+bool RadarFusion::update(sim::SimTime now, std::optional<double> radar_gap_m,
+                         std::optional<double> beacon_gap_m) {
+    if (!radar_gap_m || !beacon_gap_m) return distrusted(now);
+    const double diff = *radar_gap_m - *beacon_gap_m;
+    ewma_ += params_.ewma_alpha * (diff - ewma_);
+    if (std::abs(ewma_) > params_.ewma_threshold_m) {
+        if (!distrusted(now)) ++detections_;
+        // Persist while the discrepancy persists: expiring mid-attack
+        // would re-admit the phantom for another AEB bite.
+        distrust_until_ = now + params_.distrust_hold_s;
+    }
+    return distrusted(now);
+}
+
+OnboardHardening::OnboardHardening() : OnboardHardening(Params{}) {}
+
+bool OnboardHardening::attempt_infection(Vector vector,
+                                         sim::RandomStream& rng) {
+    ++attempts_;
+    if (infected_) return true;
+    const bool firewall_applies = params_.firewall &&
+                                  vector != Vector::kObdPort;
+    if (firewall_applies && rng.chance(params_.firewall_block_prob)) {
+        ++blocked_;
+        return false;
+    }
+    infected_ = true;
+    return true;
+}
+
+std::optional<double> OnboardHardening::cleanup_delay(
+    sim::RandomStream& rng) const {
+    if (!infected_ || !params_.antivirus) return std::nullopt;
+    return rng.exponential(1.0 / params_.antivirus_mean_clean_s);
+}
+
+}  // namespace platoon::security

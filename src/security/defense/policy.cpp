@@ -1,0 +1,24 @@
+#include "security/defense/policy.hpp"
+
+namespace platoon::security {
+
+void SecurityCounters::count(crypto::VerifyResult r) {
+    switch (r) {
+        case crypto::VerifyResult::kOk: ++accepted; break;
+        case crypto::VerifyResult::kBadTag: ++rejected_bad_tag; break;
+        case crypto::VerifyResult::kReplay: ++rejected_replay; break;
+        case crypto::VerifyResult::kStale: ++rejected_stale; break;
+        case crypto::VerifyResult::kBadCert: ++rejected_cert; break;
+        case crypto::VerifyResult::kRevoked: ++rejected_revoked; break;
+        case crypto::VerifyResult::kUnprotected: ++rejected_unprotected; break;
+        case crypto::VerifyResult::kNoKey: ++rejected_no_key; break;
+    }
+}
+
+std::uint64_t SecurityCounters::rejected_total() const {
+    return rejected_bad_tag + rejected_replay + rejected_stale +
+           rejected_cert + rejected_revoked + rejected_unprotected +
+           rejected_no_key + rejected_malformed;
+}
+
+}  // namespace platoon::security

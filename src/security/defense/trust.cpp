@@ -1,0 +1,50 @@
+#include "security/defense/trust.hpp"
+
+#include <algorithm>
+
+namespace platoon::security {
+
+TrustManager::TrustManager() : TrustManager(Params{}) {}
+
+TrustManager::Entry& TrustManager::entry(std::uint32_t peer) {
+    const auto [it, inserted] =
+        entries_.try_emplace(peer, Entry{params_.initial, false});
+    return it->second;
+}
+
+void TrustManager::reward(std::uint32_t peer) {
+    Entry& e = entry(peer);
+    e.score = std::min(1.0, e.score + params_.reward);
+    if (e.distrusted && e.score >= params_.redeem_above) e.distrusted = false;
+}
+
+void TrustManager::penalize(std::uint32_t peer) {
+    ++penalties_;
+    Entry& e = entry(peer);
+    e.score = std::max(0.0, e.score - params_.penalty);
+    if (e.score < params_.distrust_below) e.distrusted = true;
+}
+
+void TrustManager::observe_dropped(std::uint32_t peer) {
+    Entry& e = entry(peer);
+    e.score = std::min(1.0, e.score + params_.drop_recovery);
+    if (e.distrusted && e.score >= params_.redeem_above) e.distrusted = false;
+}
+
+double TrustManager::score(std::uint32_t peer) const {
+    const auto it = entries_.find(peer);
+    return it == entries_.end() ? params_.initial : it->second.score;
+}
+
+bool TrustManager::trusted(std::uint32_t peer) const {
+    const auto it = entries_.find(peer);
+    return it == entries_.end() ? true : !it->second.distrusted;
+}
+
+std::size_t TrustManager::distrusted_count() const {
+    std::size_t n = 0;
+    for (const auto& [peer, e] : entries_) n += e.distrusted ? 1 : 0;
+    return n;
+}
+
+}  // namespace platoon::security

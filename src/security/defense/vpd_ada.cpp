@@ -1,0 +1,55 @@
+#include "security/defense/vpd_ada.hpp"
+
+#include <cmath>
+
+namespace platoon::security {
+
+VpdAdaDetector::VpdAdaDetector() : VpdAdaDetector(Params{}) {}
+
+bool VpdAdaDetector::update(sim::SimTime now,
+                            std::optional<double> radar_gap_m,
+                            std::optional<double> beacon_gap_m,
+                            std::optional<double> radar_closing_mps,
+                            std::optional<double> beacon_closing_mps) {
+    bool strike = false;
+    bool have_evidence = false;
+
+    if (radar_gap_m && beacon_gap_m) {
+        have_evidence = true;
+        if (std::abs(*radar_gap_m - *beacon_gap_m) > params_.gap_threshold_m)
+            strike = true;
+    }
+    if (radar_closing_mps && beacon_closing_mps) {
+        have_evidence = true;
+        if (std::abs(*radar_closing_mps - *beacon_closing_mps) >
+            params_.speed_threshold_mps)
+            strike = true;
+    }
+    if (!have_evidence) return false;
+
+    if (strike) {
+        // An active quarantine is one ongoing incident: fresh evidence
+        // extends it without counting a new detection.
+        if (now < quarantine_until_) {
+            quarantine_until_ = now + params_.quarantine_s;
+            return false;
+        }
+        ++strikes_;
+        if (strikes_ >= params_.strikes_to_detect) {
+            strikes_ = 0;
+            ++detections_;
+            if (first_detection_ < 0.0) first_detection_ = now;
+            quarantine_until_ = now + params_.quarantine_s;
+            return true;
+        }
+    } else if (strikes_ > 0) {
+        --strikes_;  // consistent evidence slowly clears suspicion
+    }
+    return false;
+}
+
+bool VpdAdaDetector::quarantined(sim::SimTime now) const {
+    return now < quarantine_until_;
+}
+
+}  // namespace platoon::security

@@ -1,0 +1,52 @@
+// Minimal leveled logger. The simulator is single-threaded per scenario, so
+// no synchronisation is needed; a global level keeps hot paths cheap (a
+// disabled level costs one branch). printf-style formatting (the toolchain's
+// libstdc++ predates <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace platoon::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+public:
+    static LogLevel level() { return level_; }
+    static void set_level(LogLevel lvl) { level_ = lvl; }
+
+    [[gnu::format(printf, 2, 3)]]
+    static void log(LogLevel lvl, const char* fmt, ...) {
+        if (lvl < level_) return;
+        std::fprintf(stderr, "[%s] ", name(lvl));
+        std::va_list args;
+        va_start(args, fmt);
+        std::vfprintf(stderr, fmt, args);
+        va_end(args);
+        std::fputc('\n', stderr);
+    }
+
+private:
+    static const char* name(LogLevel lvl) {
+        switch (lvl) {
+            case LogLevel::kTrace: return "TRACE";
+            case LogLevel::kDebug: return "DEBUG";
+            case LogLevel::kInfo: return "INFO ";
+            case LogLevel::kWarn: return "WARN ";
+            case LogLevel::kError: return "ERROR";
+            default: return "?";
+        }
+    }
+    inline static LogLevel level_ = LogLevel::kWarn;
+};
+
+#define PLATOON_LOG(lvl, ...) ::platoon::sim::Logger::log(lvl, __VA_ARGS__)
+#define PLATOON_LOG_DEBUG(...) \
+    PLATOON_LOG(::platoon::sim::LogLevel::kDebug, __VA_ARGS__)
+#define PLATOON_LOG_INFO(...) \
+    PLATOON_LOG(::platoon::sim::LogLevel::kInfo, __VA_ARGS__)
+#define PLATOON_LOG_WARN(...) \
+    PLATOON_LOG(::platoon::sim::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace platoon::sim

@@ -1,0 +1,226 @@
+// End-to-end scenario integration: baseline platoon health, determinism,
+// join/leave maneuvers, key establishment modes, metrics plumbing.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "core/taxonomy.hpp"
+
+namespace pc = platoon::core;
+namespace ps = platoon::security;
+namespace ct = platoon::control;
+using platoon::sim::NodeId;
+
+namespace {
+
+pc::ScenarioConfig small_config(std::uint64_t seed = 5) {
+    pc::ScenarioConfig config;
+    config.seed = seed;
+    config.platoon_size = 5;
+    return config;
+}
+
+TEST(Scenario, BaselinePlatoonIsHealthy) {
+    pc::Scenario scenario(small_config());
+    scenario.run_until(80.0);
+    const auto s = scenario.summarize();
+    EXPECT_EQ(s.collisions, 0);
+    EXPECT_LT(s.spacing_rms_m, 1.0);
+    EXPECT_GT(s.min_gap_m, 2.0);
+    EXPECT_GT(s.cacc_availability, 0.98);
+    EXPECT_GT(s.pdr, 0.95);
+    EXPECT_EQ(s.rejected_auth, 0u);
+}
+
+TEST(Scenario, DeterministicAcrossRuns) {
+    auto run = [] {
+        pc::Scenario scenario(small_config(77));
+        scenario.run_until(40.0);
+        return scenario.summarize();
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.spacing_rms_m, b.spacing_rms_m);
+    EXPECT_EQ(a.frames_sent, b.frames_sent);
+    EXPECT_EQ(a.fuel_l_per_100km, b.fuel_l_per_100km);
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+    pc::Scenario a(small_config(1)), b(small_config(2));
+    a.run_until(30.0);
+    b.run_until(30.0);
+    EXPECT_NE(a.summarize().spacing_rms_m, b.summarize().spacing_rms_m);
+}
+
+TEST(Scenario, PlatooningSavesFuelVersusLoneDriving) {
+    auto config = small_config();
+    config.speed_profile = {{0.0, 25.0}};  // steady cruise isolates drag
+    pc::Scenario scenario(config);
+    scenario.run_until(80.0);
+    const double leader = scenario.leader().fuel().litres_per_100km();
+    const double tail = scenario.tail().fuel().litres_per_100km();
+    EXPECT_LT(tail, leader * 0.92);  // slipstream saving >= 8%
+}
+
+TEST(Scenario, SignatureModeProtectsWithoutBreakingPlatoon) {
+    auto config = small_config();
+    config.security.auth_mode = platoon::crypto::AuthMode::kSignature;
+    pc::Scenario scenario(config);
+    scenario.run_until(40.0);
+    const auto s = scenario.summarize();
+    EXPECT_EQ(s.collisions, 0);
+    EXPECT_LT(s.spacing_rms_m, 1.0);
+    EXPECT_GT(s.cacc_availability, 0.95);
+}
+
+TEST(Scenario, GroupMacWithEncryptionWorks) {
+    auto config = small_config();
+    config.security.auth_mode = platoon::crypto::AuthMode::kGroupMac;
+    config.security.encrypt_payloads = true;
+    pc::Scenario scenario(config);
+    scenario.run_until(40.0);
+    const auto s = scenario.summarize();
+    EXPECT_EQ(s.collisions, 0);
+    EXPECT_GT(s.cacc_availability, 0.95);
+}
+
+TEST(Scenario, FadingKeyEstablishmentProvisionsPlatoon) {
+    auto config = small_config();
+    config.security.auth_mode = platoon::crypto::AuthMode::kGroupMac;
+    config.security.key_establishment =
+        ps::KeyEstablishment::kFadingChannel;
+    pc::Scenario scenario(config);
+    scenario.run_until(40.0);
+    // All members must have been keyed (agreement succeeds at platoon
+    // distances) and the platoon runs normally.
+    const auto s = scenario.summarize();
+    EXPECT_GT(s.cacc_availability, 0.9);
+    EXPECT_EQ(s.collisions, 0);
+}
+
+TEST(Scenario, JoinAtTailCompletes) {
+    auto config = small_config();
+    pc::Scenario scenario(config);
+
+    pc::VehicleConfig joiner;
+    joiner.id = NodeId{300};
+    joiner.role = ct::Role::kFree;
+    joiner.platoon_id = 0;
+    joiner.initial_state.position_m =
+        scenario.tail().dynamics().position() - 120.0;
+    joiner.initial_state.speed_mps = 25.0;
+    joiner.desired_speed_mps = 28.0;
+    auto& vehicle = scenario.add_vehicle(joiner);
+
+    scenario.scheduler().schedule_at(5.0, [&] {
+        vehicle.request_join(scenario.platoon_id(), scenario.leader().id());
+    });
+    scenario.run_until(90.0);
+
+    EXPECT_EQ(vehicle.role(), ct::Role::kMember);
+    EXPECT_EQ(vehicle.platoon_id(), scenario.platoon_id());
+    ASSERT_NE(scenario.leader().membership(), nullptr);
+    EXPECT_TRUE(scenario.leader().membership()->contains(NodeId{300}));
+    EXPECT_EQ(scenario.leader().membership()->size(), 6u);
+    // And it actually closed in on the platoon.
+    const double gap = scenario.tail().dynamics().position() -
+                       scenario.tail().dynamics().length() -
+                       vehicle.dynamics().position();
+    EXPECT_LT(gap, 15.0);
+}
+
+TEST(Scenario, LeaveRemovesMemberAndPlatoonHeals) {
+    pc::Scenario scenario(small_config());
+    scenario.scheduler().schedule_at(20.0,
+                                     [&] { scenario.vehicle(2).request_leave(); });
+    scenario.run_until(90.0);
+
+    EXPECT_EQ(scenario.vehicle(2).role(), ct::Role::kFree);
+    EXPECT_EQ(scenario.vehicle(2).platoon_id(), 0u);
+    EXPECT_NE(scenario.vehicle(2).lane(), 0);
+    ASSERT_NE(scenario.leader().membership(), nullptr);
+    EXPECT_FALSE(
+        scenario.leader().membership()->contains(scenario.vehicle(2).id()));
+    // Vehicle 3 now follows vehicle 1 and closes the gap.
+    const double gap = scenario.vehicle(1).dynamics().position() -
+                       scenario.vehicle(1).dynamics().length() -
+                       scenario.vehicle(3).dynamics().position();
+    EXPECT_LT(gap, 9.0);
+    EXPECT_EQ(scenario.summarize().collisions, 0);
+}
+
+TEST(Scenario, GapOpenManeuverOpensAndRelaxes) {
+    pc::Scenario scenario(small_config());
+    scenario.scheduler().schedule_at(20.0, [&] {
+        platoon::net::ManeuverMsg msg;
+        msg.type = platoon::net::ManeuverType::kGapOpen;
+        msg.platoon_id = scenario.platoon_id();
+        msg.sender = scenario.leader().wire_id();
+        msg.subject = scenario.vehicle(2).wire_id();
+        msg.param = 20.0;
+        scenario.leader().send_maneuver(msg);
+    });
+    scenario.run_until(30.5);
+    const double gap_open = scenario.vehicle(1).dynamics().position() -
+                            scenario.vehicle(1).dynamics().length() -
+                            scenario.vehicle(2).dynamics().position();
+    EXPECT_GT(gap_open, 11.0);
+    // Override expires after 10 s; gap closes again.
+    scenario.run_until(75.0);
+    const double gap_closed = scenario.vehicle(1).dynamics().position() -
+                              scenario.vehicle(1).dynamics().length() -
+                              scenario.vehicle(2).dynamics().position();
+    EXPECT_LT(gap_closed, 7.0);
+}
+
+TEST(Scenario, RunSeedsAggregatesMeanAndStddev) {
+    pc::RunSpec spec;
+    spec.scenario = small_config();
+    spec.duration_s = 30.0;
+    const auto agg = pc::run_seeds(spec, 3);
+    EXPECT_EQ(agg.runs, 3u);
+    EXPECT_GT(agg.mean.at("pdr"), 0.9);
+    EXPECT_GE(agg.stddev.at("pdr"), 0.0);
+    EXPECT_TRUE(agg.mean.contains("spacing_rms_m"));
+}
+
+TEST(Scenario, CollectCallbackMergesMetrics) {
+    pc::RunSpec spec;
+    spec.scenario = small_config();
+    spec.duration_s = 10.0;
+    spec.collect = [](pc::Scenario&, pc::MetricMap& out) {
+        out["custom.metric"] = 42.0;
+    };
+    const auto result = pc::run_once(spec);
+    EXPECT_EQ(result.at("custom.metric"), 42.0);
+}
+
+TEST(Taxonomy, CoversAllTableRows) {
+    const auto& tax = pc::Taxonomy::instance();
+    EXPECT_EQ(tax.attacks().size(),
+              static_cast<std::size_t>(pc::AttackKind::kCount_));
+    EXPECT_EQ(tax.defenses().size(),
+              static_cast<std::size_t>(pc::DefenseKind::kCount_));
+    EXPECT_EQ(tax.surveys().size(), 8u);  // Table I rows
+    // Table III mapping spot checks.
+    EXPECT_TRUE(tax.mitigates(pc::DefenseKind::kHybridCommunications,
+                              pc::AttackKind::kJamming));
+    EXPECT_TRUE(tax.mitigates(pc::DefenseKind::kSecretPublicKeys,
+                              pc::AttackKind::kEavesdropping));
+    EXPECT_FALSE(tax.mitigates(pc::DefenseKind::kSecretPublicKeys,
+                               pc::AttackKind::kJamming));
+    EXPECT_TRUE(tax.mitigates(pc::DefenseKind::kRoadsideUnits,
+                              pc::AttackKind::kImpersonation));
+    EXPECT_TRUE(tax.mitigates(pc::DefenseKind::kControlAlgorithms,
+                              pc::AttackKind::kDenialOfService));
+    EXPECT_TRUE(tax.mitigates(pc::DefenseKind::kOnboardSecurity,
+                              pc::AttackKind::kMalware));
+    // Every attack row names an implementation and a reference.
+    for (const auto& attack : tax.attacks()) {
+        EXPECT_FALSE(attack.implemented_by.empty());
+        EXPECT_FALSE(attack.references.empty());
+        EXPECT_FALSE(attack.compromises.empty());
+    }
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Tests for the hash/MAC/cipher primitives, including the published test
+// vectors for SHA-256 (FIPS 180-4 examples), HMAC-SHA256 (RFC 4231) and the
+// ChaCha20 quarter round (RFC 8439 section 2.1.1).
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace pc = platoon::crypto;
+
+namespace {
+
+std::string hex_digest(const pc::Sha256::Digest& d) {
+    return pc::to_hex(pc::BytesView(d.data(), d.size()));
+}
+
+TEST(Bytes, HexRoundTrip) {
+    const pc::Bytes data = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+    EXPECT_EQ(pc::to_hex(data), "0001abff7e");
+    EXPECT_EQ(pc::from_hex("0001abff7e"), data);
+    EXPECT_EQ(pc::from_hex("0001ABFF7E"), data);
+}
+
+TEST(Bytes, FromHexRejectsBadInput) {
+    EXPECT_THROW(pc::from_hex("abc"), std::invalid_argument);
+    EXPECT_THROW(pc::from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+    const pc::Bytes a = {1, 2, 3};
+    const pc::Bytes b = {1, 2, 3};
+    const pc::Bytes c = {1, 2, 4};
+    const pc::Bytes d = {1, 2};
+    EXPECT_TRUE(pc::ct_equal(a, b));
+    EXPECT_FALSE(pc::ct_equal(a, c));
+    EXPECT_FALSE(pc::ct_equal(a, d));
+}
+
+TEST(Bytes, IntegerRoundTrip) {
+    pc::Bytes buf;
+    pc::append_u64(buf, 0x0123456789ABCDEFull);
+    pc::append_u32(buf, 0xDEADBEEFu);
+    pc::append_f64(buf, -1234.5);
+    std::size_t off = 0;
+    EXPECT_EQ(pc::read_u64(buf, off), 0x0123456789ABCDEFull);
+    EXPECT_EQ(pc::read_u32(buf, off), 0xDEADBEEFu);
+    EXPECT_EQ(pc::read_f64(buf, off), -1234.5);
+    EXPECT_EQ(off, buf.size());
+    EXPECT_THROW(pc::read_u32(buf, off), std::out_of_range);
+}
+
+TEST(Sha256, EmptyStringVector) {
+    EXPECT_EQ(hex_digest(pc::Sha256::hash(std::string_view{})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+    EXPECT_EQ(hex_digest(pc::Sha256::hash(std::string_view{"abc"})),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+    // FIPS 180-4 example: 448-bit message.
+    EXPECT_EQ(hex_digest(pc::Sha256::hash(std::string_view{
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+    const std::string msg(1000, 'x');
+    pc::Sha256 h;
+    for (std::size_t i = 0; i < msg.size(); i += 7)
+        h.update(std::string_view(msg).substr(i, 7));
+    EXPECT_EQ(hex_digest(h.finish()),
+              hex_digest(pc::Sha256::hash(std::string_view(msg))));
+}
+
+TEST(Sha256, BoundarySizesMatchReference) {
+    // Lengths around the 64-byte block boundary hash consistently between
+    // streaming in two chunks and one-shot.
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+        const std::string msg(len, 'a');
+        pc::Sha256 split;
+        split.update(std::string_view(msg).substr(0, len / 2));
+        split.update(std::string_view(msg).substr(len / 2));
+        EXPECT_EQ(hex_digest(split.finish()),
+                  hex_digest(pc::Sha256::hash(std::string_view(msg))))
+            << "length " << len;
+    }
+}
+
+TEST(Hmac, Rfc4231Case1) {
+    const pc::Bytes key(20, 0x0b);
+    const auto mac = pc::hmac_sha256(key, pc::to_bytes("Hi There"));
+    EXPECT_EQ(pc::to_hex(pc::BytesView(mac.data(), mac.size())),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+    const auto mac = pc::hmac_sha256(pc::to_bytes("Jefe"),
+                                     pc::to_bytes("what do ya want for nothing?"));
+    EXPECT_EQ(pc::to_hex(pc::BytesView(mac.data(), mac.size())),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+    const pc::Bytes long_key(100, 0x42);
+    const pc::Bytes msg = pc::to_bytes("payload");
+    // Must not crash and must differ from the truncated-key MAC.
+    const auto a = pc::hmac_sha256(long_key, msg);
+    const auto b = pc::hmac_sha256(pc::BytesView(long_key).subspan(0, 64), msg);
+    EXPECT_NE(pc::to_hex(pc::BytesView(a.data(), a.size())),
+              pc::to_hex(pc::BytesView(b.data(), b.size())));
+}
+
+TEST(Hmac, TagTruncation) {
+    const auto tag = pc::hmac_tag(pc::to_bytes("k"), pc::to_bytes("m"), 16);
+    EXPECT_EQ(tag.size(), 16u);
+    const auto full = pc::hmac_sha256(pc::to_bytes("k"), pc::to_bytes("m"));
+    EXPECT_TRUE(std::equal(tag.begin(), tag.end(), full.begin()));
+}
+
+TEST(Hkdf, DistinctInfoDistinctKeys) {
+    const pc::Bytes ikm(32, 0x11);
+    const auto k1 = pc::hkdf(ikm, {}, "a");
+    const auto k2 = pc::hkdf(ikm, {}, "b");
+    EXPECT_EQ(k1.size(), 32u);
+    EXPECT_NE(k1, k2);
+}
+
+TEST(ChaCha20, QuarterRoundRfc8439) {
+    std::uint32_t a = 0x11111111, b = 0x01020304, c = 0x9b8d6f43,
+                  d = 0x01234567;
+    pc::ChaCha20::quarter_round(a, b, c, d);
+    EXPECT_EQ(a, 0xea2a92f4u);
+    EXPECT_EQ(b, 0xcb1cf8ceu);
+    EXPECT_EQ(c, 0x4581472eu);
+    EXPECT_EQ(d, 0x5881c4bbu);
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+    const pc::Bytes key(32, 0x07);
+    const pc::Bytes nonce(12, 0x03);
+    const pc::Bytes plain = pc::to_bytes("platoon beacon: speed=25.0 pos=142.7");
+    const pc::Bytes cipher = pc::ChaCha20::crypt(key, nonce, plain);
+    EXPECT_NE(cipher, plain);
+    EXPECT_EQ(pc::ChaCha20::crypt(key, nonce, cipher), plain);
+}
+
+TEST(ChaCha20, DifferentNonceDifferentKeystream) {
+    const pc::Bytes key(32, 0x07);
+    pc::Bytes n1(12, 0x00), n2(12, 0x00);
+    n2[0] = 1;
+    const pc::Bytes plain(64, 0x00);
+    EXPECT_NE(pc::ChaCha20::crypt(key, n1, plain),
+              pc::ChaCha20::crypt(key, n2, plain));
+}
+
+TEST(ChaCha20, CounterContinuity) {
+    // Applying in chunks equals applying in one call.
+    const pc::Bytes key(32, 0xAA);
+    const pc::Bytes nonce(12, 0x01);
+    pc::Bytes whole(200, 0x5C);
+    pc::Bytes chunked = whole;
+
+    pc::ChaCha20 one(key, nonce);
+    one.apply(whole);
+
+    pc::ChaCha20 two(key, nonce);
+    pc::Bytes first(chunked.begin(), chunked.begin() + 77);
+    pc::Bytes second(chunked.begin() + 77, chunked.end());
+    two.apply(first);
+    two.apply(second);
+    pc::Bytes reassembled = first;
+    pc::append(reassembled, second);
+    EXPECT_EQ(whole, reassembled);
+}
+
+}  // namespace

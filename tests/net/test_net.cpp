@@ -1,0 +1,349 @@
+// Message codecs, channel propagation and the network/MAC.
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace pn = platoon::net;
+namespace pc = platoon::crypto;
+using platoon::sim::NodeId;
+using platoon::sim::Scheduler;
+
+namespace {
+
+TEST(Message, BeaconRoundTrip) {
+    pn::Beacon b;
+    b.sender = 42;
+    b.platoon_id = 7;
+    b.platoon_index = 3;
+    b.lane = 1;
+    b.position_m = 1234.5;
+    b.speed_mps = 25.25;
+    b.accel_mps2 = -0.75;
+    b.length_m = 12.0;
+    const auto decoded = pn::Beacon::decode(pc::BytesView(b.encode()));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->sender, 42u);
+    EXPECT_EQ(decoded->platoon_id, 7u);
+    EXPECT_EQ(decoded->platoon_index, 3);
+    EXPECT_EQ(decoded->lane, 1);
+    EXPECT_DOUBLE_EQ(decoded->position_m, 1234.5);
+    EXPECT_DOUBLE_EQ(decoded->speed_mps, 25.25);
+    EXPECT_DOUBLE_EQ(decoded->accel_mps2, -0.75);
+    EXPECT_DOUBLE_EQ(decoded->length_m, 12.0);
+}
+
+TEST(Message, ManeuverRoundTrip) {
+    pn::ManeuverMsg m;
+    m.type = pn::ManeuverType::kGapOpen;
+    m.platoon_id = 3;
+    m.sender = 100;
+    m.subject = 104;
+    m.param = 30.0;
+    const auto decoded = pn::ManeuverMsg::decode(pc::BytesView(m.encode()));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, pn::ManeuverType::kGapOpen);
+    EXPECT_EQ(decoded->subject, 104u);
+    EXPECT_DOUBLE_EQ(decoded->param, 30.0);
+}
+
+TEST(Message, KeyMgmtRoundTrip) {
+    pn::KeyMgmtMsg m;
+    m.type = pn::KeyMgmtType::kCrlUpdate;
+    m.sender = 1000;
+    m.receiver = 101;
+    m.blob = {1, 2, 3, 4, 5};
+    const auto decoded = pn::KeyMgmtMsg::decode(pc::BytesView(m.encode()));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, pn::KeyMgmtType::kCrlUpdate);
+    EXPECT_EQ(decoded->blob, (pc::Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Message, DecodersRejectGarbageAndCrossTypes) {
+    const pc::Bytes garbage = {0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3};
+    EXPECT_FALSE(pn::Beacon::decode(garbage).has_value());
+    EXPECT_FALSE(pn::ManeuverMsg::decode(garbage).has_value());
+    EXPECT_FALSE(pn::KeyMgmtMsg::decode(garbage).has_value());
+
+    pn::Beacon b;
+    EXPECT_FALSE(pn::ManeuverMsg::decode(pc::BytesView(b.encode())).has_value());
+    EXPECT_FALSE(pn::Beacon::decode(pc::BytesView{}).has_value());
+
+    // Truncated beacon.
+    auto bytes = b.encode();
+    bytes.resize(bytes.size() - 4);
+    EXPECT_FALSE(pn::Beacon::decode(pc::BytesView(bytes)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Channel, PathLossMonotone) {
+    pn::Channel channel({}, 1);
+    EXPECT_LT(channel.path_loss_db(10.0), channel.path_loss_db(100.0));
+    EXPECT_LT(channel.path_loss_db(100.0), channel.path_loss_db(500.0));
+    // Below 1 m clamps.
+    EXPECT_DOUBLE_EQ(channel.path_loss_db(0.1), channel.path_loss_db(1.0));
+}
+
+TEST(Channel, FadingIsReciprocal) {
+    pn::Channel channel({}, 2);
+    for (double t : {0.0, 0.5, 1.0, 2.5}) {
+        const double ab = channel.fading_db(NodeId{1}, NodeId{2}, t);
+        const double ba = channel.fading_db(NodeId{2}, NodeId{1}, t);
+        EXPECT_DOUBLE_EQ(ab, ba);
+    }
+}
+
+TEST(Channel, FadingTemporallyCorrelated) {
+    pn::ChannelParams params;
+    params.coherence_time_s = 0.05;
+    pn::Channel channel(params, 3);
+    // Sample two processes: tiny dt (correlated) vs huge dt (decorrelated).
+    double corr_num = 0.0, corr_prev_sq = 0.0;
+    double prev = channel.fading_db(NodeId{1}, NodeId{2}, 0.0);
+    for (int i = 1; i <= 2000; ++i) {
+        const double cur =
+            channel.fading_db(NodeId{1}, NodeId{2}, i * 0.005);  // dt << Tc
+        corr_num += prev * cur;
+        corr_prev_sq += prev * prev;
+        prev = cur;
+    }
+    const double lag_corr = corr_num / corr_prev_sq;
+    EXPECT_GT(lag_corr, 0.7);  // exp(-0.005/0.05) ~ 0.90
+}
+
+TEST(Channel, DistinctPairsDistinctFading) {
+    pn::Channel channel({}, 4);
+    double diff = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const double t = i * 0.1;
+        diff += std::abs(channel.fading_db(NodeId{1}, NodeId{2}, t) -
+                         channel.fading_db(NodeId{1}, NodeId{3}, t));
+    }
+    EXPECT_GT(diff / 100.0, 1.0);  // uncorrelated 4 dB processes
+}
+
+TEST(Channel, PerMonotoneInSinr) {
+    pn::Channel channel({}, 5);
+    EXPECT_GT(channel.packet_error_rate(-5.0, 300),
+              channel.packet_error_rate(5.0, 300));
+    EXPECT_GT(channel.packet_error_rate(5.0, 300),
+              channel.packet_error_rate(20.0, 300));
+    EXPECT_LT(channel.packet_error_rate(30.0, 300), 0.01);
+    EXPECT_GT(channel.packet_error_rate(-10.0, 300), 0.99);
+}
+
+TEST(Channel, LongerFramesMoreFragile) {
+    pn::Channel channel({}, 6);
+    EXPECT_GT(channel.packet_error_rate(7.0, 2000),
+              channel.packet_error_rate(7.0, 100));
+}
+
+TEST(Channel, AirtimeScalesWithSize) {
+    pn::Channel channel({}, 7);
+    const double t100 = channel.airtime(100);
+    const double t200 = channel.airtime(200);
+    EXPECT_GT(t200, t100);
+    // 100 bytes at 6 Mb/s = 133 us + 40 us preamble.
+    EXPECT_NEAR(t100, 40e-6 + 800.0 / 6e6, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+
+struct NetFixture : ::testing::Test {
+    Scheduler scheduler;
+    pn::Network::Params params;
+    std::unique_ptr<pn::Network> network;
+    std::vector<std::pair<NodeId, pn::Frame>> received;
+
+    void build(std::uint64_t seed = 11) {
+        network = std::make_unique<pn::Network>(scheduler, params, seed);
+    }
+
+    void add_node(NodeId id, double position, bool vlc = true) {
+        pn::Network::NodeTraits traits;
+        traits.vlc = vlc;
+        network->register_node(id, [position] { return position; },
+                               [this, id](const pn::Frame& f, const pn::RxInfo&) {
+                                   received.emplace_back(id, f);
+                               },
+                               traits);
+    }
+
+    pn::Frame beacon_frame(std::uint32_t sender, pn::Band band = pn::Band::kDsrc) {
+        pn::Frame f;
+        f.type = pn::MsgType::kBeacon;
+        f.band = band;
+        pn::Beacon b;
+        b.sender = sender;
+        f.envelope.sender = sender;
+        f.envelope.seq = ++seq_;
+        f.envelope.payload = b.encode();
+        return f;
+    }
+    std::uint64_t seq_ = 0;
+};
+
+TEST_F(NetFixture, DeliversToNearbyNodes) {
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 50.0);
+    add_node(NodeId{3}, 100.0);
+    network->broadcast(NodeId{1}, beacon_frame(1));
+    scheduler.run_until(0.1);
+    EXPECT_EQ(received.size(), 2u);  // nodes 2 and 3, not the sender
+    EXPECT_EQ(network->stats().delivered, 2u);
+}
+
+TEST_F(NetFixture, DoesNotDeliverBeyondMaxRange) {
+    params.max_range_m = 300.0;
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 5000.0);
+    network->broadcast(NodeId{1}, beacon_frame(1));
+    scheduler.run_until(0.1);
+    EXPECT_TRUE(received.empty());
+    EXPECT_EQ(network->stats().dropped_range, 1u);
+}
+
+TEST_F(NetFixture, DistantReceiversLoseFrames) {
+    params.max_range_m = 3000.0;
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 2500.0);  // far: SNR below threshold
+    for (int i = 0; i < 50; ++i) network->broadcast(NodeId{1}, beacon_frame(1));
+    scheduler.run_until(1.0);
+    EXPECT_LT(received.size(), 10u);
+    EXPECT_GT(network->stats().dropped_per, 40u);
+}
+
+TEST_F(NetFixture, JammerKillsDelivery) {
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 30.0);
+    pn::JammerConfig jam;
+    jam.position_m = 30.0;
+    jam.power_dbm = 45.0;
+    network->add_jammer(jam);
+    for (int i = 0; i < 50; ++i) {
+        scheduler.schedule_at(i * 0.01, [this, i] {
+            (void)i;
+            network->broadcast(NodeId{1}, beacon_frame(1));
+        });
+    }
+    scheduler.run_until(2.0);
+    // CSMA starves (medium reads busy) and anything transmitted is lost.
+    EXPECT_TRUE(received.empty());
+    EXPECT_GT(network->stats().dropped_mac + network->stats().dropped_per, 0u);
+}
+
+TEST_F(NetFixture, RemoveJammerRestoresDelivery) {
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 30.0);
+    pn::JammerConfig jam;
+    jam.position_m = 30.0;
+    jam.power_dbm = 45.0;
+    const int id = network->add_jammer(jam);
+    network->remove_jammer(id);
+    network->broadcast(NodeId{1}, beacon_frame(1));
+    scheduler.run_until(0.1);
+    EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(NetFixture, VlcReachesOnlyAdjacentVehicles) {
+    params.vlc_loss_prob = 0.0;
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 15.0);
+    add_node(NodeId{3}, 30.0);   // blocked by node 2's body
+    add_node(NodeId{4}, -15.0);
+    network->broadcast(NodeId{1}, beacon_frame(1, pn::Band::kVlc));
+    scheduler.run_until(0.1);
+    ASSERT_EQ(received.size(), 2u);
+    std::vector<std::uint32_t> ids{received[0].first.value,
+                                   received[1].first.value};
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, (std::vector<std::uint32_t>{2, 4}));
+}
+
+TEST_F(NetFixture, VlcImmuneToRfJamming) {
+    params.vlc_loss_prob = 0.0;
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 10.0);
+    pn::JammerConfig jam;
+    jam.position_m = 5.0;
+    jam.power_dbm = 50.0;
+    network->add_jammer(jam);
+    network->broadcast(NodeId{1}, beacon_frame(1, pn::Band::kVlc));
+    scheduler.run_until(0.1);
+    EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(NetFixture, Cv2xSkipsCsma) {
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 30.0);
+    // A DSRC jammer that would starve CSMA does not block C-V2X scheduling.
+    pn::JammerConfig jam;
+    jam.position_m = 0.0;
+    jam.power_dbm = 45.0;
+    jam.band = pn::Band::kDsrc;
+    network->add_jammer(jam);
+    network->broadcast(NodeId{1}, beacon_frame(1, pn::Band::kCv2x));
+    scheduler.run_until(0.1);
+    EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(NetFixture, StatsCountSentFrames) {
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 20.0);
+    for (int i = 0; i < 10; ++i) network->broadcast(NodeId{1}, beacon_frame(1));
+    scheduler.run_until(1.0);
+    EXPECT_EQ(network->stats().sent, 10u);
+    EXPECT_NEAR(network->stats().pdr(), 1.0, 0.01);
+}
+
+TEST_F(NetFixture, UnregisteredNodeStopsReceiving) {
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 20.0);
+    network->unregister_node(NodeId{2});
+    network->broadcast(NodeId{1}, beacon_frame(1));
+    scheduler.run_until(0.1);
+    EXPECT_TRUE(received.empty());
+}
+
+TEST_F(NetFixture, NonVlcNodesDoNotBlockTheOpticalChain) {
+    params.vlc_loss_prob = 0.0;
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 15.0);
+    // A roadside listener physically between them has no optical
+    // transceivers: it neither receives VLC nor shadows the link.
+    add_node(NodeId{99}, 7.0, /*vlc=*/false);
+    network->broadcast(NodeId{1}, beacon_frame(1, pn::Band::kVlc));
+    scheduler.run_until(0.1);
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].first, NodeId{2});
+}
+
+TEST_F(NetFixture, EavesdropperHearsEverything) {
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 20.0);
+    add_node(NodeId{99}, 60.0);  // passive attacker: just another receiver
+    network->broadcast(NodeId{1}, beacon_frame(1));
+    scheduler.run_until(0.1);
+    bool attacker_heard = false;
+    for (const auto& [id, frame] : received) {
+        if (id == NodeId{99}) attacker_heard = true;
+    }
+    EXPECT_TRUE(attacker_heard);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/fuel.hpp"
+#include "phys/sensors.hpp"
+#include "phys/vehicle_dynamics.hpp"
+#include "sim/random.hpp"
+
+namespace pp = platoon::phys;
+using platoon::sim::RandomStream;
+
+namespace {
+
+TEST(Dynamics, TracksCommandThroughLag) {
+    pp::VehicleDynamics v({}, {0.0, 20.0, 0.0});
+    v.set_command(1.0);
+    // After one time constant (0.5 s), accel should reach ~63% of command.
+    for (int i = 0; i < 50; ++i) v.step(0.01);
+    EXPECT_NEAR(v.accel(), 1.0 - std::exp(-1.0), 0.05);
+    // After many time constants, fully converged.
+    for (int i = 0; i < 500; ++i) v.step(0.01);
+    EXPECT_NEAR(v.accel(), 1.0, 0.01);
+}
+
+TEST(Dynamics, IntegratesPositionAndSpeed) {
+    pp::VehicleDynamics v({}, {100.0, 10.0, 0.0});
+    for (int i = 0; i < 100; ++i) v.step(0.01);  // 1 s at 10 m/s
+    EXPECT_NEAR(v.position(), 110.0, 0.01);
+    EXPECT_NEAR(v.speed(), 10.0, 1e-9);
+}
+
+TEST(Dynamics, ClampsCommandToLimits) {
+    pp::VehicleParams p;
+    p.max_accel_mps2 = 2.0;
+    p.max_decel_mps2 = 5.0;
+    pp::VehicleDynamics v(p, {0.0, 20.0, 0.0});
+    v.set_command(50.0);
+    for (int i = 0; i < 300; ++i) v.step(0.01);
+    EXPECT_LE(v.accel(), 2.0 + 1e-9);
+    v.set_command(-50.0);
+    for (int i = 0; i < 300; ++i) v.step(0.01);
+    EXPECT_GE(v.accel(), -5.0 - 1e-9);
+}
+
+TEST(Dynamics, NeverReverses) {
+    pp::VehicleDynamics v({}, {0.0, 1.0, 0.0});
+    v.set_command(-6.0);
+    for (int i = 0; i < 1000; ++i) v.step(0.01);
+    EXPECT_GE(v.speed(), 0.0);
+    EXPECT_GE(v.accel(), 0.0);  // deceleration killed at standstill
+}
+
+TEST(Dynamics, RespectsMaxSpeed) {
+    pp::VehicleParams p;
+    p.max_speed_mps = 30.0;
+    pp::VehicleDynamics v(p, {0.0, 29.0, 0.0});
+    v.set_command(2.0);
+    for (int i = 0; i < 2000; ++i) v.step(0.01);
+    EXPECT_LE(v.speed(), 30.0 + 1e-9);
+}
+
+TEST(Dynamics, TruckIsHeavierAndSlower) {
+    const auto truck = pp::truck_params();
+    const pp::VehicleParams car;
+    EXPECT_GT(truck.length_m, car.length_m);
+    EXPECT_LT(truck.max_accel_mps2, car.max_accel_mps2);
+    EXPECT_GT(truck.mass_kg, car.mass_kg);
+}
+
+TEST(Fuel, DragFractionMonotoneInGap) {
+    EXPECT_LT(pp::drag_fraction(2.0), pp::drag_fraction(10.0));
+    EXPECT_LT(pp::drag_fraction(10.0), pp::drag_fraction(50.0));
+    EXPECT_NEAR(pp::drag_fraction(500.0), 1.0, 1e-6);
+    EXPECT_GT(pp::drag_fraction(0.0), 0.0);
+}
+
+TEST(Fuel, CruiseCalibrationPlausibleForTruck) {
+    pp::FuelModel fuel;
+    for (int i = 0; i < 10000; ++i) fuel.accumulate(25.0, 0.0, 1.0, 0.01);
+    // ~100 s at 25 m/s: expect 30-40 L/100km for a lone truck.
+    EXPECT_GT(fuel.litres_per_100km(), 25.0);
+    EXPECT_LT(fuel.litres_per_100km(), 45.0);
+}
+
+TEST(Fuel, SlipstreamSavesFuel) {
+    pp::FuelModel lone, drafting;
+    const double drag_at_5m = pp::drag_fraction(5.0);
+    for (int i = 0; i < 10000; ++i) {
+        lone.accumulate(25.0, 0.0, 1.0, 0.01);
+        drafting.accumulate(25.0, 0.0, drag_at_5m, 0.01);
+    }
+    const double saving =
+        1.0 - drafting.litres_per_100km() / lone.litres_per_100km();
+    EXPECT_GT(saving, 0.08);
+    EXPECT_LT(saving, 0.35);
+}
+
+TEST(Fuel, BrakingDoesNotRefund) {
+    pp::FuelModel fuel;
+    const double cruise = fuel.rate_mlps(20.0, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(fuel.rate_mlps(20.0, -3.0, 1.0), cruise);
+    EXPECT_GT(fuel.rate_mlps(20.0, +1.0, 1.0), cruise);
+}
+
+TEST(Gps, NoiseIsUnbiased) {
+    pp::VehicleDynamics v({}, {500.0, 20.0, 0.0});
+    RandomStream rng(1, "gps");
+    pp::GpsSensor gps(v, {}, rng);
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) sum += gps.read().position_m;
+    EXPECT_NEAR(sum / n, 500.0, 0.2);
+}
+
+TEST(Gps, SpoofOffsetApplies) {
+    pp::VehicleDynamics v({}, {500.0, 20.0, 0.0});
+    RandomStream rng(2, "gps");
+    pp::GpsSensor gps(v, {.position_noise_m = 0.0, .speed_noise_mps = 0.0},
+                      rng);
+    EXPECT_FALSE(gps.spoofed());
+    gps.spoof_set_offset(42.0);
+    EXPECT_TRUE(gps.spoofed());
+    EXPECT_DOUBLE_EQ(gps.read().position_m, 542.0);
+    gps.spoof_clear();
+    EXPECT_DOUBLE_EQ(gps.read().position_m, 500.0);
+}
+
+TEST(Radar, MeasuresGapToTarget) {
+    pp::VehicleDynamics self({}, {100.0, 20.0, 0.0});
+    pp::VehicleParams lead_params;
+    lead_params.length_m = 4.0;
+    pp::VehicleDynamics lead(lead_params, {120.0, 18.0, 0.0});
+    RandomStream rng(3, "radar");
+    pp::RadarSensor radar(
+        self, {.range_noise_m = 0.0, .rate_noise_mps = 0.0, .max_range_m = 250},
+        rng);
+    radar.set_target(&lead);
+    const auto m = radar.read();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_DOUBLE_EQ(m->gap_m, 16.0);        // 120 - 4 - 100
+    EXPECT_DOUBLE_EQ(m->closing_mps, 2.0);   // 20 - 18
+}
+
+TEST(Radar, NoTargetNoMeasurement) {
+    pp::VehicleDynamics self({}, {});
+    RandomStream rng(4, "radar");
+    pp::RadarSensor radar(self, {}, rng);
+    EXPECT_FALSE(radar.read().has_value());
+}
+
+TEST(Radar, OutOfRangeNoMeasurement) {
+    pp::VehicleDynamics self({}, {0.0, 0.0, 0.0});
+    pp::VehicleDynamics lead({}, {1000.0, 0.0, 0.0});
+    RandomStream rng(5, "radar");
+    pp::RadarSensor radar(self, {.range_noise_m = 0.1, .rate_noise_mps = 0.1,
+                                 .max_range_m = 250.0},
+                          rng);
+    radar.set_target(&lead);
+    EXPECT_FALSE(radar.read().has_value());
+}
+
+TEST(Radar, JammingBlinds) {
+    pp::VehicleDynamics self({}, {100.0, 20.0, 0.0});
+    pp::VehicleDynamics lead({}, {120.0, 18.0, 0.0});
+    RandomStream rng(6, "radar");
+    pp::RadarSensor radar(self, {}, rng);
+    radar.set_target(&lead);
+    radar.jam(true);
+    EXPECT_FALSE(radar.read().has_value());
+    radar.jam(false);
+    EXPECT_TRUE(radar.read().has_value());
+}
+
+TEST(Radar, SpoofReplacesMeasurement) {
+    pp::VehicleDynamics self({}, {100.0, 20.0, 0.0});
+    RandomStream rng(7, "radar");
+    pp::RadarSensor radar(
+        self, {.range_noise_m = 0.0, .rate_noise_mps = 0.0, .max_range_m = 250},
+        rng);
+    radar.spoof_set({3.0, 5.0});  // phantom target, no real target needed
+    const auto m = radar.read();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_DOUBLE_EQ(m->gap_m, 3.0);
+    EXPECT_DOUBLE_EQ(m->closing_mps, 5.0);
+}
+
+TEST(Odometry, TracksSpeed) {
+    pp::VehicleDynamics v({}, {0.0, 17.0, 0.0});
+    RandomStream rng(8, "odo");
+    pp::OdometrySensor odo(v, {}, rng);
+    double sum = 0.0;
+    for (int i = 0; i < 2000; ++i) sum += odo.read_speed();
+    EXPECT_NEAR(sum / 2000.0, 17.0, 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Trusted authority and roadside-unit behaviour: enrollment, revocation,
+// pseudonym escrow, impossible-motion monitoring, CRL broadcast reach and
+// ECDH group-key distribution.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "rsu/rsu.hpp"
+#include "rsu/trusted_authority.hpp"
+
+namespace pr = platoon::rsu;
+namespace pc = platoon::core;
+namespace pcr = platoon::crypto;
+namespace pn = platoon::net;
+using platoon::sim::NodeId;
+
+namespace {
+
+pcr::Bytes seed(std::uint8_t fill) { return pcr::Bytes(32, fill); }
+
+TEST(TrustedAuthority, EnrollIssuesValidCredentials) {
+    pr::TrustedAuthority ta(seed(1));
+    const auto enrollment = ta.enroll(NodeId{5}, 0.0);
+    EXPECT_EQ(pcr::verify_certificate(enrollment.long_term.cert,
+                                      ta.public_key(), 10.0),
+              pcr::CertCheck::kOk);
+    EXPECT_EQ(enrollment.long_term.cert.subject, NodeId{5});
+    EXPECT_EQ(enrollment.pseudonyms.size(), 12u);
+}
+
+TEST(TrustedAuthority, EnrollmentIsDeterministic) {
+    pr::TrustedAuthority ta1(seed(2));
+    pr::TrustedAuthority ta2(seed(2));
+    const auto a = ta1.enroll(NodeId{5}, 0.0);
+    const auto b = ta2.enroll(NodeId{5}, 0.0);
+    // Same seed, same vehicle -> same key (the "credential theft" model).
+    EXPECT_EQ(a.long_term.key.public_bytes, b.long_term.key.public_bytes);
+}
+
+TEST(TrustedAuthority, PseudonymsHideTheVehicleId) {
+    pr::TrustedAuthority ta(seed(3));
+    const auto enrollment = ta.enroll(NodeId{5}, 0.0);
+    const auto& pseudo_cert = enrollment.pseudonyms.active().cert;
+    EXPECT_NE(pseudo_cert.subject, NodeId{5});
+    // But the TA can map back (escrow).
+    EXPECT_EQ(ta.resolve_identity(pseudo_cert.subject), NodeId{5});
+}
+
+TEST(TrustedAuthority, RevokingTheVehicleKillsAllItsCerts) {
+    pr::TrustedAuthority ta(seed(4));
+    const auto enrollment = ta.enroll(NodeId{5}, 0.0);
+    ta.revoke_subject(NodeId{5});
+    EXPECT_TRUE(ta.is_revoked_subject(NodeId{5}));
+    EXPECT_TRUE(ta.crl().is_revoked(enrollment.long_term.cert.serial));
+    EXPECT_TRUE(
+        ta.crl().is_revoked(enrollment.pseudonyms.active().cert.serial));
+}
+
+TEST(TrustedAuthority, RevocationByPseudonymWireId) {
+    pr::TrustedAuthority ta(seed(5));
+    const auto enrollment = ta.enroll(NodeId{5}, 0.0);
+    ta.revoke_subject(enrollment.pseudonyms.active().cert.subject);
+    EXPECT_TRUE(ta.is_revoked_subject(NodeId{5}));
+}
+
+TEST(TrustedAuthority, ReportsFromDistinctReportersRevokeTheCredential) {
+    pr::TrustedAuthority::Params params;
+    params.reports_to_revoke = 2;
+    pr::TrustedAuthority ta(seed(6), params);
+    const auto enrollment = ta.enroll(NodeId{5}, 0.0);
+    EXPECT_FALSE(ta.report_misbehavior(NodeId{10}, NodeId{5}, 1.0));
+    // Same reporter again: still one distinct voice.
+    EXPECT_FALSE(ta.report_misbehavior(NodeId{10}, NodeId{5}, 2.0));
+    EXPECT_FALSE(ta.crl().is_revoked(enrollment.long_term.cert.serial));
+    EXPECT_TRUE(ta.report_misbehavior(NodeId{11}, NodeId{5}, 3.0));
+    // The reported credential dies...
+    EXPECT_TRUE(ta.crl().is_revoked(enrollment.long_term.cert.serial));
+    EXPECT_EQ(ta.revoked_credentials(), 1u);
+    // ...but the vehicle's pseudonyms survive (it may be the victim).
+    EXPECT_FALSE(
+        ta.crl().is_revoked(enrollment.pseudonyms.active().cert.serial));
+    EXPECT_FALSE(ta.is_revoked_subject(NodeId{5}));
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Rsu, ImpossibleMotionFlagsSharedIdentity) {
+    pc::ScenarioConfig config;
+    config.seed = 21;
+    config.platoon_size = 3;
+    config.rsu_count = 1;
+    pc::Scenario scenario(config);
+
+    // Two transmitters share identity 777 from positions 300 m apart,
+    // both inside the RSU's coverage (the RSU sits at leader_start - 500).
+    const double rsu_pos = scenario.rsus().front()->position();
+    auto& net = scenario.network();
+    net.register_node(NodeId{600}, [rsu_pos] { return rsu_pos - 150.0; },
+                      [](const pn::Frame&, const pn::RxInfo&) {});
+    net.register_node(NodeId{601}, [rsu_pos] { return rsu_pos + 150.0; },
+                      [](const pn::Frame&, const pn::RxInfo&) {});
+    pcr::MessageProtection open;
+    scenario.scheduler().schedule_every(1.0, 0.25, [&] {
+        for (const auto node : {NodeId{600}, NodeId{601}}) {
+            pn::Beacon beacon;
+            beacon.sender = 777;
+            beacon.position_m = net.node_position(node);
+            pn::Frame frame;
+            frame.type = pn::MsgType::kBeacon;
+            frame.envelope = open.protect(777, pcr::BytesView(beacon.encode()),
+                                          scenario.scheduler().now());
+            net.broadcast(node, std::move(frame));
+        }
+    });
+    scenario.run_until(10.0);
+    EXPECT_GT(scenario.rsus().front()->impossible_motion_flags(), 3u);
+    EXPECT_GT(scenario.authority().reports_received(), 0u);
+}
+
+TEST(Rsu, CrlBroadcastReachesVehicles) {
+    pc::ScenarioConfig config;
+    config.seed = 22;
+    config.platoon_size = 3;
+    config.rsu_count = 2;
+    config.security.auth_mode = pcr::AuthMode::kSignature;
+    pc::Scenario scenario(config);
+
+    scenario.scheduler().schedule_at(5.0, [&] {
+        scenario.authority().revoke_subject(NodeId{999});  // some serial set
+    });
+    // Revoke a real enrolled vehicle so serials exist on the CRL.
+    const auto victim = scenario.enroll(NodeId{555});
+    scenario.scheduler().schedule_at(6.0, [&] {
+        scenario.authority().revoke_subject(NodeId{555});
+    });
+    scenario.run_until(12.0);
+
+    // Every platoon vehicle's local CRL now contains the revoked serial.
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(scenario.vehicle(i).protection().crl().is_revoked(
+            victim.long_term.cert.serial))
+            << "vehicle " << i;
+    }
+}
+
+TEST(Rsu, GroupKeyDistributionOverEcdh) {
+    pc::ScenarioConfig config;
+    config.seed = 23;
+    config.platoon_size = 3;
+    config.rsu_count = 1;
+    // Signature-capable vehicles, group key NOT pre-shared.
+    config.security.auth_mode = pcr::AuthMode::kSignature;
+    config.security.encrypt_payloads = false;
+    pc::Scenario scenario(config);
+    scenario.rsus().front()->set_group_key(pcr::Bytes(32, 0xAB));
+
+    scenario.scheduler().schedule_at(2.0,
+                                     [&] { scenario.vehicle(1).request_group_key(); });
+    scenario.run_until(10.0);
+
+    EXPECT_EQ(scenario.rsus().front()->keys_distributed(), 1u);
+    EXPECT_TRUE(scenario.vehicle(1).protection().has_group_key());
+}
+
+TEST(Rsu, IgnoresKeyRequestsWithoutValidCert) {
+    pc::ScenarioConfig config;
+    config.seed = 24;
+    config.platoon_size = 3;
+    config.rsu_count = 1;
+    pc::Scenario scenario(config);  // vehicles have no credentials
+    scenario.rsus().front()->set_group_key(pcr::Bytes(32, 0xAB));
+
+    scenario.scheduler().schedule_at(2.0,
+                                     [&] { scenario.vehicle(1).request_group_key(); });
+    scenario.run_until(10.0);
+    EXPECT_EQ(scenario.rsus().front()->keys_distributed(), 0u);
+    EXPECT_FALSE(scenario.vehicle(1).protection().has_group_key());
+}
+
+TEST(Rsu, StartStopLifecycle) {
+    pc::ScenarioConfig config;
+    config.seed = 25;
+    config.platoon_size = 2;
+    config.rsu_count = 1;
+    pc::Scenario scenario(config);
+    auto* rsu = scenario.rsus().front();
+    scenario.run_until(2.0);
+    rsu->stop();
+    scenario.run_until(4.0);  // must not crash with the RSU gone
+    EXPECT_FALSE(scenario.network().is_registered(rsu->id()));
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Rogue RSU (paper open challenge, Section VI-A.2): a fake roadside unit
+// abuses the trust vehicles place in infrastructure. Vehicles that insist
+// on TA-certified infrastructure (the default) are immune; a legacy
+// deployment that accepts unsigned key-management frames loses members to
+// key substitution.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "security/attacks/rogue_rsu.hpp"
+
+namespace pc = platoon::core;
+namespace ps = platoon::security;
+using platoon::crypto::AuthMode;
+
+namespace {
+
+pc::ScenarioConfig mac_config(bool signed_infra) {
+    pc::ScenarioConfig config;
+    config.seed = 13;
+    config.platoon_size = 5;
+    config.security.auth_mode = AuthMode::kGroupMac;
+    config.security.require_signed_infrastructure = signed_infra;
+    return config;
+}
+
+TEST(RogueRsu, BogusKeySubstitutionHitsLegacyDeployments) {
+    pc::Scenario scenario(mac_config(/*signed_infra=*/false));
+    ps::RogueRsuAttack::Params params;
+    params.position_m = 2600.0;  // on the platoon's route
+    ps::RogueRsuAttack attack(params);
+    attack.attach(scenario);
+    scenario.run_until(70.0);
+
+    EXPECT_GT(attack.broadcasts(), 50u);
+    const auto s = scenario.summarize();
+    // The tail installed the bogus key: its MACs no longer verify anywhere
+    // and its peers' beacons fail verification locally -> it falls out of
+    // the cooperative formation.
+    EXPECT_LT(scenario.tail().stack().cacc_availability(), 0.7);
+    EXPECT_GT(s.rejected_auth, 100u);  // bad-tag storms
+}
+
+TEST(RogueRsu, DefaultPolicyIsImmune) {
+    pc::Scenario scenario(mac_config(/*signed_infra=*/true));
+    ps::RogueRsuAttack attack;
+    attack.attach(scenario);
+    scenario.run_until(70.0);
+
+    EXPECT_GT(attack.broadcasts(), 50u);
+    const auto s = scenario.summarize();
+    EXPECT_GT(s.cacc_availability, 0.95);
+    EXPECT_LT(s.spacing_rms_m, 1.0);
+    EXPECT_EQ(s.collisions, 0);
+}
+
+TEST(RogueRsu, SignedPlatoonRejectsPoisonedCrl) {
+    pc::ScenarioConfig config;
+    config.seed = 14;
+    config.platoon_size = 5;
+    config.security.auth_mode = AuthMode::kSignature;
+    config.rsu_count = 2;  // honest RSUs alongside the rogue one
+    pc::Scenario scenario(config);
+    ps::RogueRsuAttack attack;
+    attack.attach(scenario);
+    scenario.run_until(70.0);
+
+    // The rogue's "revocations" of serials 1..N never reach any vehicle's
+    // CRL: its frames are unsigned and bounce at the crypto gate.
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_FALSE(scenario.vehicle(i).protection().crl().is_revoked(1))
+            << "vehicle " << i;
+    }
+    const auto s = scenario.summarize();
+    EXPECT_GT(s.cacc_availability, 0.95);
+}
+
+}  // namespace

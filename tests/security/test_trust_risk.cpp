@@ -1,0 +1,158 @@
+// Trust management (open challenge VI-B.3) and the risk-assessment
+// framework (open challenge VI-B.4).
+#include <gtest/gtest.h>
+
+#include "core/risk.hpp"
+#include "core/scenario.hpp"
+#include "security/attacks/sybil.hpp"
+#include "security/defense/trust.hpp"
+
+namespace ps = platoon::security;
+namespace pc = platoon::core;
+
+namespace {
+
+TEST(TrustManager, UnknownPeersStartTrusted) {
+    ps::TrustManager trust;
+    EXPECT_TRUE(trust.trusted(42));
+    EXPECT_DOUBLE_EQ(trust.score(42), 0.5);
+    EXPECT_EQ(trust.distrusted_count(), 0u);
+}
+
+TEST(TrustManager, PenaltiesEventuallyDistrust) {
+    ps::TrustManager trust;
+    for (int i = 0; i < 2; ++i) trust.penalize(7);
+    EXPECT_TRUE(trust.trusted(7));  // 0.5 - 0.24 = 0.26 > 0.2
+    trust.penalize(7);
+    EXPECT_FALSE(trust.trusted(7));  // 0.14 < 0.2
+    EXPECT_EQ(trust.distrusted_count(), 1u);
+    EXPECT_EQ(trust.penalties(), 3u);
+}
+
+TEST(TrustManager, HysteresisOnRedemption) {
+    ps::TrustManager trust;
+    for (int i = 0; i < 5; ++i) trust.penalize(7);
+    EXPECT_FALSE(trust.trusted(7));
+    // Crossing the distrust threshold alone is not enough...
+    while (trust.score(7) < 0.25) trust.reward(7);
+    EXPECT_FALSE(trust.trusted(7));
+    // ...it must recover past the redemption threshold.
+    while (trust.score(7) < 0.4) trust.reward(7);
+    EXPECT_TRUE(trust.trusted(7));
+}
+
+TEST(TrustManager, ScoresAreClamped) {
+    ps::TrustManager trust;
+    for (int i = 0; i < 1000; ++i) trust.reward(1);
+    EXPECT_LE(trust.score(1), 1.0);
+    for (int i = 0; i < 1000; ++i) trust.penalize(1);
+    EXPECT_GE(trust.score(1), 0.0);
+}
+
+TEST(TrustManager, PeersAreIndependent) {
+    ps::TrustManager trust;
+    for (int i = 0; i < 10; ++i) trust.penalize(1);
+    EXPECT_FALSE(trust.trusted(1));
+    EXPECT_TRUE(trust.trusted(2));
+}
+
+// Integration: trust + VPD surgically removes a Sybil ghost, restoring full
+// CACC -- better than quarantine alone, which parks everyone in ACC.
+TEST(TrustIntegration, SurgicallyExcludesSybilGhosts) {
+    auto run = [](bool trust_on) {
+        pc::ScenarioConfig config;
+        config.seed = 11;
+        config.platoon_size = 6;
+        config.security.vpd_ada = true;
+        config.security.trust_management = trust_on;
+        pc::Scenario scenario(config);
+        ps::SybilAttack attack;
+        attack.attach(scenario);
+        scenario.run_until(70.0);
+        return scenario.summarize();
+    };
+    const auto quarantine_only = run(false);
+    const auto with_trust = run(true);
+    EXPECT_EQ(with_trust.collisions, 0);
+    // Trust restores most of the platooning function that blanket
+    // quarantine sacrifices.
+    EXPECT_GT(with_trust.cacc_availability,
+              quarantine_only.cacc_availability);
+    EXPECT_LT(with_trust.spacing_rms_m, 0.7 * quarantine_only.spacing_rms_m);
+}
+
+TEST(TrustIntegration, CleanPlatoonStaysFullyTrusted) {
+    pc::ScenarioConfig config;
+    config.seed = 5;
+    config.platoon_size = 5;
+    config.security.vpd_ada = true;
+    config.security.trust_management = true;
+    pc::Scenario scenario(config);
+    scenario.run_until(60.0);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(scenario.vehicle(i).trust().distrusted_count(), 0u);
+    EXPECT_GT(scenario.summarize().cacc_availability, 0.98);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Risk, LikelihoodProfileOrdering) {
+    using pc::AttackKind;
+    using pc::likelihood_for;
+    // Passive/cheap attacks are more feasible than key-theft.
+    EXPECT_GT(static_cast<int>(likelihood_for(AttackKind::kEavesdropping)),
+              static_cast<int>(likelihood_for(AttackKind::kImpersonation)));
+    EXPECT_GT(static_cast<int>(likelihood_for(AttackKind::kJamming)),
+              static_cast<int>(likelihood_for(AttackKind::kSensorSpoofing)));
+}
+
+TEST(Risk, SeverityGrading) {
+    const std::map<std::string, double> clean{{"spacing_rms_m", 0.4}};
+
+    std::map<std::string, double> crash{{"collisions", 1.0}};
+    EXPECT_EQ(pc::severity_from_metrics(crash, clean), pc::Severity::kSevere);
+
+    std::map<std::string, double> near_miss{{"collisions", 0.0},
+                                            {"min_gap_m", 0.5}};
+    EXPECT_EQ(pc::severity_from_metrics(near_miss, clean),
+              pc::Severity::kMajor);
+
+    std::map<std::string, double> disband{{"min_gap_m", 5.0},
+                                          {"cacc_availability", 0.3},
+                                          {"spacing_rms_m", 16.0}};
+    EXPECT_EQ(pc::severity_from_metrics(disband, clean),
+              pc::Severity::kModerate);
+
+    std::map<std::string, double> privacy{{"min_gap_m", 5.0},
+                                          {"cacc_availability", 0.99},
+                                          {"spacing_rms_m", 0.4},
+                                          {"attack.decode_ratio", 1.0}};
+    EXPECT_EQ(pc::severity_from_metrics(privacy, clean),
+              pc::Severity::kMinor);
+
+    std::map<std::string, double> nothing{{"min_gap_m", 5.0},
+                                          {"cacc_availability", 0.99},
+                                          {"spacing_rms_m", 0.42}};
+    EXPECT_EQ(pc::severity_from_metrics(nothing, clean),
+              pc::Severity::kNegligible);
+}
+
+TEST(Risk, RegisterRanksByScore) {
+    const std::map<std::string, double> clean{{"spacing_rms_m", 0.4}};
+    std::map<std::string, double> crash{{"collisions", 1.0}};
+    std::map<std::string, double> mild{{"min_gap_m", 5.0},
+                                       {"cacc_availability", 0.99},
+                                       {"spacing_rms_m", 0.45}};
+    const auto reg = pc::build_risk_register({
+        {pc::AttackKind::kImpersonation, {crash, clean}},  // 1 x 5 = 5
+        {pc::AttackKind::kJamming, {crash, clean}},        // 5 x 5 = 25
+        {pc::AttackKind::kEavesdropping, {mild, clean}},   // 5 x 1 = 5
+    });
+    ASSERT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg[0].kind, pc::AttackKind::kJamming);
+    EXPECT_EQ(reg[0].score, 25);
+    for (std::size_t i = 1; i < reg.size(); ++i)
+        EXPECT_LE(reg[i].score, reg[i - 1].score);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+#include "sim/trace.hpp"
+
+using platoon::sim::RandomStream;
+
+namespace {
+
+TEST(Random, DeterministicForSameSeedAndName) {
+    RandomStream a(42, "stream");
+    RandomStream b(42, "stream");
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Random, DifferentNamesAreIndependent) {
+    RandomStream a(42, "alpha");
+    RandomStream b(42, "beta");
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a.bits() == b.bits();
+    EXPECT_LE(same, 1);
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+    RandomStream a(1, "s");
+    RandomStream b(2, "s");
+    EXPECT_NE(a.bits(), b.bits());
+}
+
+TEST(Random, UniformInUnitInterval) {
+    RandomStream rng(7, "uniform");
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformRangeRespected) {
+    RandomStream rng(8, "range");
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Random, UniformIntBounds) {
+    RandomStream rng(9, "int");
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_int(7), 7u);
+}
+
+TEST(Random, UniformIntCoversAllValues) {
+    RandomStream rng(10, "cover");
+    int counts[5] = {0, 0, 0, 0, 0};
+    for (int i = 0; i < 5000; ++i) ++counts[rng.uniform_int(5)];
+    for (const int c : counts) EXPECT_GT(c, 800);  // ~1000 expected
+}
+
+TEST(Random, NormalMoments) {
+    RandomStream rng(11, "normal");
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Random, ExponentialMean) {
+    RandomStream rng(12, "exp");
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+    EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Random, GammaMoments) {
+    RandomStream rng(13, "gamma");
+    // Gamma(k=3, theta=2): mean 6, var 12.
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.gamma(3.0, 2.0);
+        EXPECT_GT(x, 0.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 6.0, 0.15);
+    EXPECT_NEAR(sq / n - mean * mean, 12.0, 0.8);
+}
+
+TEST(Random, GammaSmallShape) {
+    RandomStream rng(14, "gamma-small");
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.gamma(0.5, 1.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+TEST(Random, NakagamiPowerUnitMean) {
+    RandomStream rng(15, "nakagami");
+    for (const double m : {0.5, 1.0, 3.0}) {
+        double sum = 0.0;
+        const int n = 30000;
+        for (int i = 0; i < n; ++i) sum += rng.nakagami_power(m);
+        EXPECT_NEAR(sum / n, 1.0, 0.06) << "m=" << m;
+    }
+}
+
+TEST(Random, ChanceEdgeCases) {
+    RandomStream rng(16, "chance");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Trace, SummaryStatistics) {
+    platoon::sim::TraceSeries s("x");
+    for (int i = 1; i <= 5; ++i)
+        s.record(static_cast<double>(i), static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.last(), 5.0);
+    EXPECT_NEAR(s.rms(), std::sqrt(55.0 / 5.0), 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.mean_after(3.0), 4.0);
+    EXPECT_DOUBLE_EQ(s.max_abs_after(4.0), 5.0);
+}
+
+TEST(Trace, RecorderFindsSeriesByName) {
+    platoon::sim::TraceRecorder rec;
+    rec.series("a").record(0.0, 1.0);
+    rec.series("b").record(0.0, 2.0);
+    rec.series("a").record(1.0, 3.0);
+    EXPECT_EQ(rec.series_count(), 2u);
+    ASSERT_NE(rec.find("a"), nullptr);
+    EXPECT_EQ(rec.find("a")->size(), 2u);
+    EXPECT_EQ(rec.find("missing"), nullptr);
+}
+
+}  // namespace

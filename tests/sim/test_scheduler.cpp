@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+using platoon::sim::EventHandle;
+using platoon::sim::Scheduler;
+
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(3.0, [&] { order.push_back(3); });
+    s.schedule_at(1.0, [&] { order.push_back(1); });
+    s.schedule_at(2.0, [&] { order.push_back(2); });
+    s.run_until(10.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 10.0);
+}
+
+TEST(Scheduler, EqualTimesRunFifo) {
+    Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    }
+    s.run_until(2.0);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, TimeAdvancesDuringEvents) {
+    Scheduler s;
+    double seen = -1.0;
+    s.schedule_at(5.5, [&] { seen = s.now(); });
+    s.run_until(10.0);
+    EXPECT_EQ(seen, 5.5);
+}
+
+TEST(Scheduler, RunUntilStopsBeforeFutureEvents) {
+    Scheduler s;
+    bool ran = false;
+    s.schedule_at(5.0, [&] { ran = true; });
+    s.run_until(4.0);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(s.now(), 4.0);
+    s.run_until(6.0);
+    EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+    Scheduler s;
+    s.run_until(2.0);
+    double fired_at = -1.0;
+    s.schedule_in(3.0, [&] { fired_at = s.now(); });
+    s.run_until(10.0);
+    EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Scheduler, PeriodicEventRepeats) {
+    Scheduler s;
+    int count = 0;
+    s.schedule_every(1.0, 0.5, [&] { ++count; });
+    s.run_until(3.01);
+    // Fires at 1.0, 1.5, 2.0, 2.5, 3.0.
+    EXPECT_EQ(count, 5);
+}
+
+TEST(Scheduler, CancelPendingEvent) {
+    Scheduler s;
+    bool ran = false;
+    const EventHandle h = s.schedule_at(1.0, [&] { ran = true; });
+    s.cancel(h);
+    s.run_until(2.0);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelPeriodicStopsRepeats) {
+    Scheduler s;
+    int count = 0;
+    const EventHandle h = s.schedule_every(1.0, 1.0, [&] { ++count; });
+    s.schedule_at(2.5, [&] { s.cancel(h); });
+    s.run_until(10.0);
+    EXPECT_EQ(count, 2);  // t=1, t=2 only
+}
+
+TEST(Scheduler, PeriodicCanCancelItself) {
+    Scheduler s;
+    int count = 0;
+    EventHandle h;
+    h = s.schedule_every(1.0, 1.0, [&] {
+        if (++count == 3) s.cancel(h);
+    });
+    s.run_until(10.0);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, CancelFiredEventIsNoop) {
+    Scheduler s;
+    const EventHandle h = s.schedule_at(1.0, [] {});
+    s.run_until(2.0);
+    s.cancel(h);  // must not crash or corrupt state
+    EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelInvalidHandleIsNoop) {
+    Scheduler s;
+    s.cancel(EventHandle{});
+    EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+    Scheduler s;
+    std::vector<double> times;
+    s.schedule_at(1.0, [&] {
+        times.push_back(s.now());
+        s.schedule_in(0.5, [&] { times.push_back(s.now()); });
+    });
+    s.run_until(5.0);
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(Scheduler, RequestStopReturnsImmediately) {
+    Scheduler s;
+    int count = 0;
+    s.schedule_at(1.0, [&] {
+        ++count;
+        s.request_stop();
+    });
+    s.schedule_at(2.0, [&] { ++count; });
+    const auto executed = s.run_until(10.0);
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(s.now(), 1.0);  // did not jump to 10
+    s.run_until(10.0);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+    Scheduler s;
+    int count = 0;
+    s.schedule_at(1.0, [&] { ++count; });
+    s.schedule_at(2.0, [&] { ++count; });
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, PendingCountsLiveEvents) {
+    Scheduler s;
+    const EventHandle a = s.schedule_at(1.0, [] {});
+    s.schedule_at(2.0, [] {});
+    s.schedule_every(3.0, 1.0, [] {});
+    EXPECT_EQ(s.pending(), 3u);
+    s.cancel(a);
+    EXPECT_EQ(s.pending(), 2u);
+    s.run_until(1.5);
+    EXPECT_EQ(s.pending(), 2u);  // one fired was already cancelled
+}
+
+TEST(Scheduler, ManyEventsStressOrder) {
+    Scheduler s;
+    double last = -1.0;
+    bool monotone = true;
+    for (int i = 0; i < 5000; ++i) {
+        const double t = static_cast<double>((i * 7919) % 1000) / 10.0;
+        s.schedule_at(t, [&, t] {
+            if (t < last) monotone = false;
+            last = t;
+        });
+    }
+    s.run_until(200.0);
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(s.executed(), 5000u);
+}
+
+}  // namespace

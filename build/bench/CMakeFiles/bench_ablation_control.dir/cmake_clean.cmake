@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_control.dir/bench_ablation_control.cpp.o"
+  "CMakeFiles/bench_ablation_control.dir/bench_ablation_control.cpp.o.d"
+  "bench_ablation_control"
+  "bench_ablation_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_threats.dir/bench_table2_threats.cpp.o"
+  "CMakeFiles/bench_table2_threats.dir/bench_table2_threats.cpp.o.d"
+  "bench_table2_threats"
+  "bench_table2_threats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_threats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

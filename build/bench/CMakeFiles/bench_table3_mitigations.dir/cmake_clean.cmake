@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mitigations.dir/bench_table3_mitigations.cpp.o"
+  "CMakeFiles/bench_table3_mitigations.dir/bench_table3_mitigations.cpp.o.d"
+  "bench_table3_mitigations"
+  "bench_table3_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eavesdropper_privacy.dir/eavesdropper_privacy.cpp.o"
+  "CMakeFiles/eavesdropper_privacy.dir/eavesdropper_privacy.cpp.o.d"
+  "eavesdropper_privacy"
+  "eavesdropper_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eavesdropper_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_vlc_jamming.dir/hybrid_vlc_jamming.cpp.o"
+  "CMakeFiles/hybrid_vlc_jamming.dir/hybrid_vlc_jamming.cpp.o.d"
+  "hybrid_vlc_jamming"
+  "hybrid_vlc_jamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_vlc_jamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_join_under_dos.dir/secure_join_under_dos.cpp.o"
+  "CMakeFiles/secure_join_under_dos.dir/secure_join_under_dos.cpp.o.d"
+  "secure_join_under_dos"
+  "secure_join_under_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_join_under_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for secure_join_under_dos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/controller.cpp" "src/control/CMakeFiles/platoon_control.dir/controller.cpp.o" "gcc" "src/control/CMakeFiles/platoon_control.dir/controller.cpp.o.d"
+  "/root/repo/src/control/fallback.cpp" "src/control/CMakeFiles/platoon_control.dir/fallback.cpp.o" "gcc" "src/control/CMakeFiles/platoon_control.dir/fallback.cpp.o.d"
+  "/root/repo/src/control/platoon.cpp" "src/control/CMakeFiles/platoon_control.dir/platoon.cpp.o" "gcc" "src/control/CMakeFiles/platoon_control.dir/platoon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/platoon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/platoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/platoon_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

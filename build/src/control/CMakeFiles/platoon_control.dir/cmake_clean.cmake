@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_control.dir/controller.cpp.o"
+  "CMakeFiles/platoon_control.dir/controller.cpp.o.d"
+  "CMakeFiles/platoon_control.dir/fallback.cpp.o"
+  "CMakeFiles/platoon_control.dir/fallback.cpp.o.d"
+  "CMakeFiles/platoon_control.dir/platoon.cpp.o"
+  "CMakeFiles/platoon_control.dir/platoon.cpp.o.d"
+  "libplatoon_control.a"
+  "libplatoon_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

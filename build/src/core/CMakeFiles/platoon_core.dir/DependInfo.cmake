@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/platoon_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/platoon_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/platoon_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/platoon_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/platoon_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/platoon_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/risk.cpp" "src/core/CMakeFiles/platoon_core.dir/risk.cpp.o" "gcc" "src/core/CMakeFiles/platoon_core.dir/risk.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/platoon_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/platoon_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/taxonomy.cpp" "src/core/CMakeFiles/platoon_core.dir/taxonomy.cpp.o" "gcc" "src/core/CMakeFiles/platoon_core.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/core/vehicle.cpp" "src/core/CMakeFiles/platoon_core.dir/vehicle.cpp.o" "gcc" "src/core/CMakeFiles/platoon_core.dir/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/platoon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/platoon_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/platoon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/platoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/platoon_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsu/CMakeFiles/platoon_rsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/platoon_defense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

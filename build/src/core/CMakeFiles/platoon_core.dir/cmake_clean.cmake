@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_core.dir/experiment.cpp.o"
+  "CMakeFiles/platoon_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/platoon_core.dir/metrics.cpp.o"
+  "CMakeFiles/platoon_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/platoon_core.dir/report.cpp.o"
+  "CMakeFiles/platoon_core.dir/report.cpp.o.d"
+  "CMakeFiles/platoon_core.dir/risk.cpp.o"
+  "CMakeFiles/platoon_core.dir/risk.cpp.o.d"
+  "CMakeFiles/platoon_core.dir/scenario.cpp.o"
+  "CMakeFiles/platoon_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/platoon_core.dir/taxonomy.cpp.o"
+  "CMakeFiles/platoon_core.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/platoon_core.dir/vehicle.cpp.o"
+  "CMakeFiles/platoon_core.dir/vehicle.cpp.o.d"
+  "libplatoon_core.a"
+  "libplatoon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

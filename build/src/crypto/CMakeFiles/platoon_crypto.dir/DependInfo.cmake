@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bytes.cpp" "src/crypto/CMakeFiles/platoon_crypto.dir/bytes.cpp.o" "gcc" "src/crypto/CMakeFiles/platoon_crypto.dir/bytes.cpp.o.d"
+  "/root/repo/src/crypto/cert.cpp" "src/crypto/CMakeFiles/platoon_crypto.dir/cert.cpp.o" "gcc" "src/crypto/CMakeFiles/platoon_crypto.dir/cert.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/platoon_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/platoon_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/eddsa.cpp" "src/crypto/CMakeFiles/platoon_crypto.dir/eddsa.cpp.o" "gcc" "src/crypto/CMakeFiles/platoon_crypto.dir/eddsa.cpp.o.d"
+  "/root/repo/src/crypto/fading_key_agreement.cpp" "src/crypto/CMakeFiles/platoon_crypto.dir/fading_key_agreement.cpp.o" "gcc" "src/crypto/CMakeFiles/platoon_crypto.dir/fading_key_agreement.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/platoon_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/platoon_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/secured_message.cpp" "src/crypto/CMakeFiles/platoon_crypto.dir/secured_message.cpp.o" "gcc" "src/crypto/CMakeFiles/platoon_crypto.dir/secured_message.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/platoon_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/platoon_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/u256.cpp" "src/crypto/CMakeFiles/platoon_crypto.dir/u256.cpp.o" "gcc" "src/crypto/CMakeFiles/platoon_crypto.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/platoon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

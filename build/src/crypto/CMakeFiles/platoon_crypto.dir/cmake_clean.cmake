@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/platoon_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/platoon_crypto.dir/cert.cpp.o"
+  "CMakeFiles/platoon_crypto.dir/cert.cpp.o.d"
+  "CMakeFiles/platoon_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/platoon_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/platoon_crypto.dir/eddsa.cpp.o"
+  "CMakeFiles/platoon_crypto.dir/eddsa.cpp.o.d"
+  "CMakeFiles/platoon_crypto.dir/fading_key_agreement.cpp.o"
+  "CMakeFiles/platoon_crypto.dir/fading_key_agreement.cpp.o.d"
+  "CMakeFiles/platoon_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/platoon_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/platoon_crypto.dir/secured_message.cpp.o"
+  "CMakeFiles/platoon_crypto.dir/secured_message.cpp.o.d"
+  "CMakeFiles/platoon_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/platoon_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/platoon_crypto.dir/u256.cpp.o"
+  "CMakeFiles/platoon_crypto.dir/u256.cpp.o.d"
+  "libplatoon_crypto.a"
+  "libplatoon_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

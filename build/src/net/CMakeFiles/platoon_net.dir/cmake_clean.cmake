@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_net.dir/channel.cpp.o"
+  "CMakeFiles/platoon_net.dir/channel.cpp.o.d"
+  "CMakeFiles/platoon_net.dir/message.cpp.o"
+  "CMakeFiles/platoon_net.dir/message.cpp.o.d"
+  "CMakeFiles/platoon_net.dir/network.cpp.o"
+  "CMakeFiles/platoon_net.dir/network.cpp.o.d"
+  "libplatoon_net.a"
+  "libplatoon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/fuel.cpp" "src/phys/CMakeFiles/platoon_phys.dir/fuel.cpp.o" "gcc" "src/phys/CMakeFiles/platoon_phys.dir/fuel.cpp.o.d"
+  "/root/repo/src/phys/sensors.cpp" "src/phys/CMakeFiles/platoon_phys.dir/sensors.cpp.o" "gcc" "src/phys/CMakeFiles/platoon_phys.dir/sensors.cpp.o.d"
+  "/root/repo/src/phys/vehicle_dynamics.cpp" "src/phys/CMakeFiles/platoon_phys.dir/vehicle_dynamics.cpp.o" "gcc" "src/phys/CMakeFiles/platoon_phys.dir/vehicle_dynamics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/platoon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

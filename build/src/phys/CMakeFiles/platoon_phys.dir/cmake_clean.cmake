@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_phys.dir/fuel.cpp.o"
+  "CMakeFiles/platoon_phys.dir/fuel.cpp.o.d"
+  "CMakeFiles/platoon_phys.dir/sensors.cpp.o"
+  "CMakeFiles/platoon_phys.dir/sensors.cpp.o.d"
+  "CMakeFiles/platoon_phys.dir/vehicle_dynamics.cpp.o"
+  "CMakeFiles/platoon_phys.dir/vehicle_dynamics.cpp.o.d"
+  "libplatoon_phys.a"
+  "libplatoon_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsu/rsu.cpp" "src/rsu/CMakeFiles/platoon_rsu.dir/rsu.cpp.o" "gcc" "src/rsu/CMakeFiles/platoon_rsu.dir/rsu.cpp.o.d"
+  "/root/repo/src/rsu/trusted_authority.cpp" "src/rsu/CMakeFiles/platoon_rsu.dir/trusted_authority.cpp.o" "gcc" "src/rsu/CMakeFiles/platoon_rsu.dir/trusted_authority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/platoon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/platoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/platoon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_rsu.dir/rsu.cpp.o"
+  "CMakeFiles/platoon_rsu.dir/rsu.cpp.o.d"
+  "CMakeFiles/platoon_rsu.dir/trusted_authority.cpp.o"
+  "CMakeFiles/platoon_rsu.dir/trusted_authority.cpp.o.d"
+  "libplatoon_rsu.a"
+  "libplatoon_rsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_rsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

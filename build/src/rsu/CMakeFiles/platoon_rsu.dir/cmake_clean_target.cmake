@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplatoon_rsu.a"
+)

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/attacks/attack.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/attack.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/attack.cpp.o.d"
+  "/root/repo/src/security/attacks/dos.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/dos.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/dos.cpp.o.d"
+  "/root/repo/src/security/attacks/eavesdrop.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/eavesdrop.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/eavesdrop.cpp.o.d"
+  "/root/repo/src/security/attacks/fake_maneuver.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/fake_maneuver.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/fake_maneuver.cpp.o.d"
+  "/root/repo/src/security/attacks/gps_spoof.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/gps_spoof.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/gps_spoof.cpp.o.d"
+  "/root/repo/src/security/attacks/impersonation.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/impersonation.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/impersonation.cpp.o.d"
+  "/root/repo/src/security/attacks/jamming.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/jamming.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/jamming.cpp.o.d"
+  "/root/repo/src/security/attacks/malware.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/malware.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/malware.cpp.o.d"
+  "/root/repo/src/security/attacks/replay.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/replay.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/replay.cpp.o.d"
+  "/root/repo/src/security/attacks/rogue_rsu.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/rogue_rsu.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/rogue_rsu.cpp.o.d"
+  "/root/repo/src/security/attacks/sensor_spoof.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/sensor_spoof.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/sensor_spoof.cpp.o.d"
+  "/root/repo/src/security/attacks/sybil.cpp" "src/security/CMakeFiles/platoon_attacks.dir/attacks/sybil.cpp.o" "gcc" "src/security/CMakeFiles/platoon_attacks.dir/attacks/sybil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/platoon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/platoon_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/platoon_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsu/CMakeFiles/platoon_rsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/platoon_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/platoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/platoon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/platoon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

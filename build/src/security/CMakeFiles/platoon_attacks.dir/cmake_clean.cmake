@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_attacks.dir/attacks/attack.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/attack.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/dos.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/dos.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/eavesdrop.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/eavesdrop.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/fake_maneuver.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/fake_maneuver.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/gps_spoof.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/gps_spoof.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/impersonation.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/impersonation.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/jamming.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/jamming.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/malware.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/malware.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/replay.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/replay.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/rogue_rsu.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/rogue_rsu.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/sensor_spoof.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/sensor_spoof.cpp.o.d"
+  "CMakeFiles/platoon_attacks.dir/attacks/sybil.cpp.o"
+  "CMakeFiles/platoon_attacks.dir/attacks/sybil.cpp.o.d"
+  "libplatoon_attacks.a"
+  "libplatoon_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

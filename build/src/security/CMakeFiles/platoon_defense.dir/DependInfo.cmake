@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/defense/hybrid_comms.cpp" "src/security/CMakeFiles/platoon_defense.dir/defense/hybrid_comms.cpp.o" "gcc" "src/security/CMakeFiles/platoon_defense.dir/defense/hybrid_comms.cpp.o.d"
+  "/root/repo/src/security/defense/onboard.cpp" "src/security/CMakeFiles/platoon_defense.dir/defense/onboard.cpp.o" "gcc" "src/security/CMakeFiles/platoon_defense.dir/defense/onboard.cpp.o.d"
+  "/root/repo/src/security/defense/policy.cpp" "src/security/CMakeFiles/platoon_defense.dir/defense/policy.cpp.o" "gcc" "src/security/CMakeFiles/platoon_defense.dir/defense/policy.cpp.o.d"
+  "/root/repo/src/security/defense/trust.cpp" "src/security/CMakeFiles/platoon_defense.dir/defense/trust.cpp.o" "gcc" "src/security/CMakeFiles/platoon_defense.dir/defense/trust.cpp.o.d"
+  "/root/repo/src/security/defense/vpd_ada.cpp" "src/security/CMakeFiles/platoon_defense.dir/defense/vpd_ada.cpp.o" "gcc" "src/security/CMakeFiles/platoon_defense.dir/defense/vpd_ada.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/platoon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/platoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/platoon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_defense.dir/defense/hybrid_comms.cpp.o"
+  "CMakeFiles/platoon_defense.dir/defense/hybrid_comms.cpp.o.d"
+  "CMakeFiles/platoon_defense.dir/defense/onboard.cpp.o"
+  "CMakeFiles/platoon_defense.dir/defense/onboard.cpp.o.d"
+  "CMakeFiles/platoon_defense.dir/defense/policy.cpp.o"
+  "CMakeFiles/platoon_defense.dir/defense/policy.cpp.o.d"
+  "CMakeFiles/platoon_defense.dir/defense/trust.cpp.o"
+  "CMakeFiles/platoon_defense.dir/defense/trust.cpp.o.d"
+  "CMakeFiles/platoon_defense.dir/defense/vpd_ada.cpp.o"
+  "CMakeFiles/platoon_defense.dir/defense/vpd_ada.cpp.o.d"
+  "libplatoon_defense.a"
+  "libplatoon_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

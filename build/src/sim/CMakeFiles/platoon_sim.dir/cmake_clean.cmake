@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platoon_sim.dir/random.cpp.o"
+  "CMakeFiles/platoon_sim.dir/random.cpp.o.d"
+  "CMakeFiles/platoon_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/platoon_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/platoon_sim.dir/trace.cpp.o"
+  "CMakeFiles/platoon_sim.dir/trace.cpp.o.d"
+  "libplatoon_sim.a"
+  "libplatoon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

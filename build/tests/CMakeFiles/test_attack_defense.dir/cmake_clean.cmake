@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_defense.dir/security/test_attack_defense.cpp.o"
+  "CMakeFiles/test_attack_defense.dir/security/test_attack_defense.cpp.o.d"
+  "test_attack_defense"
+  "test_attack_defense.pdb"
+  "test_attack_defense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_bignum_curve.dir/crypto/test_bignum_curve.cpp.o"
+  "CMakeFiles/test_crypto_bignum_curve.dir/crypto/test_bignum_curve.cpp.o.d"
+  "test_crypto_bignum_curve"
+  "test_crypto_bignum_curve.pdb"
+  "test_crypto_bignum_curve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_bignum_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

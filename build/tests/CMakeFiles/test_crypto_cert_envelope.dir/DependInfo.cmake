@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_cert_envelope.cpp" "tests/CMakeFiles/test_crypto_cert_envelope.dir/crypto/test_cert_envelope.cpp.o" "gcc" "tests/CMakeFiles/test_crypto_cert_envelope.dir/crypto/test_cert_envelope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/platoon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/platoon_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/platoon_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/platoon_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsu/CMakeFiles/platoon_rsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/platoon_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/platoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/platoon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/platoon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_cert_envelope.dir/crypto/test_cert_envelope.cpp.o"
+  "CMakeFiles/test_crypto_cert_envelope.dir/crypto/test_cert_envelope.cpp.o.d"
+  "test_crypto_cert_envelope"
+  "test_crypto_cert_envelope.pdb"
+  "test_crypto_cert_envelope[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_cert_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_fading_ka.dir/crypto/test_fading_ka.cpp.o"
+  "CMakeFiles/test_crypto_fading_ka.dir/crypto/test_fading_ka.cpp.o.d"
+  "test_crypto_fading_ka"
+  "test_crypto_fading_ka.pdb"
+  "test_crypto_fading_ka[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_fading_ka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

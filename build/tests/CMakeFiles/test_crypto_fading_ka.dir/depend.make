@@ -1,0 +1,2 @@
+# Empty dependencies file for test_crypto_fading_ka.
+# This may be replaced when dependencies are built.

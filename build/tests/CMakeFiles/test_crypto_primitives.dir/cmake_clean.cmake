@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_primitives.dir/crypto/test_primitives.cpp.o"
+  "CMakeFiles/test_crypto_primitives.dir/crypto/test_primitives.cpp.o.d"
+  "test_crypto_primitives"
+  "test_crypto_primitives.pdb"
+  "test_crypto_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

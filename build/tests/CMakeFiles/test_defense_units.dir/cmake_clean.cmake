@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defense_units.dir/security/test_defense_units.cpp.o"
+  "CMakeFiles/test_defense_units.dir/security/test_defense_units.cpp.o.d"
+  "test_defense_units"
+  "test_defense_units.pdb"
+  "test_defense_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defense_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eddsa_edge.dir/crypto/test_eddsa_edge.cpp.o"
+  "CMakeFiles/test_eddsa_edge.dir/crypto/test_eddsa_edge.cpp.o.d"
+  "test_eddsa_edge"
+  "test_eddsa_edge.pdb"
+  "test_eddsa_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eddsa_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

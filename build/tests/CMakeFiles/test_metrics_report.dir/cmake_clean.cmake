@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_report.dir/core/test_metrics_report.cpp.o"
+  "CMakeFiles/test_metrics_report.dir/core/test_metrics_report.cpp.o.d"
+  "test_metrics_report"
+  "test_metrics_report.pdb"
+  "test_metrics_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

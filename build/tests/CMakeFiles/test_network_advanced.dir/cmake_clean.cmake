@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_advanced.dir/net/test_network_advanced.cpp.o"
+  "CMakeFiles/test_network_advanced.dir/net/test_network_advanced.cpp.o.d"
+  "test_network_advanced"
+  "test_network_advanced.pdb"
+  "test_network_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

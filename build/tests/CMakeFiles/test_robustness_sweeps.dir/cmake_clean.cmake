@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robustness_sweeps.dir/core/test_robustness_sweeps.cpp.o"
+  "CMakeFiles/test_robustness_sweeps.dir/core/test_robustness_sweeps.cpp.o.d"
+  "test_robustness_sweeps"
+  "test_robustness_sweeps.pdb"
+  "test_robustness_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robustness_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

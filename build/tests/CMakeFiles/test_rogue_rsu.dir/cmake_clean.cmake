@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rogue_rsu.dir/security/test_rogue_rsu.cpp.o"
+  "CMakeFiles/test_rogue_rsu.dir/security/test_rogue_rsu.cpp.o.d"
+  "test_rogue_rsu"
+  "test_rogue_rsu.pdb"
+  "test_rogue_rsu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rogue_rsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsu.dir/rsu/test_rsu.cpp.o"
+  "CMakeFiles/test_rsu.dir/rsu/test_rsu.cpp.o.d"
+  "test_rsu"
+  "test_rsu.pdb"
+  "test_rsu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_random.dir/sim/test_random.cpp.o"
+  "CMakeFiles/test_sim_random.dir/sim/test_random.cpp.o.d"
+  "test_sim_random"
+  "test_sim_random.pdb"
+  "test_sim_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trust_risk.dir/security/test_trust_risk.cpp.o"
+  "CMakeFiles/test_trust_risk.dir/security/test_trust_risk.cpp.o.d"
+  "test_trust_risk"
+  "test_trust_risk.pdb"
+  "test_trust_risk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trust_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

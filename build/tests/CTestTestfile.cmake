@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_random[1]_include.cmake")
+include("/root/repo/build/tests/test_phys[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_primitives[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_bignum_curve[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_cert_envelope[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_fading_ka[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_controllers[1]_include.cmake")
+include("/root/repo/build/tests/test_defense_units[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_attack_defense[1]_include.cmake")
+include("/root/repo/build/tests/test_rsu[1]_include.cmake")
+include("/root/repo/build/tests/test_trust_risk[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics_report[1]_include.cmake")
+include("/root/repo/build/tests/test_eddsa_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_network_advanced[1]_include.cmake")
+include("/root/repo/build/tests/test_rogue_rsu[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness_sweeps[1]_include.cmake")

@@ -33,23 +33,34 @@ void controller_loss_sweep() {
         {platoon::control::ControllerType::kCaccPloeg, 29.5},
         {platoon::control::ControllerType::kAcc, 32.0},
     };
+    const std::vector<double> duties{0.0, 0.3, 1.0};
+    std::vector<std::function<pb::MetricMap()>> cells;
     for (const auto& c : cases) {
-        for (const double duty : {0.0, 0.3, 1.0}) {
-            auto config = pb::eval_config();
-            config.controller = c.type;
-            config.initial_gap_m = c.desired_gap;
-            config.metrics.desired_gap_m = c.desired_gap;
-            pc::Scenario scenario(config);
-            std::shared_ptr<ps::JammingAttack> attack;
-            if (duty > 0.0) {
-                ps::JammingAttack::Params params;
-                params.duty_cycle = duty;
-                params.power_dbm = 40.0;
-                attack = std::make_shared<ps::JammingAttack>(params);
-                attack->attach(scenario);
-            }
-            scenario.run_until(pb::kEvalDuration);
-            const auto m = scenario.summarize().as_map();
+        for (const double duty : duties) {
+            cells.emplace_back([c, duty] {
+                auto config = pb::eval_config();
+                config.controller = c.type;
+                config.initial_gap_m = c.desired_gap;
+                config.metrics.desired_gap_m = c.desired_gap;
+                pc::Scenario scenario(config);
+                std::shared_ptr<ps::JammingAttack> attack;
+                if (duty > 0.0) {
+                    ps::JammingAttack::Params params;
+                    params.duty_cycle = duty;
+                    params.power_dbm = 40.0;
+                    attack = std::make_shared<ps::JammingAttack>(params);
+                    attack->attach(scenario);
+                }
+                scenario.run_until(pb::kEvalDuration);
+                return scenario.summarize().as_map();
+            });
+        }
+    }
+    const auto results = pc::run_grid(std::move(cells), pb::jobs());
+    std::size_t cell = 0;
+    for (const auto& c : cases) {
+        for (const double duty : duties) {
+            const auto& m = results[cell++];
             table.add_row({platoon::control::to_string(c.type),
                            pc::Table::num(duty),
                            pc::Table::num(pb::metric(m, "spacing_rms_m")),
@@ -70,8 +81,10 @@ void dos_rate_sweep() {
                      "DoS join-flood rate vs legitimate join success");
     pc::Table table({"flood rate (req/s)", "open: joined?",
                      "signed: joined?", "signed: flood rejected"});
-    for (const double rate : {0.0, 0.5, 2.0, 5.0, 20.0}) {
-        const auto run = [&](bool sign) {
+    const std::vector<double> rates{0.0, 0.5, 2.0, 5.0, 20.0};
+    std::vector<std::function<pb::MetricMap()>> cells;
+    for (const double rate : rates) {
+        const auto run = [rate](bool sign) {
             auto config = pb::eval_config();
             if (sign)
                 config.security.auth_mode = platoon::crypto::AuthMode::kSignature;
@@ -106,9 +119,14 @@ void dos_rate_sweep() {
                 scenario.leader().counters().rejected_total());
             return m;
         };
-        const auto open = run(false);
-        const auto defended = run(true);
-        table.add_row({pc::Table::num(rate),
+        cells.emplace_back([run] { return run(false); });
+        cells.emplace_back([run] { return run(true); });
+    }
+    const auto results = pc::run_grid(std::move(cells), pb::jobs());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const auto& open = results[2 * i];
+        const auto& defended = results[2 * i + 1];
+        table.add_row({pc::Table::num(rates[i]),
                        pb::metric(open, "joined") > 0.5 ? "yes" : "NO",
                        pb::metric(defended, "joined") > 0.5 ? "yes" : "NO",
                        pc::Table::num(pb::metric(defended, "rejected"))});
@@ -136,6 +154,7 @@ BENCHMARK(BM_ControllerScenario)
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::print_jobs_banner("bench_ablation_control");
     controller_loss_sweep();
     dos_rate_sweep();
     benchmark::Initialize(&argc, argv);

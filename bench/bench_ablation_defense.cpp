@@ -74,8 +74,10 @@ void vpd_threshold_sweep() {
     pc::Table table({"gap threshold (m)", "clean: detections (FP)",
                      "attacked: detections", "attacked: 1st detection (s)",
                      "attacked: min gap (m)"});
-    for (const double threshold : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0}) {
-        const auto run = [&](bool attacked) {
+    const std::vector<double> thresholds{1.0, 2.0, 3.0, 4.0, 6.0, 8.0};
+    std::vector<std::function<pb::MetricMap()>> cells;
+    for (const double threshold : thresholds) {
+        const auto run = [threshold](bool attacked) {
             auto config = pb::eval_config();
             config.security.vpd_ada = true;
             pc::Scenario scenario(config);
@@ -104,11 +106,16 @@ void vpd_threshold_sweep() {
             m["first"] = first;
             return m;
         };
-        const auto clean = run(false);
-        const auto attacked = run(true);
+        cells.emplace_back([run] { return run(false); });
+        cells.emplace_back([run] { return run(true); });
+    }
+    const auto results = pc::run_grid(std::move(cells), pb::jobs());
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        const auto& clean = results[2 * i];
+        const auto& attacked = results[2 * i + 1];
         const double first = pb::metric(attacked, "first", -1.0);
         table.add_row(
-            {pc::Table::num(threshold),
+            {pc::Table::num(thresholds[i]),
              pc::Table::num(pb::metric(clean, "vpd")),
              pc::Table::num(pb::metric(attacked, "vpd")),
              first >= 0.0 ? pc::Table::num(first - 20.0) : "never",
@@ -122,18 +129,28 @@ void pseudonym_period_sweep() {
                      "Pseudonym rotation period vs eavesdropper linkability");
     pc::Table table({"rotation period (s)", "longest linkable track (s)",
                      "identities seen"});
-    for (const double period : {0.0, 5.0, 10.0, 20.0, 40.0}) {
-        auto config = pb::eval_config();
-        config.security.auth_mode = pcr::AuthMode::kSignature;
-        config.security.pseudonym_rotation_s = period;
-        pc::Scenario scenario(config);
-        platoon::security::EavesdropAttack attack;
-        attack.attach(scenario);
-        scenario.run_until(pb::kEvalDuration);
-        pb::MetricMap stats;
-        attack.collect(stats);
-        table.add_row({period == 0.0 ? "never" : pc::Table::num(period),
-                       pc::Table::num(attack.longest_track_s()),
+    const std::vector<double> periods{0.0, 5.0, 10.0, 20.0, 40.0};
+    std::vector<std::function<pb::MetricMap()>> cells;
+    for (const double period : periods) {
+        cells.emplace_back([period] {
+            auto config = pb::eval_config();
+            config.security.auth_mode = pcr::AuthMode::kSignature;
+            config.security.pseudonym_rotation_s = period;
+            pc::Scenario scenario(config);
+            platoon::security::EavesdropAttack attack;
+            attack.attach(scenario);
+            scenario.run_until(pb::kEvalDuration);
+            pb::MetricMap stats;
+            attack.collect(stats);
+            stats["longest_track_s"] = attack.longest_track_s();
+            return stats;
+        });
+    }
+    const auto results = pc::run_grid(std::move(cells), pb::jobs());
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+        const auto& stats = results[i];
+        table.add_row({periods[i] == 0.0 ? "never" : pc::Table::num(periods[i]),
+                       pc::Table::num(pb::metric(stats, "longest_track_s")),
                        pc::Table::num(
                            pb::metric(stats, "attack.identities_tracked"))});
     }
@@ -221,6 +238,7 @@ BENCHMARK(BM_FadingKeyAgreement);
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::print_jobs_banner("bench_ablation_defense");
     fka_noise_sweep();
     vpd_threshold_sweep();
     pseudonym_period_sweep();

@@ -41,15 +41,23 @@ void replay_rate_sweep() {
                      "injection bandwidth");
     pc::Table table({"replay rate (Hz)", "spacing RMS (m)",
                      "speed stddev (m/s)", "max |accel| (m/s^2)"});
-    for (const double rate : {0.0, 2.0, 5.0, 10.0, 20.0, 40.0}) {
-        const auto m = run_with([rate](pc::Scenario&)
-                                    -> std::unique_ptr<platoon::security::Attack> {
-            if (rate <= 0.0) return nullptr;
-            ps::ReplayAttack::Params params;
-            params.replay_rate_hz = rate;
-            return std::make_unique<ps::ReplayAttack>(params);
+    const std::vector<double> rates{0.0, 2.0, 5.0, 10.0, 20.0, 40.0};
+    std::vector<std::function<pb::MetricMap()>> cells;
+    for (const double rate : rates) {
+        cells.emplace_back([rate] {
+            return run_with([rate](pc::Scenario&)
+                                -> std::unique_ptr<platoon::security::Attack> {
+                if (rate <= 0.0) return nullptr;
+                ps::ReplayAttack::Params params;
+                params.replay_rate_hz = rate;
+                return std::make_unique<ps::ReplayAttack>(params);
+            });
         });
-        table.add_row({pc::Table::num(rate),
+    }
+    const auto results = pc::run_grid(std::move(cells), pb::jobs());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const auto& m = results[i];
+        table.add_row({pc::Table::num(rates[i]),
                        pc::Table::num(pb::metric(m, "spacing_rms_m")),
                        pc::Table::num(pb::metric(m, "follower_speed_stddev")),
                        pc::Table::num(pb::metric(m, "max_abs_accel"))});
@@ -63,7 +71,10 @@ void jammer_power_sweep() {
     pc::Table table({"jammer power (dBm)", "PDR (rf-only)",
                      "CACC avail (rf-only)", "spacing RMS (rf-only)",
                      "CACC avail (hybrid)", "spacing RMS (hybrid)"});
-    for (const double power : {-100.0, 10.0, 20.0, 25.0, 30.0, 35.0, 40.0}) {
+    const std::vector<double> powers{-100.0, 10.0, 20.0, 25.0,
+                                     30.0,   35.0, 40.0};
+    std::vector<std::function<pb::MetricMap()>> cells;
+    for (const double power : powers) {
         const auto factory = [power](pc::Scenario&)
             -> std::unique_ptr<platoon::security::Attack> {
             if (power < -50.0) return nullptr;  // no jammer baseline
@@ -71,8 +82,14 @@ void jammer_power_sweep() {
             params.power_dbm = power;
             return std::make_unique<ps::JammingAttack>(params);
         };
-        const auto rf = run_with(factory, false);
-        const auto hy = run_with(factory, true);
+        cells.emplace_back([factory] { return run_with(factory, false); });
+        cells.emplace_back([factory] { return run_with(factory, true); });
+    }
+    const auto results = pc::run_grid(std::move(cells), pb::jobs());
+    for (std::size_t i = 0; i < powers.size(); ++i) {
+        const double power = powers[i];
+        const auto& rf = results[2 * i];
+        const auto& hy = results[2 * i + 1];
         table.add_row(
             {power < -50.0 ? "none" : pc::Table::num(power),
              pc::Table::num(pb::metric(rf, "pdr")),
@@ -88,20 +105,31 @@ void sybil_ghost_sweep() {
     pc::print_banner(std::cout, "Sybil ghost-count sweep (open platoon)");
     pc::Table table({"ghosts", "spacing RMS (m)", "min gap (m)",
                      "admission slots held"});
-    for (const std::size_t ghosts : {0u, 1u, 2u, 3u}) {
-        auto config = pb::eval_config();
-        pc::Scenario scenario(config);
-        ps::SybilAttack::Params params;
-        params.ghosts = ghosts;
-        auto attack = std::make_unique<ps::SybilAttack>(params);
-        if (ghosts > 0) attack->attach(scenario);
-        scenario.run_until(pb::kEvalDuration);
-        const std::size_t pending = scenario.leader().admission().pending();
-        const auto m = scenario.summarize().as_map();
-        table.add_row({pc::Table::num(static_cast<double>(ghosts)),
-                       pc::Table::num(pb::metric(m, "spacing_rms_m")),
-                       pc::Table::num(pb::metric(m, "min_gap_m")),
-                       pc::Table::num(static_cast<double>(pending))});
+    const std::vector<std::size_t> ghost_counts{0, 1, 2, 3};
+    std::vector<std::function<pb::MetricMap()>> cells;
+    for (const std::size_t ghosts : ghost_counts) {
+        cells.emplace_back([ghosts] {
+            auto config = pb::eval_config();
+            pc::Scenario scenario(config);
+            ps::SybilAttack::Params params;
+            params.ghosts = ghosts;
+            auto attack = std::make_unique<ps::SybilAttack>(params);
+            if (ghosts > 0) attack->attach(scenario);
+            scenario.run_until(pb::kEvalDuration);
+            auto m = scenario.summarize().as_map();
+            m["admission_pending"] = static_cast<double>(
+                scenario.leader().admission().pending());
+            return m;
+        });
+    }
+    const auto results = pc::run_grid(std::move(cells), pb::jobs());
+    for (std::size_t i = 0; i < ghost_counts.size(); ++i) {
+        const auto& m = results[i];
+        table.add_row(
+            {pc::Table::num(static_cast<double>(ghost_counts[i])),
+             pc::Table::num(pb::metric(m, "spacing_rms_m")),
+             pc::Table::num(pb::metric(m, "min_gap_m")),
+             pc::Table::num(pb::metric(m, "admission_pending"))});
     }
     table.print(std::cout);
 }
@@ -121,6 +149,7 @@ BENCHMARK(BM_JammedScenario)->Arg(1)->Unit(benchmark::kMillisecond)
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::print_jobs_banner("bench_ablation_sweeps");
     replay_rate_sweep();
     jammer_power_sweep();
     sybil_ghost_sweep();

@@ -1,88 +1,17 @@
 #include "bench_common.hpp"
 
-#include <cmath>
+#include <iostream>
+
+#include "core/experiment.hpp"
 
 namespace platoon::bench {
 
-namespace {
+unsigned jobs() { return core::default_jobs(); }
 
-core::PlatoonVehicle& add_legit_joiner(core::Scenario& scenario) {
-    core::VehicleConfig joiner;
-    joiner.id = sim::NodeId{300};
-    joiner.role = control::Role::kFree;
-    joiner.platoon_id = 0;
-    joiner.security = scenario.config().security;
-    joiner.initial_state.position_m =
-        scenario.tail().dynamics().position() - 80.0;
-    joiner.initial_state.speed_mps = 25.0;
-    joiner.desired_speed_mps = 28.0;
-    auto& vehicle = scenario.add_vehicle(joiner);
-    scenario.scheduler().schedule_at(25.0, [&scenario, &vehicle] {
-        vehicle.request_join(scenario.platoon_id(), scenario.leader().id());
-    });
-    return vehicle;
-}
-
-}  // namespace
-
-MetricMap run_eval(core::ScenarioConfig config, AttackKind kind,
-                   bool with_attack, std::size_t seeds) {
-    // Impersonation presumes stolen credentials: without a PKI in place it
-    // degenerates into the fake-maneuver attack, so its rows always run on
-    // a signed baseline.
-    if (kind == AttackKind::kImpersonation &&
-        config.security.auth_mode == crypto::AuthMode::kNone) {
-        config.security.auth_mode = crypto::AuthMode::kSignature;
-    }
-
-    MetricMap sum;
-    const std::uint64_t base_seed = config.seed;
-    for (std::size_t k = 0; k < seeds; ++k) {
-        config.seed = base_seed + k;
-        core::Scenario scenario(config);
-        std::unique_ptr<security::Attack> attack;
-        if (with_attack) {
-            attack = make_attack(kind);
-            attack->attach(scenario);
-        }
-        core::PlatoonVehicle* joiner = nullptr;
-        if (kind == AttackKind::kDenialOfService) {
-            joiner = &add_legit_joiner(scenario);
-        }
-        scenario.run_until(kEvalDuration);
-
-        MetricMap m = scenario.summarize().as_map();
-        if (attack) attack->collect(m);
-        std::size_t detached = 0;
-        for (std::size_t i = 1; i < scenario.config().platoon_size; ++i)
-            detached += scenario.vehicle(i).detached() ? 1 : 0;
-        m["detached_members"] = static_cast<double>(detached);
-        m["join_success"] =
-            joiner == nullptr
-                ? 1.0
-                : (joiner->role() == control::Role::kMember ? 1.0 : 0.0);
-        m["revoked_subjects"] =
-            static_cast<double>(scenario.authority().revoked_subjects());
-        m["revoked_credentials"] =
-            static_cast<double>(scenario.authority().revoked_credentials());
-        for (const auto& [name, value] : m) sum[name] += value;
-    }
-    for (auto& [name, value] : sum) value /= static_cast<double>(seeds);
-    return sum;
-}
-
-std::string verdict(const Headline& headline, double clean, double attacked,
-                    double defended) {
-    const double sign = headline.higher_is_worse ? 1.0 : -1.0;
-    const double damage_attacked = sign * (attacked - clean);
-    const double damage_defended = sign * (defended - clean);
-    // Scale-free floor: the attack must have done something to grade.
-    const double floor = std::max(0.05 * std::abs(clean), 1e-3);
-    if (damage_attacked < floor) return "-";
-    const double restored = 1.0 - damage_defended / damage_attacked;
-    if (restored >= 0.8) return "MITIGATED";
-    if (restored >= 0.35) return "partial";
-    return "no-effect";
+void print_jobs_banner(const char* binary) {
+    std::cerr << binary << ": running experiment grids on " << jobs()
+              << " worker thread(s) (set PLATOON_JOBS to override; results "
+                 "are identical at any job count)\n";
 }
 
 }  // namespace platoon::bench

@@ -1,19 +1,14 @@
-// Shared machinery for the table/figure reproduction benches: the attack
-// factory, the defense configurations, headline metrics per attack, and the
-// run helpers. Each bench binary prints its reproduced table(s) and then
-// runs its google-benchmark timings.
+// Shared machinery for the table/figure reproduction benches. The actual
+// evaluation harness (attack factory, defense configurations, headline
+// metrics, run helpers) lives in src/eval/harness.* so the golden-metrics
+// tests regress exactly what the benches print; this header re-exports it
+// under platoon::bench and adds the bench-side PLATOON_JOBS plumbing.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <functional>
-#include <memory>
-#include <string>
-
-#include "core/experiment.hpp"
 #include "core/report.hpp"
-#include "core/scenario.hpp"
-#include "core/taxonomy.hpp"
+#include "eval/harness.hpp"
 #include "security/attacks/dos.hpp"
 #include "security/attacks/eavesdrop.hpp"
 #include "security/attacks/fake_maneuver.hpp"
@@ -31,123 +26,27 @@ using core::AttackKind;
 using core::DefenseKind;
 using core::MetricMap;
 
-/// The canonical evaluation scenario: 6 trucks, PATH CACC, a braking
-/// disturbance at t=40 s, 70 s horizon, attacks starting at t=20 s.
-inline core::ScenarioConfig eval_config(std::uint64_t seed = 42) {
-    core::ScenarioConfig config;
-    config.seed = seed;
-    config.platoon_size = 6;
-    return config;
-}
-inline constexpr double kEvalDuration = 70.0;
+using eval::EvalCell;
+using eval::Headline;
+using eval::kEvalDuration;
 
-/// Factory for one attack instance of each Table II kind.
-inline std::unique_ptr<security::Attack> make_attack(AttackKind kind) {
-    using namespace security;
-    switch (kind) {
-        case AttackKind::kReplay: return std::make_unique<ReplayAttack>();
-        case AttackKind::kSybil: return std::make_unique<SybilAttack>();
-        case AttackKind::kFakeManeuver:
-            return std::make_unique<FakeManeuverAttack>();
-        case AttackKind::kJamming: return std::make_unique<JammingAttack>();
-        case AttackKind::kEavesdropping:
-            return std::make_unique<EavesdropAttack>();
-        case AttackKind::kDenialOfService: return std::make_unique<DosAttack>();
-        case AttackKind::kImpersonation:
-            return std::make_unique<ImpersonationAttack>();
-        case AttackKind::kSensorSpoofing:
-            return std::make_unique<SensorSpoofAttack>();
-        case AttackKind::kMalware: return std::make_unique<MalwareAttack>();
-        default: break;
-    }
-    return nullptr;
-}
+using eval::apply_defense;
+using eval::eval_config;
+using eval::headline_for;
+using eval::make_attack;
+using eval::metric;
+using eval::run_eval;
+using eval::run_eval_grid;
+using eval::run_eval_once;
+using eval::verdict;
 
-/// The headline metric each attack is scored on (what Table II's "summary"
-/// column claims the attack does).
-struct Headline {
-    std::string metric;
-    bool higher_is_worse;
-    std::string unit;
-};
+/// Worker count for the bench grids: PLATOON_JOBS if set (1 reproduces the
+/// serial path byte-for-byte), else hardware concurrency. Printed once per
+/// binary so a table's provenance records how it was produced.
+[[nodiscard]] unsigned jobs();
 
-inline Headline headline_for(AttackKind kind) {
-    switch (kind) {
-        case AttackKind::kReplay:
-            return {"spacing_rms_m", true, "m"};
-        case AttackKind::kSybil:
-            return {"spacing_rms_m", true, "m"};
-        case AttackKind::kFakeManeuver:
-            return {"spacing_rms_m", true, "m"};
-        case AttackKind::kJamming:
-            return {"cacc_availability", false, "frac"};
-        case AttackKind::kEavesdropping:
-            return {"attack.decode_ratio", true, "frac"};
-        case AttackKind::kDenialOfService:
-            return {"join_success", false, "0/1"};
-        case AttackKind::kImpersonation:
-            return {"spacing_rms_m", true, "m"};
-        case AttackKind::kSensorSpoofing:
-            return {"spacing_max_abs_m", true, "m"};
-        case AttackKind::kMalware:
-            // Malware's Table II harm is "preventing users from being able
-            // to platoon" + enabling insider attacks: score the time the
-            // victim stays compromised (what firewall/antivirus bound).
-            return {"attack.infected_time_s", true, "s"};
-        default:
-            return {"spacing_rms_m", true, "m"};
-    }
-}
-
-/// Defense configuration for each Table III mechanism. Impersonation rows
-/// always start from a signed baseline (the attack presumes stolen
-/// credentials; without any PKI it coincides with fake-maneuver).
-inline void apply_defense(core::ScenarioConfig& config, DefenseKind defense) {
-    using crypto::AuthMode;
-    switch (defense) {
-        case DefenseKind::kSecretPublicKeys:
-            config.security.auth_mode = AuthMode::kSignature;
-            config.security.encrypt_payloads = true;
-            break;
-        case DefenseKind::kRoadsideUnits:
-            // The RSU mechanism presumes the PKI it distributes and feeds.
-            config.security.auth_mode = AuthMode::kSignature;
-            config.security.report_misbehavior = true;
-            config.security.vpd_ada = true;  // plausibility checks feed reports
-            config.rsu_count = 4;
-            break;
-        case DefenseKind::kControlAlgorithms:
-            config.security.vpd_ada = true;
-            break;
-        case DefenseKind::kHybridCommunications:
-            config.security.hybrid_comms = true;
-            break;
-        case DefenseKind::kOnboardSecurity:
-            config.security.sensor_fusion = true;
-            config.security.firewall = true;
-            config.security.antivirus = true;
-            break;
-        default:
-            break;
-    }
-}
-
-/// Runs the evaluation scenario with an optional attack; `extra_setup`
-/// runs after the attack attaches (e.g. to add a legitimate joiner).
-/// The attack's own counters merge into the result under "attack.*";
-/// "detached_members" and "join_success" are always merged.
-MetricMap run_eval(core::ScenarioConfig config, AttackKind kind,
-                   bool with_attack, std::size_t seeds = 1);
-
-/// Metric lookup with a default (clean runs have no "attack.*" entries).
-inline double metric(const MetricMap& m, const std::string& name,
-                     double fallback = 0.0) {
-    const auto it = m.find(name);
-    return it == m.end() ? fallback : it->second;
-}
-
-/// Verdict string comparing defended vs attacked vs clean on a headline.
-std::string verdict(const Headline& headline, double clean, double attacked,
-                    double defended);
+/// Announces the job count on stderr (tables on stdout stay byte-identical
+/// at any job count).
+void print_jobs_banner(const char* binary);
 
 }  // namespace platoon::bench

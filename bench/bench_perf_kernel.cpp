@@ -3,12 +3,17 @@
 // run hundreds of attack/defense scenarios on a laptop.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/eddsa.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace {
 
@@ -80,6 +85,24 @@ void BM_ScenarioSignedSimRate(benchmark::State& state) {
 BENCHMARK(BM_ScenarioSignedSimRate)->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+void BM_RunSeeds(benchmark::State& state) {
+    const auto jobs = static_cast<unsigned>(state.range(0));
+    core::RunSpec spec;
+    spec.scenario.seed = 7;
+    spec.scenario.platoon_size = 6;
+    spec.duration_s = 20.0;
+    const std::size_t seeds = 16;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::run_seeds_parallel(spec, seeds, jobs));
+    }
+    state.counters["sim_s_per_wall_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 20.0 * seeds,
+        benchmark::Counter::kIsRate);
+    state.SetLabel("jobs=" + std::to_string(jobs));
+}
+BENCHMARK(BM_RunSeeds)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
 void BM_Sha256(benchmark::State& state) {
     const crypto::Bytes data(static_cast<std::size_t>(state.range(0)), 0xA5);
     for (auto _ : state) {
@@ -138,6 +161,42 @@ void BM_EcdhSharedKey(benchmark::State& state) {
 }
 BENCHMARK(BM_EcdhSharedKey);
 
+// Wall-clock speedup of the parallel experiment runner: the same 16-seed
+// replication set at jobs=1 vs PLATOON_JOBS (default: hardware concurrency).
+// The two aggregates are asserted bit-identical -- the speedup is free.
+void report_parallel_speedup() {
+    core::RunSpec spec;
+    spec.scenario.seed = 7;
+    spec.scenario.platoon_size = 6;
+    spec.duration_s = 20.0;
+    const std::size_t seeds = 16;
+    const unsigned jobs = core::default_jobs();
+
+    const auto timed = [&](unsigned j) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto agg = core::run_seeds(spec, seeds, j);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return std::pair<double, core::Aggregate>(elapsed.count(), agg);
+    };
+    const auto [serial_s, serial_agg] = timed(1);
+    const auto [parallel_s, parallel_agg] = timed(jobs);
+    const bool identical = serial_agg.mean == parallel_agg.mean &&
+                           serial_agg.stddev == parallel_agg.stddev;
+    std::printf(
+        "run_seeds speedup: %zu seeds x 20 sim-s, jobs=1: %.2f s, "
+        "jobs=%u: %.2f s -> %.2fx (aggregates bit-identical: %s)\n",
+        seeds, serial_s, jobs, parallel_s, serial_s / parallel_s,
+        identical ? "yes" : "NO -- DETERMINISM BUG");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    report_parallel_speedup();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

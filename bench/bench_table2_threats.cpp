@@ -89,13 +89,24 @@ void print_table2(const std::vector<Row>& rows) {
 }
 
 std::vector<Row> run_all() {
-    std::vector<Row> rows;
+    // One (clean, attacked) cell pair per attack; run_eval_grid fans the
+    // whole grid out at (cell x seed) granularity over PLATOON_JOBS workers
+    // and returns seed-order-folded means, so the printed table is
+    // byte-identical at any job count.
+    std::vector<pb::EvalCell> cells;
     for (int k = 0; k < static_cast<int>(pc::AttackKind::kCount_); ++k) {
         const auto kind = static_cast<pc::AttackKind>(k);
+        cells.push_back({pb::eval_config(), kind, false, kSeeds});
+        cells.push_back({pb::eval_config(), kind, true, kSeeds});
+    }
+    const auto results = pb::run_eval_grid(cells, pb::jobs());
+
+    std::vector<Row> rows;
+    for (int k = 0; k < static_cast<int>(pc::AttackKind::kCount_); ++k) {
         Row row;
-        row.kind = kind;
-        row.clean = pb::run_eval(pb::eval_config(), kind, false, kSeeds);
-        row.attacked = pb::run_eval(pb::eval_config(), kind, true, kSeeds);
+        row.kind = static_cast<pc::AttackKind>(k);
+        row.clean = results[static_cast<std::size_t>(2 * k)];
+        row.attacked = results[static_cast<std::size_t>(2 * k + 1)];
         rows.push_back(std::move(row));
     }
     return rows;
@@ -144,6 +155,7 @@ void print_risk_register(const std::vector<Row>& rows) {
 }
 
 int main(int argc, char** argv) {
+    pb::print_jobs_banner("bench_table2_threats");
     const auto rows = run_all();
     print_table2(rows);
     print_risk_register(rows);

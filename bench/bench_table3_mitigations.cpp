@@ -26,15 +26,34 @@ void run_and_print() {
     const int n_attacks = static_cast<int>(pc::AttackKind::kCount_);
     const int n_defenses = static_cast<int>(pc::DefenseKind::kCount_);
 
-    // Baselines per attack (clean + undefended-attacked).
+    // One grid for the whole table: per-attack baselines (clean +
+    // undefended-attacked) followed by every (defense, attack) cell.
+    // run_eval_grid fans the grid out at (cell x seed) granularity over
+    // PLATOON_JOBS workers; results come back in cell order, so the printed
+    // matrix is byte-identical at any job count.
+    std::vector<pb::EvalCell> grid;
+    for (int a = 0; a < n_attacks; ++a) {
+        const auto kind = static_cast<pc::AttackKind>(a);
+        grid.push_back({pb::eval_config(), kind, false, kSeeds});
+        grid.push_back({pb::eval_config(), kind, true, kSeeds});
+    }
+    for (int d = 0; d < n_defenses; ++d) {
+        for (int a = 0; a < n_attacks; ++a) {
+            auto config = pb::eval_config();
+            pb::apply_defense(config, static_cast<pc::DefenseKind>(d));
+            grid.push_back(
+                {config, static_cast<pc::AttackKind>(a), true, kSeeds});
+        }
+    }
+    const auto results = pb::run_eval_grid(grid, pb::jobs());
+
     std::vector<pb::MetricMap> clean(static_cast<std::size_t>(n_attacks));
     std::vector<pb::MetricMap> attacked(static_cast<std::size_t>(n_attacks));
     for (int a = 0; a < n_attacks; ++a) {
-        const auto kind = static_cast<pc::AttackKind>(a);
         clean[static_cast<std::size_t>(a)] =
-            pb::run_eval(pb::eval_config(), kind, false, kSeeds);
+            results[static_cast<std::size_t>(2 * a)];
         attacked[static_cast<std::size_t>(a)] =
-            pb::run_eval(pb::eval_config(), kind, true, kSeeds);
+            results[static_cast<std::size_t>(2 * a + 1)];
     }
 
     std::vector<std::vector<Cell>> matrix(
@@ -42,11 +61,9 @@ void run_and_print() {
         std::vector<Cell>(static_cast<std::size_t>(n_attacks)));
     for (int d = 0; d < n_defenses; ++d) {
         for (int a = 0; a < n_attacks; ++a) {
-            const auto defense = static_cast<pc::DefenseKind>(d);
             const auto kind = static_cast<pc::AttackKind>(a);
-            auto config = pb::eval_config();
-            pb::apply_defense(config, defense);
-            const auto defended = pb::run_eval(config, kind, true, kSeeds);
+            const auto& defended = results[static_cast<std::size_t>(
+                2 * n_attacks + d * n_attacks + a)];
             const auto headline = pb::headline_for(kind);
             Cell& cell = matrix[static_cast<std::size_t>(d)]
                                [static_cast<std::size_t>(a)];
@@ -136,6 +153,7 @@ BENCHMARK(BM_DefendedScenario)
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::print_jobs_banner("bench_table3_mitigations");
     run_and_print();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 namespace platoon::core {
 
@@ -13,18 +14,16 @@ MetricMap run_once(const RunSpec& spec) {
     return out;
 }
 
-Aggregate run_seeds(RunSpec spec, std::size_t seeds) {
+Aggregate aggregate_runs(const std::vector<MetricMap>& runs) {
     Aggregate agg;
+    agg.runs = runs.size();
+    if (runs.empty()) return agg;
     MetricMap sum, sum_sq;
-    const std::uint64_t base_seed = spec.scenario.seed;
-    for (std::size_t k = 0; k < seeds; ++k) {
-        spec.scenario.seed = base_seed + k;
-        const MetricMap result = run_once(spec);
+    for (const MetricMap& result : runs) {
         for (const auto& [name, value] : result) {
             sum[name] += value;
             sum_sq[name] += value * value;
         }
-        ++agg.runs;
     }
     for (const auto& [name, total] : sum) {
         const double mean = total / static_cast<double>(agg.runs);
@@ -34,6 +33,33 @@ Aggregate run_seeds(RunSpec spec, std::size_t seeds) {
         agg.stddev[name] = std::sqrt(std::max(0.0, var));
     }
     return agg;
+}
+
+unsigned default_jobs() {
+    if (const char* env = std::getenv("PLATOON_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0) return static_cast<unsigned>(parsed);
+    }
+    return sim::ThreadPool::hardware_jobs();
+}
+
+Aggregate run_seeds(RunSpec spec, std::size_t seeds, unsigned jobs) {
+    const std::uint64_t base_seed = spec.scenario.seed;
+    std::vector<std::function<MetricMap()>> cells;
+    cells.reserve(seeds);
+    for (std::size_t k = 0; k < seeds; ++k) {
+        RunSpec seed_spec = spec;
+        seed_spec.scenario.seed = base_seed + k;
+        cells.emplace_back(
+            [seed_spec = std::move(seed_spec)] { return run_once(seed_spec); });
+    }
+    // run_grid returns per-seed maps in seed order; the fold below is the
+    // same accumulation at any job count, hence bit-identical output.
+    return aggregate_runs(run_grid(std::move(cells), jobs == 0 ? 1 : jobs));
+}
+
+Aggregate run_seeds_parallel(RunSpec spec, std::size_t seeds, unsigned jobs) {
+    return run_seeds(std::move(spec), seeds, jobs == 0 ? default_jobs() : jobs);
 }
 
 }  // namespace platoon::core

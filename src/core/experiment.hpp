@@ -1,13 +1,23 @@
 // Experiment harness: runs scenarios across seeds and aggregates metric
 // maps. Attacks/defenses compose through a setup callback so that this
 // module stays independent of the attack library (benches link both).
+//
+// Replications are embarrassingly parallel -- every seed builds its own
+// Scenario (scheduler, network, RNG streams) with no shared mutable state --
+// so `run_seeds` and `run_grid` can fan work out over a sim::ThreadPool.
+// The determinism contract: results are always collected and aggregated in
+// seed/cell order on the calling thread, so the output is bit-identical for
+// any job count, including the serial jobs=1 path.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/scenario.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace platoon::core {
 
@@ -33,7 +43,50 @@ struct Aggregate {
     std::size_t runs = 0;
 };
 
-/// Runs `seeds` independent replications (seed = base_seed + k).
-[[nodiscard]] Aggregate run_seeds(RunSpec spec, std::size_t seeds);
+/// Folds per-run metric maps (in run order) into mean/stddev. Keys missing
+/// from some runs are treated as contributing 0 to those runs, i.e. the
+/// mean always divides by the total run count. seeds=0 -> empty aggregate.
+[[nodiscard]] Aggregate aggregate_runs(const std::vector<MetricMap>& runs);
+
+/// Number of worker threads to use when a caller passes jobs=0: the
+/// PLATOON_JOBS environment variable if set and positive, else
+/// hardware concurrency. PLATOON_JOBS=1 reproduces the serial path.
+[[nodiscard]] unsigned default_jobs();
+
+/// Runs `seeds` independent replications (seed = base_seed + k) on `jobs`
+/// worker threads and aggregates them in seed order, so mean/stddev are
+/// bit-identical regardless of `jobs`. jobs<=1 runs inline on the calling
+/// thread (exactly the historical serial behavior).
+[[nodiscard]] Aggregate run_seeds(RunSpec spec, std::size_t seeds,
+                                  unsigned jobs = 1);
+
+/// Same as run_seeds, but jobs=0 resolves through default_jobs()
+/// (PLATOON_JOBS / hardware concurrency).
+[[nodiscard]] Aggregate run_seeds_parallel(RunSpec spec, std::size_t seeds,
+                                           unsigned jobs = 0);
+
+/// Fans a grid of independent cells out over `jobs` workers and returns the
+/// results *in cell order* (jobs=0 -> default_jobs(); jobs<=1 -> inline, in
+/// order). Cells must be self-contained: each builds, runs, and summarizes
+/// its own scenario(s). The bench binaries use this to run whole
+/// (config, attack, defense, seed) grids concurrently while printing
+/// byte-identical tables at any job count.
+template <typename T>
+[[nodiscard]] std::vector<T> run_grid(std::vector<std::function<T()>> cells,
+                                      unsigned jobs = 0) {
+    if (jobs == 0) jobs = default_jobs();
+    std::vector<T> results;
+    results.reserve(cells.size());
+    if (jobs <= 1 || cells.size() <= 1) {
+        for (auto& cell : cells) results.push_back(cell());
+        return results;
+    }
+    sim::ThreadPool pool(jobs);
+    std::vector<std::future<T>> futures;
+    futures.reserve(cells.size());
+    for (auto& cell : cells) futures.push_back(pool.submit(std::move(cell)));
+    for (auto& future : futures) results.push_back(future.get());
+    return results;
+}
 
 }  // namespace platoon::core

@@ -1,0 +1,90 @@
+// The canonical evaluation harness behind the Table II/III reproductions:
+// the attack factory, the per-attack headline metrics, the Table III defense
+// configurations, and the run helpers. Extracted from the bench tree so the
+// golden-metrics regression tests exercise exactly the code path the bench
+// binaries print (benches add only google-benchmark timings on top).
+//
+// All run helpers accept a `jobs` worker count and honour the determinism
+// contract of core::run_grid: per-seed scenarios are fully independent,
+// results are folded in seed/cell order, and the output is bit-identical at
+// any job count (jobs=1 reproduces the historical serial behavior exactly).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "core/taxonomy.hpp"
+#include "security/attacks/attack.hpp"
+
+namespace platoon::eval {
+
+using core::AttackKind;
+using core::DefenseKind;
+using core::MetricMap;
+
+/// The canonical evaluation scenario: 6 trucks, PATH CACC, a braking
+/// disturbance at t=40 s, 70 s horizon, attacks starting at t=20 s.
+[[nodiscard]] core::ScenarioConfig eval_config(std::uint64_t seed = 42);
+inline constexpr double kEvalDuration = 70.0;
+
+/// Factory for one attack instance of each Table II kind.
+[[nodiscard]] std::unique_ptr<security::Attack> make_attack(AttackKind kind);
+
+/// The headline metric each attack is scored on (what Table II's "summary"
+/// column claims the attack does).
+struct Headline {
+    std::string metric;
+    bool higher_is_worse;
+    std::string unit;
+};
+
+[[nodiscard]] Headline headline_for(AttackKind kind);
+
+/// Defense configuration for each Table III mechanism. Impersonation rows
+/// always start from a signed baseline (the attack presumes stolen
+/// credentials; without any PKI it coincides with fake-maneuver).
+void apply_defense(core::ScenarioConfig& config, DefenseKind defense);
+
+/// One replication of the evaluation scenario at `config.seed` exactly:
+/// optional attack, the DoS legitimate joiner, and the standard merged
+/// metrics ("attack.*", "detached_members", "join_success", revocations).
+[[nodiscard]] MetricMap run_eval_once(core::ScenarioConfig config,
+                                      AttackKind kind, bool with_attack);
+
+/// Runs `seeds` replications (seed = config.seed + k) on `jobs` workers and
+/// returns the per-key means, folded in seed order (bit-identical at any
+/// job count; jobs<=1 runs inline).
+[[nodiscard]] MetricMap run_eval(core::ScenarioConfig config, AttackKind kind,
+                                 bool with_attack, std::size_t seeds = 1,
+                                 unsigned jobs = 1);
+
+/// One (config, attack, defense-already-applied) cell of a table grid.
+struct EvalCell {
+    core::ScenarioConfig config;
+    AttackKind kind = AttackKind::kReplay;
+    bool with_attack = true;
+    std::size_t seeds = 1;
+};
+
+/// Fans a whole table out at (cell x seed) granularity over `jobs` workers
+/// (jobs=0 -> core::default_jobs()) and returns one seed-averaged MetricMap
+/// per cell, in cell order.
+[[nodiscard]] std::vector<MetricMap> run_eval_grid(
+    const std::vector<EvalCell>& cells, unsigned jobs = 0);
+
+/// Metric lookup with a default (clean runs have no "attack.*" entries).
+[[nodiscard]] inline double metric(const MetricMap& m, const std::string& name,
+                                   double fallback = 0.0) {
+    const auto it = m.find(name);
+    return it == m.end() ? fallback : it->second;
+}
+
+/// Verdict string comparing defended vs attacked vs clean on a headline.
+[[nodiscard]] std::string verdict(const Headline& headline, double clean,
+                                  double attacked, double defended);
+
+}  // namespace platoon::eval

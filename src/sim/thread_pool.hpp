@@ -1,0 +1,70 @@
+// Fixed-size thread pool for fanning out independent simulation runs.
+//
+// Deliberately minimal: no work stealing, no priorities, one FIFO queue.
+// Determinism of the experiment layer comes from *where results land*, not
+// from execution order -- callers collect futures in submission order and
+// aggregate serially -- so the pool itself only has to guarantee that every
+// submitted task runs exactly once and that exceptions propagate through
+// the returned future. The destructor drains the queue: every task that was
+// submitted before destruction begins still runs to completion, so futures
+// held by callers never dangle in a broken-promise state.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace platoon::sim {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers; 0 is clamped to 1. A one-thread pool is the
+    /// degenerate case: tasks run FIFO, off the caller's thread.
+    explicit ThreadPool(unsigned threads);
+
+    /// Drains all queued work, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] unsigned size() const {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /// Enqueues `fn` and returns a future for its result. An exception
+    /// thrown by `fn` is captured and rethrown from future::get().
+    template <typename F>
+    auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        wake_.notify_one();
+        return future;
+    }
+
+    /// max(1, std::thread::hardware_concurrency()).
+    [[nodiscard]] static unsigned hardware_jobs();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+}  // namespace platoon::sim

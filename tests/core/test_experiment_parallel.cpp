@@ -1,0 +1,147 @@
+// The determinism contract of the parallel experiment runner: run_seeds /
+// run_eval_grid produce bit-identical aggregates at any job count, because
+// every seed builds a fully independent Scenario and results are folded in
+// seed order on the calling thread. Also pins the seeds=0 and grid-ordering
+// edge cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "core/experiment.hpp"
+#include "eval/harness.hpp"
+
+namespace {
+
+namespace pc = platoon::core;
+namespace pe = platoon::eval;
+
+pc::RunSpec small_spec() {
+    pc::RunSpec spec;
+    spec.scenario.seed = 42;
+    spec.scenario.platoon_size = 4;
+    spec.duration_s = 10.0;
+    return spec;
+}
+
+void expect_bitwise_equal(const pc::MetricMap& a, const pc::MetricMap& b) {
+    ASSERT_EQ(a.size(), b.size());
+    auto ib = b.begin();
+    for (const auto& [name, value] : a) {
+        EXPECT_EQ(name, ib->first);
+        // Bit-exact, not approximately equal: same fold order, same bits.
+        EXPECT_EQ(value, ib->second) << "metric " << name;
+        ++ib;
+    }
+}
+
+TEST(ExperimentParallel, AggregateIndependentOfJobCount) {
+    const auto serial = pc::run_seeds(small_spec(), 6, 1);
+    const auto parallel = pc::run_seeds(small_spec(), 6, 8);
+    ASSERT_EQ(serial.runs, 6u);
+    ASSERT_EQ(parallel.runs, 6u);
+    expect_bitwise_equal(serial.mean, parallel.mean);
+    expect_bitwise_equal(serial.stddev, parallel.stddev);
+}
+
+TEST(ExperimentParallel, SparseMetricKeysFoldIdentically) {
+    // Keys that only exist in some runs ("attack.*"-style) must still fold
+    // identically: inject one key on even seeds only and another whose
+    // value depends on the seed.
+    auto spec = small_spec();
+    spec.collect = [](pc::Scenario& scenario, pc::MetricMap& out) {
+        const auto seed = scenario.seed();
+        if (seed % 2 == 0) out["attack.even_seed_only"] = 1.0;
+        out["attack.seed_value"] = static_cast<double>(seed) * 0.125;
+    };
+    const auto serial = pc::run_seeds(spec, 5, 1);
+    const auto parallel = pc::run_seeds(spec, 5, 8);
+    ASSERT_TRUE(serial.mean.count("attack.even_seed_only"));
+    ASSERT_TRUE(serial.mean.count("attack.seed_value"));
+    // 3 of 5 seeds (42, 44, 46) carry the sparse key; the mean still
+    // divides by all 5 runs.
+    EXPECT_DOUBLE_EQ(serial.mean.at("attack.even_seed_only"), 3.0 / 5.0);
+    expect_bitwise_equal(serial.mean, parallel.mean);
+    expect_bitwise_equal(serial.stddev, parallel.stddev);
+}
+
+TEST(ExperimentParallel, ZeroSeedsYieldsEmptyAggregateNotNaNs) {
+    const auto agg = pc::run_seeds(small_spec(), 0, 4);
+    EXPECT_EQ(agg.runs, 0u);
+    EXPECT_TRUE(agg.mean.empty());
+    EXPECT_TRUE(agg.stddev.empty());
+    for (const auto& [name, value] : agg.mean) {
+        EXPECT_FALSE(std::isnan(value)) << name;
+    }
+}
+
+TEST(ExperimentParallel, RunSeedsParallelMatchesSerialRunSeeds) {
+    const auto serial = pc::run_seeds(small_spec(), 4, 1);
+    const auto parallel = pc::run_seeds_parallel(small_spec(), 4, 0);
+    expect_bitwise_equal(serial.mean, parallel.mean);
+    expect_bitwise_equal(serial.stddev, parallel.stddev);
+}
+
+TEST(ExperimentParallel, RunEvalIndependentOfJobCount) {
+    // A full attacked evaluation (replay attacker radio, attack.* counters)
+    // through the same per-seed fan-out the bench tables use.
+    auto config = pe::eval_config();
+    config.platoon_size = 4;
+    const auto serial =
+        pe::run_eval(config, pe::AttackKind::kReplay, true, 4, 1);
+    const auto parallel =
+        pe::run_eval(config, pe::AttackKind::kReplay, true, 4, 8);
+    expect_bitwise_equal(serial, parallel);
+}
+
+TEST(ExperimentParallel, RunGridPreservesCellOrder) {
+    std::vector<std::function<int()>> cells;
+    for (int i = 0; i < 40; ++i) {
+        cells.emplace_back([i] {
+            if (i % 7 == 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+            return i * 3;
+        });
+    }
+    const auto results = pc::run_grid(std::move(cells), 8);
+    ASSERT_EQ(results.size(), 40u);
+    for (int i = 0; i < 40; ++i) {
+        EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 3);
+    }
+}
+
+TEST(ExperimentParallel, EvalGridIndependentOfJobCount) {
+    // The bench-facing grid API: two cells (clean + attacked replay),
+    // multi-seed, folded means must match serial bit-for-bit, including
+    // the sparse attack.* keys present only in attacked cells.
+    auto config = pe::eval_config();
+    config.platoon_size = 4;
+    const std::vector<pe::EvalCell> cells{
+        {config, pe::AttackKind::kReplay, false, 3},
+        {config, pe::AttackKind::kReplay, true, 3},
+    };
+    const auto serial = pe::run_eval_grid(cells, 1);
+    const auto parallel = pe::run_eval_grid(cells, 8);
+    ASSERT_EQ(serial.size(), 2u);
+    ASSERT_EQ(parallel.size(), 2u);
+    expect_bitwise_equal(serial[0], parallel[0]);
+    expect_bitwise_equal(serial[1], parallel[1]);
+    // Sanity: the attacked cell carries attack.* keys, the clean one none.
+    EXPECT_EQ(serial[0].count("attack.frames_replayed"), 0u);
+    EXPECT_GT(pe::metric(serial[1], "attack.frames_replayed"), 0.0);
+}
+
+TEST(ExperimentParallel, DefaultJobsHonorsEnvironment) {
+    const unsigned hardware = pc::default_jobs();
+    EXPECT_GE(hardware, 1u);
+    ASSERT_EQ(setenv("PLATOON_JOBS", "3", 1), 0);
+    EXPECT_EQ(pc::default_jobs(), 3u);
+    ASSERT_EQ(setenv("PLATOON_JOBS", "not-a-number", 1), 0);
+    EXPECT_EQ(pc::default_jobs(), platoon::sim::ThreadPool::hardware_jobs());
+    ASSERT_EQ(unsetenv("PLATOON_JOBS"), 0);
+    EXPECT_EQ(pc::default_jobs(), platoon::sim::ThreadPool::hardware_jobs());
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Golden-value regression harness for the Table II reproduction.
+//
+// Pins the headline metrics of three attacks (replay, jamming, DoS) on the
+// canonical evaluation scenario -- 6 trucks, PATH CACC, braking wave at
+// t=40 s, 70 s horizon, attack from t=20 s, seeds 42..44 as recorded in
+// EXPERIMENTS.md -- to the measured values, with a tight relative
+// tolerance. The simulator is deterministic, so these only move if the
+// reproduced physics/protocol behavior changes; a refactor that shifts them
+// must update EXPERIMENTS.md, not silently drift.
+//
+// Tolerance: 1e-3 relative. Bit-exactness across compilers/libm is not
+// guaranteed (transcendental functions differ in the last ulp), but any
+// real behavioral change to control, channel, or attack code moves these
+// metrics by orders of magnitude more.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/harness.hpp"
+
+namespace {
+
+namespace pe = platoon::eval;
+
+constexpr std::size_t kSeeds = 3;  // seeds 42, 43, 44 -- as EXPERIMENTS.md
+
+// Golden values: the full-precision measurements behind the rounded
+// EXPERIMENTS.md Table II entries (0.39 m / 6.8 m / 0.29), recorded from
+// the canonical scenario at the commit that introduced this harness.
+constexpr double kGoldenCleanSpacingRms = 0.39448511550085724;
+constexpr double kGoldenReplaySpacingRms = 6.7649035601931375;
+constexpr double kGoldenJammingAvailability = 0.29140000000000937;
+
+void expect_rel(double measured, double golden, const char* what,
+                double tol = 1e-3) {
+    EXPECT_NEAR(measured, golden, std::abs(golden) * tol)
+        << what << ": measured " << measured << " vs golden " << golden;
+}
+
+class GoldenMetrics : public ::testing::Test {
+protected:
+    static pe::MetricMap run(pe::AttackKind kind, bool with_attack) {
+        return pe::run_eval(pe::eval_config(), kind, with_attack, kSeeds,
+                            /*jobs=*/1);
+    }
+};
+
+TEST_F(GoldenMetrics, CleanBaselineSpacing) {
+    const auto clean = run(pe::AttackKind::kReplay, false);
+    // EXPERIMENTS.md Table II "clean" column: spacing RMS 0.39 m.
+    expect_rel(pe::metric(clean, "spacing_rms_m"), kGoldenCleanSpacingRms,
+               "clean spacing_rms_m");
+    EXPECT_EQ(pe::metric(clean, "collisions"), 0.0);
+    EXPECT_GT(pe::metric(clean, "cacc_availability"), 0.99);
+}
+
+TEST_F(GoldenMetrics, ReplayOscillation) {
+    const auto attacked = run(pe::AttackKind::kReplay, true);
+    // EXPERIMENTS.md: "replay ... spacing RMS 0.39 m -> 6.8 m (17x)".
+    expect_rel(pe::metric(attacked, "spacing_rms_m"), kGoldenReplaySpacingRms,
+               "replay spacing_rms_m");
+    EXPECT_GT(pe::metric(attacked, "attack.frames_replayed"), 0.0);
+}
+
+TEST_F(GoldenMetrics, JammingAvailabilityCollapse) {
+    const auto clean = run(pe::AttackKind::kJamming, false);
+    const auto attacked = run(pe::AttackKind::kJamming, true);
+    // EXPERIMENTS.md: "jamming ... CACC availability 0.999 -> 0.29".
+    expect_rel(pe::metric(attacked, "cacc_availability"),
+               kGoldenJammingAvailability, "jamming cacc_availability");
+    EXPECT_GT(pe::metric(clean, "cacc_availability"), 0.99);
+    // The paper frames jamming as an availability attack that degrades
+    // *safely* (radar-ACC fallback): no collisions.
+    EXPECT_EQ(pe::metric(attacked, "collisions"), 0.0);
+}
+
+TEST_F(GoldenMetrics, DosBlocksLegitimateJoin) {
+    const auto clean = run(pe::AttackKind::kDenialOfService, false);
+    const auto attacked = run(pe::AttackKind::kDenialOfService, true);
+    // EXPERIMENTS.md: "DoS ... legit join success 1 -> 0" -- exact, all
+    // seeds: the flood starves the bounded admission table every time.
+    EXPECT_EQ(pe::metric(clean, "join_success"), 1.0);
+    EXPECT_EQ(pe::metric(attacked, "join_success"), 0.0);
+    EXPECT_GT(pe::metric(attacked, "attack.join_requests_sent"), 100.0);
+}
+
+}  // namespace

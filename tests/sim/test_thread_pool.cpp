@@ -1,0 +1,94 @@
+// ThreadPool unit tests: task completion, result/exception propagation
+// through futures, the jobs=1 degenerate case (FIFO on one worker), and
+// destruction with work still queued (the destructor drains the queue).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using platoon::sim::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    for (auto& future : futures) future.get();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsResultsThroughFutures) {
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit([i] { return i * i; }));
+    }
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+    }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    auto good = pool.submit([] { return 7; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // One task throwing must not poison the pool.
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([] { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
+    ThreadPool pool(1);
+    std::vector<int> order;  // only the single worker touches it
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    }
+    for (auto& future : futures) future.get();
+    std::vector<int> expected(50);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+    std::atomic<int> completed{0};
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            futures.push_back(pool.submit([&completed] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                ++completed;
+            }));
+        }
+        // Destruction begins with most of the 64 tasks still queued.
+    }
+    EXPECT_EQ(completed.load(), 64);
+    for (auto& future : futures) {
+        ASSERT_TRUE(future.valid());
+        EXPECT_NO_THROW(future.get());  // no broken promises
+    }
+}
+
+TEST(ThreadPool, HardwareJobsIsPositive) {
+    EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+}  // namespace

@@ -221,6 +221,12 @@ void PlatoonVehicle::control_step() {
     if (radar_target_resolver_)
         radar_.set_target(radar_target_resolver_(*this));
     const auto radar_meas = radar_.read();
+    last_radar_gap_m_.reset();
+    last_radar_closing_mps_.reset();
+    if (radar_meas) {
+        last_radar_gap_m_ = radar_meas->gap_m;
+        last_radar_closing_mps_ = radar_meas->closing_mps;
+    }
 
     refresh_topology(own_position, now);
 
@@ -434,6 +440,7 @@ void PlatoonVehicle::send_beacon() {
     frame.type = net::MsgType::kBeacon;
     frame.envelope = envelope;
     frame.band = net::Band::kDsrc;
+    frame.truth = beacon_truth_;
     network_.broadcast(config_.id, frame);
 
     if (config_.security.hybrid_comms) {
@@ -441,6 +448,7 @@ void PlatoonVehicle::send_beacon() {
         secondary.type = net::MsgType::kBeacon;
         secondary.envelope = std::move(envelope);
         secondary.band = config_.security.secondary_band;
+        secondary.truth = beacon_truth_;
         network_.broadcast(config_.id, std::move(secondary));
     }
     ++beacons_sent_;
@@ -562,7 +570,12 @@ void PlatoonVehicle::process_payload(net::Frame& frame,
             const auto beacon =
                 net::Beacon::decode(crypto::BytesView(frame.envelope.payload));
             if (beacon) {
-                handle_beacon(*beacon, info, original_envelope);
+                // handle_beacon needs the pristine envelope for the SP-VLC
+                // relay; hand it the frame with the wire bytes restored (the
+                // oracle truth rides along untouched).
+                net::Frame relayable = frame;
+                relayable.envelope = original_envelope;
+                handle_beacon(*beacon, info, relayable);
             } else {
                 ++counters_.rejected_malformed;
             }
@@ -572,6 +585,10 @@ void PlatoonVehicle::process_payload(net::Frame& frame,
             const auto msg = net::ManeuverMsg::decode(
                 crypto::BytesView(frame.envelope.payload));
             if (msg) {
+                if (message_observer_) {
+                    MessageObservation obs{frame, info, nullptr, &*msg, true};
+                    message_observer_(*this, obs);
+                }
                 handle_maneuver(*msg);
             } else {
                 ++counters_.rejected_malformed;
@@ -589,11 +606,21 @@ void PlatoonVehicle::process_payload(net::Frame& frame,
 
 void PlatoonVehicle::handle_beacon(const net::Beacon& beacon,
                                    const net::RxInfo& info,
-                                   const crypto::Envelope& envelope) {
+                                   const net::Frame& frame) {
+    const crypto::Envelope& envelope = frame.envelope;
     ++beacons_received_;
+    // Oracle tap: the observer sees every beacon that cleared the crypto
+    // gate, with `accepted` recording whether the defense gates below let
+    // it influence state. Must stay side-effect free w.r.t. the simulation.
+    const auto observe = [&](bool accepted) {
+        if (!message_observer_) return;
+        MessageObservation obs{frame, info, &beacon, nullptr, accepted};
+        message_observer_(*this, obs);
+    };
     if (config_.security.trust_management &&
         !trust_.trusted(envelope.sender)) {
         trust_.observe_dropped(envelope.sender);
+        observe(false);
         return;  // surgically ignored until it re-earns trust
     }
     Peer& peer = peers_[envelope.sender];
@@ -618,11 +645,13 @@ void PlatoonVehicle::handle_beacon(const net::Beacon& beacon,
                     last_report_at_ = scheduler_.now();
                     report_misbehavior(envelope.sender);
                 }
+                observe(false);
                 return;  // reject the implausible claim
             }
         }
     }
 
+    observe(true);
     if (config_.security.trust_management) trust_.reward(envelope.sender);
     peer.state.position_m = beacon.position_m;
     peer.state.speed_mps = beacon.speed_mps;
@@ -645,6 +674,7 @@ void PlatoonVehicle::handle_beacon(const net::Beacon& beacon,
             relay.type = net::MsgType::kBeacon;
             relay.envelope = envelope;
             relay.band = config_.security.secondary_band;
+            relay.truth = frame.truth;  // a relayed forgery stays a forgery
             network_.broadcast(config_.id, std::move(relay));
         }
     }

@@ -171,6 +171,47 @@ public:
         return beacon_mutator_ != nullptr || drop_beacons_;
     }
 
+    /// --- detection instrumentation (oracle side, src/detect) ----------------
+    /// Ground-truth taint stamped onto every beacon this vehicle transmits
+    /// while its output is corrupted (malware FDI payload, locked-on GPS
+    /// spoof). Set/cleared by the attack that corrupts the stream; carried
+    /// on net::Frame::truth, invisible to receivers' protocol logic.
+    void set_beacon_truth(net::GroundTruth truth) { beacon_truth_ = truth; }
+    void clear_beacon_truth() { beacon_truth_ = net::GroundTruth{}; }
+
+    /// One observed message reception, delivered to the (optional) message
+    /// observer after the crypto gate and again tagged with whether the
+    /// vehicle's defense gates (trust, plausibility) accepted it. Exactly
+    /// one of `beacon` / `maneuver` is non-null per observation.
+    struct MessageObservation {
+        const net::Frame& frame;  ///< Opened envelope + oracle truth.
+        const net::RxInfo& rx;
+        const net::Beacon* beacon = nullptr;
+        const net::ManeuverMsg* maneuver = nullptr;
+        bool accepted = true;
+    };
+    /// Passive tap for the misbehavior-detection harness: sees every beacon
+    /// and maneuver that clears the crypto gate. Observers must not mutate
+    /// simulation state (they run inside the receive path).
+    using MessageObserver =
+        std::function<void(const PlatoonVehicle&, const MessageObservation&)>;
+    void set_message_observer(MessageObserver observer) {
+        message_observer_ = std::move(observer);
+    }
+
+    /// Latest fused own-position estimate (what beacons claim).
+    [[nodiscard]] double own_position_estimate() const {
+        return last_own_position_;
+    }
+    /// Most recent raw radar measurement (cached at the 100 Hz control rate
+    /// so observers never consume sensor-noise randomness themselves).
+    [[nodiscard]] std::optional<double> last_radar_gap() const {
+        return last_radar_gap_m_;
+    }
+    [[nodiscard]] std::optional<double> last_radar_closing() const {
+        return last_radar_closing_mps_;
+    }
+
     /// Known peers (claims from received beacons), keyed by wire identity.
     struct Peer {
         control::PeerState state;
@@ -193,7 +234,7 @@ private:
     void on_frame(const net::Frame& frame, const net::RxInfo& info);
     void process_payload(net::Frame& frame, const net::RxInfo& info);
     void handle_beacon(const net::Beacon& beacon, const net::RxInfo& info,
-                       const crypto::Envelope& envelope);
+                       const net::Frame& frame);
     void handle_maneuver(const net::ManeuverMsg& msg);
     void handle_keymgmt(const net::KeyMgmtMsg& msg,
                         const crypto::Envelope& envelope);
@@ -250,6 +291,10 @@ private:
     RadarTargetResolver radar_target_resolver_;
     BeaconMutator beacon_mutator_;
     bool drop_beacons_ = false;
+    net::GroundTruth beacon_truth_;
+    MessageObserver message_observer_;
+    std::optional<double> last_radar_gap_m_;
+    std::optional<double> last_radar_closing_mps_;
 
     std::unordered_map<std::uint32_t, Peer> peers_;
     std::optional<std::uint32_t> predecessor_wire_;

@@ -1,0 +1,168 @@
+#include "detect/bank.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "core/vehicle.hpp"
+
+namespace platoon::detect {
+
+namespace {
+
+/// Consecutive implausible position innovations on one claimed identity.
+/// Catches streams that teleport (replay splices a 3-second-old trajectory
+/// into the live one) while a lone GPS glitch cannot reach the run length.
+class InnovationStreamDetector final : public Detector {
+public:
+    explicit InnovationStreamDetector(InnovationGateParams params)
+        : params_(params) {}
+
+    bool update(const Features& f, const core::PlatoonVehicle&) override {
+        if (!f.innovation_m) return false;
+        auto [it, inserted] = gates_.try_emplace(f.sender, params_);
+        return it->second.update(*f.innovation_m);
+    }
+
+private:
+    InnovationGateParams params_;
+    std::unordered_map<std::uint32_t, InnovationGateDetector> gates_;
+};
+
+/// EWMA chart on the claimed-vs-radar gap residual of the predecessor
+/// stream: the receiver's own ranging sensor contradicting what the
+/// predecessor claims (FDI offsets, GPS-spoofed victims, ghost platoons).
+class EwmaResidualDetector final : public Detector {
+public:
+    explicit EwmaResidualDetector(EwmaParams params) : params_(params) {}
+
+    bool update(const Features& f, const core::PlatoonVehicle&) override {
+        if (!f.radar_residual_m) return false;
+        auto [it, inserted] = charts_.try_emplace(f.sender, params_);
+        return it->second.update(*f.radar_residual_m);
+    }
+
+private:
+    EwmaParams params_;
+    std::unordered_map<std::uint32_t, EwmaDetector> charts_;
+};
+
+/// One-sided CUSUM on the same residual: slower on big steps than the EWMA
+/// but accumulates small persistent lies the EWMA smooths away.
+class CusumResidualDetector final : public Detector {
+public:
+    explicit CusumResidualDetector(CusumParams params) : params_(params) {}
+
+    bool update(const Features& f, const core::PlatoonVehicle&) override {
+        if (!f.radar_residual_m) return false;
+        auto [it, inserted] = charts_.try_emplace(f.sender, params_);
+        return it->second.update(*f.radar_residual_m);
+    }
+
+private:
+    CusumParams params_;
+    std::unordered_map<std::uint32_t, CusumDetector> charts_;
+};
+
+/// Sequence freshness: a per-identity counter must advance by small positive
+/// steps. A regression is a replayed or duplicated frame; a huge forward
+/// jump is a second transmitter out-running the victim's counter to beat
+/// replay guards (impersonation).
+class FreshnessDetector final : public Detector {
+public:
+    explicit FreshnessDetector(double seq_jump) : seq_jump_(seq_jump) {}
+
+    bool update(const Features& f, const core::PlatoonVehicle&) override {
+        if (!f.seq_delta) return false;
+        return *f.seq_delta <= 0.0 || *f.seq_delta > seq_jump_;
+    }
+
+private:
+    double seq_jump_;
+};
+
+/// Maneuver-rate flood gate: counts maneuver messages (any sender) in a
+/// sliding window. Join handshakes are a handful of messages; a DoS
+/// join-flood is tens per second.
+class ManeuverRateDetector final : public Detector {
+public:
+    ManeuverRateDetector(double window_s, std::size_t count)
+        : window_s_(window_s), count_(count) {}
+
+    bool update(const Features& f, const core::PlatoonVehicle&) override {
+        if (f.type != net::MsgType::kManeuver) return false;
+        arrivals_.push_back(f.t);
+        while (!arrivals_.empty() && arrivals_.front() < f.t - window_s_)
+            arrivals_.pop_front();
+        return arrivals_.size() > count_;
+    }
+
+private:
+    double window_s_;
+    std::size_t count_;
+    std::deque<sim::SimTime> arrivals_;
+};
+
+/// Adapter: the existing VPD-ADA gap-discrepancy defense as a verdict
+/// stream. While the receiver's detector is quarantining its predecessor
+/// feed, every predecessor beacon is flagged.
+class VpdAdaAdapter final : public Detector {
+public:
+    bool update(const Features& f,
+                const core::PlatoonVehicle& receiver) override {
+        if (f.type != net::MsgType::kBeacon || !f.sender_is_predecessor)
+            return false;
+        return receiver.vpd().quarantined(f.t);
+    }
+};
+
+/// Adapter: the trust-management scores as a verdict stream -- any message
+/// from a peer the receiver currently distrusts is flagged.
+class TrustAdapter final : public Detector {
+public:
+    bool update(const Features& f,
+                const core::PlatoonVehicle& receiver) override {
+        return !receiver.trust().trusted(f.sender);
+    }
+};
+
+}  // namespace
+
+std::vector<DetectorSpec> default_bank(const BankTuning& tuning) {
+    InnovationGateParams gate = tuning.gate;
+    gate.gate *= tuning.threshold_scale;
+    EwmaParams ewma = tuning.ewma;
+    ewma.threshold *= tuning.threshold_scale;
+    CusumParams cusum = tuning.cusum;
+    cusum.threshold *= tuning.threshold_scale;
+
+    std::vector<DetectorSpec> bank;
+    bank.push_back({"innovation-gate", [gate] {
+                        return std::make_unique<InnovationStreamDetector>(gate);
+                    }});
+    bank.push_back({"ewma-residual", [ewma] {
+                        return std::make_unique<EwmaResidualDetector>(ewma);
+                    }});
+    bank.push_back({"cusum-residual", [cusum] {
+                        return std::make_unique<CusumResidualDetector>(cusum);
+                    }});
+    bank.push_back({"freshness", [jump = tuning.seq_jump] {
+                        return std::make_unique<FreshnessDetector>(jump);
+                    }});
+    bank.push_back(
+        {"maneuver-rate", [w = tuning.flood_window_s, n = tuning.flood_count] {
+             return std::make_unique<ManeuverRateDetector>(w, n);
+         }});
+    bank.push_back(
+        {"vpd-ada", [] { return std::make_unique<VpdAdaAdapter>(); }});
+    bank.push_back({"trust", [] { return std::make_unique<TrustAdapter>(); }});
+    return bank;
+}
+
+std::vector<std::string> default_bank_names() {
+    std::vector<std::string> names;
+    for (const DetectorSpec& spec : default_bank()) names.push_back(spec.name);
+    return names;
+}
+
+}  // namespace platoon::detect

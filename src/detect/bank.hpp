@@ -1,0 +1,64 @@
+// The online detector bank: per-receiver misbehavior monitors that consume
+// the feature stream of every observed message and flag suspicious ones as
+// they arrive. Three statistical detectors (innovation gate, EWMA and CUSUM
+// on the claimed-vs-radar residual), two protocol detectors (sequence
+// freshness, maneuver-rate flood), and two thin adapters exposing the
+// existing defense machinery (VPD-ADA quarantine, trust scores) as verdict
+// streams -- so the benchmark scores the survey's mechanisms and the new
+// detectors on the same per-message footing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detectors.hpp"
+#include "detect/features.hpp"
+
+namespace platoon::core {
+class PlatoonVehicle;
+}
+
+namespace platoon::detect {
+
+/// A per-receiver online detector. `update` is called once per observed
+/// message, in arrival order, and returns true when THIS message is flagged
+/// as misbehavior. Must not mutate the receiver or the simulation.
+class Detector {
+public:
+    virtual ~Detector() = default;
+    virtual bool update(const Features& f,
+                        const core::PlatoonVehicle& receiver) = 0;
+};
+
+/// A named detector factory: the harness instantiates one detector per
+/// receiver so per-peer state never leaks across vehicles.
+struct DetectorSpec {
+    std::string name;
+    std::function<std::unique_ptr<Detector>()> make;
+};
+
+/// Tuning knobs for the default bank. `threshold_scale` multiplies every
+/// scalar alarm threshold (ROC sweeps); the protocol detectors and adapters
+/// are binary tests and ignore it.
+struct BankTuning {
+    double threshold_scale = 1.0;
+    InnovationGateParams gate{};   ///< On the position innovation.
+    EwmaParams ewma{};             ///< On the claimed-vs-radar residual.
+    CusumParams cusum{};           ///< On the claimed-vs-radar residual.
+    double seq_jump = 1.0e4;       ///< Freshness: forward-jump alarm.
+    double flood_window_s = 2.0;   ///< Maneuver-rate window.
+    std::size_t flood_count = 4;   ///< Maneuvers in window before alarm.
+};
+
+/// The full default bank (7 detectors, stable order -- table row order and
+/// dataset flag columns both follow it).
+[[nodiscard]] std::vector<DetectorSpec> default_bank(
+    const BankTuning& tuning = {});
+
+/// Names of the detectors `default_bank` produces, in bank order.
+[[nodiscard]] std::vector<std::string> default_bank_names();
+
+}  // namespace platoon::detect

@@ -1,0 +1,51 @@
+// The labeled per-beacon dataset: one row per (receiver, observed message)
+// with the extracted features, the oracle ground-truth label and each bank
+// detector's verdict. Exported as long-format CSV so the detection corpus
+// can be consumed outside the simulator (offline classifiers, plots); the
+// reader round-trips the writer's output bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "detect/features.hpp"
+
+namespace platoon::detect {
+
+/// One observed message: features + ground truth + per-detector verdicts
+/// (in `Dataset::detectors` order).
+struct DatasetRow {
+    std::string run;  ///< Scenario tag, e.g. "replay/seed42".
+    Features features;
+    std::vector<std::uint8_t> flags;
+};
+
+struct Dataset {
+    std::vector<std::string> detectors;  ///< Flag column names, bank order.
+    std::vector<DatasetRow> rows;
+
+    [[nodiscard]] std::size_t size() const { return rows.size(); }
+
+    /// Appends another dataset (detector columns must match; the first
+    /// append onto an empty dataset adopts the other's columns).
+    void append(const Dataset& other);
+
+    /// Long-format CSV: one header line, then one line per row.
+    void write_csv(std::ostream& os) const;
+    [[nodiscard]] std::string to_csv() const;
+
+    /// Parses what `write_csv` produced. Returns std::nullopt on a
+    /// malformed header or row.
+    [[nodiscard]] static std::optional<Dataset> read_csv(std::istream& is);
+    [[nodiscard]] static std::optional<Dataset> from_csv(
+        const std::string& text);
+};
+
+/// Human-readable label for a ground-truth tag ("benign" or the Table II
+/// attack name).
+[[nodiscard]] std::string truth_label(const net::GroundTruth& truth);
+
+}  // namespace platoon::detect

@@ -1,0 +1,117 @@
+// Scalar online change detectors: the statistical primitives the detector
+// bank builds per-peer misbehavior monitors from. Each consumes one sample
+// per update and answers "is this stream alarming *right now*" -- alarms are
+// not latched, so a stream that returns to normal stops alarming and the
+// per-message scoring stays honest.
+//
+// All three are textbook sequential tests (EWMA control chart, one-sided
+// CUSUM, consecutive-exceedance gate) with exactly predictable detection
+// delays on synthetic step inputs; the unit tests pin those delays.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace platoon::detect {
+
+/// Exponentially-weighted moving average control chart. The EWMA starts at
+/// zero and warms toward the stream mean, so a single outlier first sample
+/// cannot alarm; on a constant step of height `s` the statistic reaches
+/// s*(1-(1-alpha)^n) after n samples, giving an exact, testable delay.
+struct EwmaParams {
+    double alpha = 0.3;      ///< Smoothing weight of the newest sample.
+    double threshold = 4.5;  ///< Alarm when the EWMA exceeds this.
+};
+
+class EwmaDetector {
+public:
+    EwmaDetector() = default;
+    explicit EwmaDetector(EwmaParams params) : params_(params) {}
+
+    /// Ingests one sample; returns the post-update alarm state.
+    bool update(double sample) {
+        value_ = (1.0 - params_.alpha) * value_ + params_.alpha * sample;
+        alarmed_ = value_ > params_.threshold;
+        return alarmed_;
+    }
+
+    [[nodiscard]] double value() const { return value_; }
+    [[nodiscard]] bool alarmed() const { return alarmed_; }
+    void reset() {
+        value_ = 0.0;
+        alarmed_ = false;
+    }
+
+private:
+    EwmaParams params_;
+    double value_ = 0.0;
+    bool alarmed_ = false;
+};
+
+/// One-sided CUSUM: S <- max(0, S + sample - drift), alarm when S exceeds
+/// the threshold. `drift` is the per-sample allowance (set above the honest
+/// stream mean so S hovers at zero between attacks); on a constant step of
+/// height s > drift the alarm fires after ceil(threshold / (s - drift))
+/// samples.
+struct CusumParams {
+    double drift = 3.0;
+    double threshold = 12.0;
+};
+
+class CusumDetector {
+public:
+    CusumDetector() = default;
+    explicit CusumDetector(CusumParams params) : params_(params) {}
+
+    bool update(double sample) {
+        statistic_ = std::max(0.0, statistic_ + sample - params_.drift);
+        alarmed_ = statistic_ > params_.threshold;
+        return alarmed_;
+    }
+
+    [[nodiscard]] double statistic() const { return statistic_; }
+    [[nodiscard]] bool alarmed() const { return alarmed_; }
+    void reset() {
+        statistic_ = 0.0;
+        alarmed_ = false;
+    }
+
+private:
+    CusumParams params_;
+    double statistic_ = 0.0;
+    bool alarmed_ = false;
+};
+
+/// Consecutive-exceedance gate: alarm while the last `consecutive` samples
+/// all exceeded `gate`. One isolated noise spike (GPS glitch) cannot alarm;
+/// a sustained implausibility alarms after exactly `consecutive` samples.
+struct InnovationGateParams {
+    double gate = 8.0;            ///< Per-sample exceedance threshold.
+    std::size_t consecutive = 2;  ///< Run length required to alarm.
+};
+
+class InnovationGateDetector {
+public:
+    InnovationGateDetector() = default;
+    explicit InnovationGateDetector(InnovationGateParams params)
+        : params_(params) {}
+
+    bool update(double sample) {
+        if (sample > params_.gate) {
+            ++run_;
+        } else {
+            run_ = 0;
+        }
+        return alarmed();
+    }
+
+    [[nodiscard]] std::size_t run_length() const { return run_; }
+    [[nodiscard]] bool alarmed() const { return run_ >= params_.consecutive; }
+    void reset() { run_ = 0; }
+
+private:
+    InnovationGateParams params_;
+    std::size_t run_ = 0;
+};
+
+}  // namespace platoon::detect

@@ -1,0 +1,69 @@
+#include "detect/features.hpp"
+
+#include <cmath>
+
+namespace platoon::detect {
+
+Features FeatureExtractor::update(const Input& in) {
+    Features f;
+    f.t = in.now;
+    f.receiver = in.receiver;
+    f.sender = in.sender;
+    f.type = in.type;
+    f.seq = in.seq;
+    f.accepted = in.accepted;
+    f.sender_is_predecessor = in.sender_is_predecessor;
+    f.truth = in.truth;
+
+    Stream& stream = streams_[in.sender];
+
+    // Sequence numbers are a per-identity property of the envelope, shared
+    // across message types, so the delta tracks every message.
+    if (stream.has_seq) {
+        f.seq_delta = static_cast<double>(static_cast<std::int64_t>(in.seq) -
+                                          static_cast<std::int64_t>(stream.seq));
+    }
+    stream.has_seq = true;
+    stream.seq = in.seq;
+
+    if (in.beacon == nullptr) return f;
+
+    const net::Beacon& beacon = *in.beacon;
+    f.claimed_position_m = beacon.position_m;
+    f.claimed_speed_mps = beacon.speed_mps;
+    f.claimed_accel_mps2 = beacon.accel_mps2;
+
+    if (stream.has_arrival) f.jitter_s = std::abs((in.now - stream.arrival_at) -
+                                                  params_.beacon_period_s);
+    stream.has_arrival = true;
+    stream.arrival_at = in.now;
+
+    if (stream.has_claim) {
+        const double dt = in.now - stream.claim_at;
+        if (dt > 1e-9 && dt <= params_.prediction_horizon_s) {
+            const double predicted_pos = stream.position_m +
+                                         stream.speed_mps * dt +
+                                         0.5 * stream.accel_mps2 * dt * dt;
+            const double predicted_speed =
+                stream.speed_mps + stream.accel_mps2 * dt;
+            f.innovation_m = std::abs(beacon.position_m - predicted_pos);
+            f.speed_jump_mps = std::abs(beacon.speed_mps - predicted_speed);
+        }
+    }
+    stream.has_claim = true;
+    stream.position_m = beacon.position_m;
+    stream.speed_mps = beacon.speed_mps;
+    stream.accel_mps2 = beacon.accel_mps2;
+    stream.claim_at = in.now;
+
+    if (in.sender_is_predecessor && in.radar_gap_m && in.own_position_m) {
+        // The claimed bumper-to-bumper gap from the receiver's nose to the
+        // sender's tail, versus what the radar actually measures.
+        const double claimed_gap =
+            beacon.position_m - beacon.length_m - *in.own_position_m;
+        f.radar_residual_m = std::abs(claimed_gap - *in.radar_gap_m);
+    }
+    return f;
+}
+
+}  // namespace platoon::detect

@@ -1,0 +1,236 @@
+#include "detect/harness.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "core/experiment.hpp"
+#include "eval/harness.hpp"
+
+namespace platoon::detect {
+
+namespace {
+
+// Mirrors the eval harness's DoS-row fixture: a legitimate joiner whose
+// admission the flood tries to deny (its handshake is exactly the benign
+// maneuver traffic the flood detector must not flag away).
+core::PlatoonVehicle& add_legit_joiner(core::Scenario& scenario) {
+    core::VehicleConfig joiner;
+    joiner.id = sim::NodeId{300};
+    joiner.role = control::Role::kFree;
+    joiner.platoon_id = 0;
+    joiner.security = scenario.config().security;
+    joiner.initial_state.position_m =
+        scenario.tail().dynamics().position() - 80.0;
+    joiner.initial_state.speed_mps = 25.0;
+    joiner.desired_speed_mps = 28.0;
+    auto& vehicle = scenario.add_vehicle(joiner);
+    scenario.scheduler().schedule_at(25.0, [&scenario, &vehicle] {
+        vehicle.request_join(scenario.platoon_id(), scenario.leader().id());
+    });
+    return vehicle;
+}
+
+// Impersonation presumes stolen credentials; without a PKI it degenerates
+// into fake-maneuver, so its rows always run on a signed baseline (same
+// normalization the Table II/III harness applies).
+void normalize_config(core::ScenarioConfig& config, AttackKind kind) {
+    if (kind == AttackKind::kImpersonation &&
+        config.security.auth_mode == crypto::AuthMode::kNone) {
+        config.security.auth_mode = crypto::AuthMode::kSignature;
+    }
+}
+
+}  // namespace
+
+core::ScenarioConfig detection_config(std::uint64_t seed) {
+    core::ScenarioConfig config = eval::eval_config(seed);
+    config.security.vpd_ada = true;
+    config.security.trust_management = true;
+    config.security.report_misbehavior = true;
+    config.rsu_count = 4;
+    return config;
+}
+
+DetectionHarness::DetectionHarness(const BankTuning& tuning)
+    : tuning_(tuning), bank_(default_bank(tuning)) {
+    for (const DetectorSpec& spec : bank_) dataset_.detectors.push_back(spec.name);
+}
+
+void DetectionHarness::attach(core::Scenario& scenario, std::string run_tag) {
+    scenario_ = &scenario;
+    run_tag_ = std::move(run_tag);
+    for (std::size_t i = 0; i < scenario.config().platoon_size; ++i)
+        attach_vehicle(scenario.vehicle(i));
+}
+
+void DetectionHarness::attach_vehicle(core::PlatoonVehicle& vehicle) {
+    Receiver& receiver = receivers_[vehicle.id().value];
+    receiver.detectors.clear();
+    for (const DetectorSpec& spec : bank_)
+        receiver.detectors.push_back(spec.make());
+    vehicle.set_message_observer(
+        [this](const core::PlatoonVehicle& v,
+               const core::PlatoonVehicle::MessageObservation& obs) {
+            observe(v, obs);
+        });
+}
+
+void DetectionHarness::observe(
+    const core::PlatoonVehicle& vehicle,
+    const core::PlatoonVehicle::MessageObservation& obs) {
+    Receiver& receiver = receivers_[vehicle.id().value];
+
+    FeatureExtractor::Input in;
+    in.now = scenario_ != nullptr ? scenario_->scheduler().now()
+                                  : obs.rx.rx_time;
+    in.receiver = vehicle.id().value;
+    in.sender = obs.frame.envelope.sender;
+    in.type = obs.frame.type;
+    in.seq = obs.frame.envelope.seq;
+    in.accepted = obs.accepted;
+    const auto predecessor = vehicle.current_predecessor();
+    in.sender_is_predecessor = predecessor && *predecessor == in.sender;
+    in.beacon = obs.beacon;
+    in.own_position_m = vehicle.own_position_estimate();
+    in.radar_gap_m = vehicle.last_radar_gap();
+    in.truth = obs.frame.truth;
+
+    const Features f = receiver.extractor.update(in);
+
+    const std::string tag = "detect.v" + std::to_string(in.receiver);
+    if (f.innovation_m)
+        traces_.series(tag + ".innovation_m").record(f.t, *f.innovation_m);
+    if (f.radar_residual_m)
+        traces_.series(tag + ".radar_residual_m")
+            .record(f.t, *f.radar_residual_m);
+
+    DatasetRow row;
+    row.run = run_tag_;
+    row.features = f;
+    row.flags.reserve(receiver.detectors.size());
+    for (auto& detector : receiver.detectors)
+        row.flags.push_back(detector->update(f, vehicle) ? 1 : 0);
+    dataset_.rows.push_back(std::move(row));
+}
+
+DetectionResult run_detection_once(core::ScenarioConfig config,
+                                   AttackKind kind, bool with_attack,
+                                   const BankTuning& tuning,
+                                   bool keep_dataset) {
+    normalize_config(config, kind);
+    core::Scenario scenario(config);
+    std::unique_ptr<security::Attack> attack;
+    if (with_attack) {
+        attack = eval::make_attack(kind);
+        attack->attach(scenario);
+    }
+    core::PlatoonVehicle* joiner = nullptr;
+    if (kind == AttackKind::kDenialOfService)
+        joiner = &add_legit_joiner(scenario);
+
+    DetectionHarness harness(tuning);
+    const std::string tag =
+        std::string(with_attack ? core::to_string(kind) : "clean") + "/seed" +
+        std::to_string(config.seed);
+    harness.attach(scenario, tag);
+    if (joiner != nullptr) harness.attach_vehicle(*joiner);
+
+    scenario.run_until(eval::kEvalDuration);
+
+    DetectionResult result;
+    result.isolations = scenario.authority().isolations();
+    result.scores = score_dataset(harness.dataset(), kAttackStartTime,
+                                  eval::kEvalDuration, result.isolations);
+    if (keep_dataset) result.dataset = harness.take_dataset();
+    return result;
+}
+
+namespace {
+
+std::vector<DetectorSummary> fold_seed_scores(
+    const std::vector<std::vector<DetectorScore>>& per_seed) {
+    std::vector<DetectorSummary> out;
+    if (per_seed.empty()) return out;
+    const std::size_t detectors = per_seed.front().size();
+    const double seeds = static_cast<double>(per_seed.size());
+    for (std::size_t d = 0; d < detectors; ++d) {
+        DetectorSummary s;
+        s.detector = per_seed.front()[d].detector;
+        s.precision = 0.0;
+        double ttd_sum = 0.0, tti_sum = 0.0;
+        std::size_t detected = 0, isolated = 0;
+        for (const auto& scores : per_seed) {
+            const DetectorScore& one = scores[d];
+            s.precision += one.confusion.precision();
+            s.recall += one.confusion.recall();
+            s.f1 += one.confusion.f1();
+            s.false_positive_rate += one.confusion.false_positive_rate();
+            s.false_alarms_per_hour += one.false_alarms_per_hour;
+            s.malicious_rows += static_cast<double>(one.confusion.positives());
+            s.flagged_rows += static_cast<double>(one.confusion.flagged());
+            if (one.time_to_detect_s < kNever) {
+                ++detected;
+                ttd_sum += one.time_to_detect_s;
+            }
+            if (one.time_to_isolate_s < kNever) {
+                ++isolated;
+                tti_sum += one.time_to_isolate_s;
+            }
+        }
+        s.precision /= seeds;
+        s.recall /= seeds;
+        s.f1 /= seeds;
+        s.false_positive_rate /= seeds;
+        s.false_alarms_per_hour /= seeds;
+        s.malicious_rows /= seeds;
+        s.flagged_rows /= seeds;
+        s.detect_rate = static_cast<double>(detected) / seeds;
+        s.isolate_rate = static_cast<double>(isolated) / seeds;
+        if (detected > 0) s.mean_ttd_s = ttd_sum / static_cast<double>(detected);
+        if (isolated > 0) s.mean_tti_s = tti_sum / static_cast<double>(isolated);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<DetectorSummary>> run_detection_grid(
+    const std::vector<DetectionCell>& cells, unsigned jobs) {
+    // Flattened to (cell, seed) tasks, folded in cell/seed order: the same
+    // load-balancing + determinism scheme as eval::run_eval_grid.
+    std::vector<std::function<std::vector<DetectorScore>()>> tasks;
+    std::vector<std::size_t> seeds_per_cell;
+    seeds_per_cell.reserve(cells.size());
+    for (const DetectionCell& cell : cells) {
+        const std::uint64_t base_seed = cell.config.seed;
+        seeds_per_cell.push_back(cell.seeds);
+        for (std::size_t k = 0; k < cell.seeds; ++k) {
+            core::ScenarioConfig config = cell.config;
+            config.seed = base_seed + k;
+            tasks.emplace_back([config, kind = cell.kind,
+                                with_attack = cell.with_attack,
+                                tuning = cell.tuning] {
+                return run_detection_once(config, kind, with_attack, tuning,
+                                          /*keep_dataset=*/false)
+                    .scores;
+            });
+        }
+    }
+    const std::vector<std::vector<DetectorScore>> per_seed =
+        core::run_grid(std::move(tasks), jobs);
+
+    std::vector<std::vector<DetectorSummary>> out;
+    out.reserve(cells.size());
+    std::size_t offset = 0;
+    for (const std::size_t seeds : seeds_per_cell) {
+        const std::vector<std::vector<DetectorScore>> slice(
+            per_seed.begin() + static_cast<std::ptrdiff_t>(offset),
+            per_seed.begin() + static_cast<std::ptrdiff_t>(offset + seeds));
+        out.push_back(fold_seed_scores(slice));
+        offset += seeds;
+    }
+    return out;
+}
+
+}  // namespace platoon::detect

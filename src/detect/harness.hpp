@@ -1,0 +1,123 @@
+// The detection benchmark harness: installs the feature extractor and the
+// detector bank on every platoon member as a passive message-observer tap,
+// collects the labeled dataset, and scores the bank against the Table II
+// attack suite (the "Table IV" the bench binary prints).
+//
+// Run helpers follow the determinism contract of core::run_grid: per-seed
+// scenarios are fully independent, results fold in seed/cell order, and the
+// output is bit-identical at any job count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/taxonomy.hpp"
+#include "detect/bank.hpp"
+#include "detect/dataset.hpp"
+#include "detect/score.hpp"
+#include "sim/trace.hpp"
+
+namespace platoon::detect {
+
+using core::AttackKind;
+
+/// The detection scenario: the canonical evaluation platoon (6 trucks, PATH
+/// CACC, braking at t=40 s, attacks from t=20 s) with the misbehavior
+/// ecosystem switched on (VPD-ADA, trust management, reporting, 4 RSUs) but
+/// an open broadcast channel -- detection, not cryptography, is the defense
+/// layer under test. Impersonation rows are normalized to a signed baseline
+/// by the run helpers (the attack presumes stolen credentials).
+[[nodiscard]] core::ScenarioConfig detection_config(std::uint64_t seed = 42);
+
+/// Table II attack window start in the evaluation scenario (TTD anchor).
+inline constexpr double kAttackStartTime = 20.0;
+
+/// Installs one FeatureExtractor + one detector-bank instance per platoon
+/// member and records every observed message as a labeled dataset row.
+/// Purely passive: observers read cached state only, so an instrumented
+/// scenario stays bit-identical to an uninstrumented one.
+class DetectionHarness {
+public:
+    explicit DetectionHarness(const BankTuning& tuning = {});
+    DetectionHarness(const DetectionHarness&) = delete;
+    DetectionHarness& operator=(const DetectionHarness&) = delete;
+
+    /// Instruments the platoon members of `scenario` (not attacker
+    /// platforms). `run_tag` labels the dataset rows, e.g. "replay/seed42".
+    void attach(core::Scenario& scenario, std::string run_tag);
+
+    /// Instruments one extra vehicle (e.g. the DoS row's legitimate joiner).
+    void attach_vehicle(core::PlatoonVehicle& vehicle);
+
+    [[nodiscard]] const Dataset& dataset() const { return dataset_; }
+    [[nodiscard]] Dataset take_dataset() { return std::move(dataset_); }
+    /// Per-receiver residual time series (innovation, radar residual).
+    [[nodiscard]] sim::TraceRecorder& traces() { return traces_; }
+
+private:
+    struct Receiver {
+        FeatureExtractor extractor;
+        std::vector<std::unique_ptr<Detector>> detectors;
+    };
+
+    void observe(const core::PlatoonVehicle& vehicle,
+                 const core::PlatoonVehicle::MessageObservation& obs);
+
+    BankTuning tuning_;
+    std::vector<DetectorSpec> bank_;
+    core::Scenario* scenario_ = nullptr;
+    std::string run_tag_;
+    std::map<std::uint32_t, Receiver> receivers_;
+    Dataset dataset_;
+    sim::TraceRecorder traces_;
+};
+
+/// One scored replication at `config.seed` exactly.
+struct DetectionResult {
+    Dataset dataset;  ///< Empty when keep_dataset was false.
+    std::vector<DetectorScore> scores;
+    std::vector<rsu::TrustedAuthority::Isolation> isolations;
+};
+
+[[nodiscard]] DetectionResult run_detection_once(core::ScenarioConfig config,
+                                                 AttackKind kind,
+                                                 bool with_attack,
+                                                 const BankTuning& tuning = {},
+                                                 bool keep_dataset = true);
+
+/// Seed-aggregated score of one detector on one attack cell.
+struct DetectorSummary {
+    std::string detector;
+    double precision = 1.0;          ///< Mean over seeds.
+    double recall = 0.0;             ///< Mean over seeds.
+    double f1 = 0.0;                 ///< Mean over seeds.
+    double false_positive_rate = 0.0;
+    double false_alarms_per_hour = 0.0;
+    double detect_rate = 0.0;        ///< Seeds with >=1 true alarm.
+    double mean_ttd_s = kNever;      ///< Over detected seeds.
+    double isolate_rate = 0.0;       ///< Seeds whose alarms led to the TA.
+    double mean_tti_s = kNever;      ///< Over isolated seeds.
+    double malicious_rows = 0.0;     ///< Mean labeled-malicious rows.
+    double flagged_rows = 0.0;       ///< Mean flagged rows.
+};
+
+/// One (attack, tuning) cell of the detection grid.
+struct DetectionCell {
+    core::ScenarioConfig config;
+    AttackKind kind = AttackKind::kReplay;
+    bool with_attack = true;
+    std::size_t seeds = 1;
+    BankTuning tuning{};
+};
+
+/// Fans the grid out at (cell x seed) granularity over `jobs` workers
+/// (jobs=0 -> core::default_jobs()) and returns per-cell seed-aggregated
+/// summaries in cell order, one entry per bank detector.
+[[nodiscard]] std::vector<std::vector<DetectorSummary>> run_detection_grid(
+    const std::vector<DetectionCell>& cells, unsigned jobs = 0);
+
+}  // namespace platoon::detect

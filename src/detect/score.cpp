@@ -1,0 +1,79 @@
+#include "detect/score.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace platoon::detect {
+
+double Confusion::precision() const {
+    const std::uint64_t denom = tp + fp;
+    return denom == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::recall() const {
+    const std::uint64_t denom = tp + fn;
+    return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Confusion::false_positive_rate() const {
+    const std::uint64_t denom = fp + tn;
+    return denom == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(denom);
+}
+
+std::vector<DetectorScore> score_dataset(
+    const Dataset& ds, double attack_start_s, double duration_s,
+    const std::vector<rsu::TrustedAuthority::Isolation>& isolations) {
+    // The identities an isolation can legitimately count against: every wire
+    // identity that carried at least one malicious message (for replay and
+    // impersonation that is the *abused* honest identity -- revoking the
+    // stolen credential is exactly the isolation the paper describes).
+    std::unordered_set<std::uint32_t> malicious_ids;
+    for (const DatasetRow& row : ds.rows)
+        if (row.features.truth.malicious())
+            malicious_ids.insert(row.features.sender);
+
+    std::vector<DetectorScore> scores;
+    scores.reserve(ds.detectors.size());
+    for (std::size_t d = 0; d < ds.detectors.size(); ++d) {
+        DetectorScore score;
+        score.detector = ds.detectors[d];
+        for (const DatasetRow& row : ds.rows) {
+            const bool flagged = row.flags[d] != 0;
+            const bool malicious = row.features.truth.malicious();
+            if (flagged && malicious) {
+                ++score.confusion.tp;
+                score.first_true_alarm_s =
+                    std::min(score.first_true_alarm_s, row.features.t);
+            } else if (flagged) {
+                ++score.confusion.fp;
+            } else if (malicious) {
+                ++score.confusion.fn;
+            } else {
+                ++score.confusion.tn;
+            }
+        }
+        if (score.first_true_alarm_s < kNever) {
+            score.time_to_detect_s =
+                std::max(0.0, score.first_true_alarm_s - attack_start_s);
+            for (const auto& iso : isolations) {
+                if (!malicious_ids.count(iso.subject.value)) continue;
+                score.time_to_isolate_s =
+                    std::min(score.time_to_isolate_s,
+                             std::max(0.0, iso.at - score.first_true_alarm_s));
+            }
+        }
+        if (duration_s > 0.0)
+            score.false_alarms_per_hour =
+                static_cast<double>(score.confusion.fp) * 3600.0 / duration_s;
+        scores.push_back(std::move(score));
+    }
+    return scores;
+}
+
+}  // namespace platoon::detect

@@ -1,0 +1,66 @@
+// Detection-quality scoring: per-message confusion matrices, precision /
+// recall / F1, time-to-detect (attack start -> first true alarm),
+// time-to-isolation (first true alarm -> the TA's quorum adjudication of a
+// malicious identity), and false-alarm rate -- the columns of Table IV.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "detect/dataset.hpp"
+#include "rsu/trusted_authority.hpp"
+
+namespace platoon::detect {
+
+inline constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Per-message confusion counts: a flagged malicious message is a TP, a
+/// flagged benign one an FP, and so on. "Malicious" is the oracle label.
+struct Confusion {
+    std::uint64_t tp = 0;
+    std::uint64_t fp = 0;
+    std::uint64_t fn = 0;
+    std::uint64_t tn = 0;
+
+    [[nodiscard]] std::uint64_t positives() const { return tp + fn; }
+    [[nodiscard]] std::uint64_t flagged() const { return tp + fp; }
+    /// Precision; 1.0 when nothing was flagged (no false alarms).
+    [[nodiscard]] double precision() const;
+    /// Recall; defined only when positives exist (else returns 0).
+    [[nodiscard]] double recall() const;
+    [[nodiscard]] double f1() const;
+    /// FP / (FP + TN); 0 when no benign traffic was observed.
+    [[nodiscard]] double false_positive_rate() const;
+};
+
+/// One detector's score over one run.
+struct DetectorScore {
+    std::string detector;
+    Confusion confusion;
+    /// Simulation time of the first true alarm (kNever: none).
+    double first_true_alarm_s = kNever;
+    /// First true alarm minus the attack window start (kNever: undetected).
+    double time_to_detect_s = kNever;
+    /// TA adjudication of a malicious identity minus the first true alarm
+    /// (kNever: the reporter quorum was never reached).
+    double time_to_isolate_s = kNever;
+    double false_alarms_per_hour = 0.0;
+};
+
+/// Scores every detector column of `ds` against its ground-truth labels.
+/// `attack_start_s` anchors the TTD; `duration_s` normalizes the FA rate;
+/// `isolations` is the TA's adjudication log for the same run.
+[[nodiscard]] std::vector<DetectorScore> score_dataset(
+    const Dataset& ds, double attack_start_s, double duration_s,
+    const std::vector<rsu::TrustedAuthority::Isolation>& isolations);
+
+/// One operating point of a threshold sweep (ROC curve).
+struct RocPoint {
+    double threshold_scale = 1.0;
+    double true_positive_rate = 0.0;
+    double false_positive_rate = 0.0;
+};
+
+}  // namespace platoon::detect

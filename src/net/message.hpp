@@ -24,6 +24,22 @@ enum class MsgType : std::uint8_t {
     kKeyMgmt = 3,
 };
 
+/// Simulation-only ground truth riding alongside a message: which attack (if
+/// any) forged, tampered with, or replayed it, and which physical node did
+/// it. Never serialized into the wire bytes and never read by protocol,
+/// defense, or controller code -- it exists so the misbehavior-detection
+/// benchmark (src/detect) can score detectors against an oracle. `attack`
+/// holds a core::AttackKind value (kept as a raw byte here so net stays
+/// below core in the layering).
+struct GroundTruth {
+    static constexpr std::uint8_t kBenign = 0xFF;
+    std::uint8_t attack = kBenign;
+    std::uint32_t attacker = sim::NodeId::kInvalidValue;
+
+    [[nodiscard]] bool malicious() const { return attack != kBenign; }
+    friend bool operator==(const GroundTruth&, const GroundTruth&) = default;
+};
+
 /// Cooperative Awareness Message, broadcast at 10 Hz by every platoon
 /// vehicle (the Plexe default).
 struct Beacon {

@@ -29,6 +29,9 @@ struct Frame {
     MsgType type = MsgType::kBeacon;
     crypto::Envelope envelope;
     Band band = Band::kDsrc;
+    /// Oracle label (see GroundTruth): not part of the wire bytes, costs no
+    /// airtime, and must never influence delivery or protocol decisions.
+    GroundTruth truth;
 
     [[nodiscard]] std::size_t wire_size() const {
         return envelope.wire_size() + 8;  // MAC/PHY header

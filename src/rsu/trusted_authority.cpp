@@ -44,11 +44,16 @@ TrustedAuthority::Enrollment TrustedAuthority::enroll(sim::NodeId vehicle,
 
 bool TrustedAuthority::report_misbehavior(sim::NodeId reporter,
                                           sim::NodeId subject,
-                                          sim::SimTime /*now*/) {
+                                          sim::SimTime now) {
     ++reports_;
     auto& who = reporters_[subject];
     if (std::find(who.begin(), who.end(), reporter) == who.end())
         who.push_back(reporter);
+    // Log the adjudication the moment the reporter quorum is first reached
+    // (== comparison: later reports against an already-adjudicated subject
+    // are not new isolation events).
+    if (who.size() == params_.reports_to_revoke)
+        isolations_.push_back({subject, now});
     if (who.size() >= params_.reports_to_revoke) {
         const auto it = wire_serials_.find(subject);
         const bool fresh =

@@ -80,6 +80,19 @@ public:
     }
     [[nodiscard]] std::uint64_t reports_received() const { return reports_; }
 
+    /// One adjudication event: the moment enough distinct reporters agreed
+    /// and the TA moved against an on-wire identity (credential revocation
+    /// when one was issued; blacklisting for never-enrolled ghost ids).
+    struct Isolation {
+        sim::NodeId subject;
+        sim::SimTime at = 0.0;
+    };
+    /// Adjudications in report order (detection benchmarks read
+    /// time-to-isolation off this log).
+    [[nodiscard]] const std::vector<Isolation>& isolations() const {
+        return isolations_;
+    }
+
 private:
     crypto::CertificateAuthority ca_;
     Params params_;
@@ -91,6 +104,7 @@ private:
     std::unordered_map<sim::NodeId, std::vector<std::uint64_t>> wire_serials_;
     std::size_t revoked_credentials_ = 0;
     std::vector<sim::NodeId> revoked_subjects_;
+    std::vector<Isolation> isolations_;
     std::uint64_t reports_ = 0;
 };
 

@@ -42,4 +42,11 @@ std::function<double()> track_vehicle(core::Scenario& scenario,
     return [v, offset_m] { return v->dynamics().position() + offset_m; };
 }
 
+net::GroundTruth oracle_label(core::AttackKind kind, sim::NodeId attacker) {
+    net::GroundTruth truth;
+    truth.attack = static_cast<std::uint8_t>(kind);
+    truth.attacker = attacker.value;
+    return truth;
+}
+
 }  // namespace platoon::security

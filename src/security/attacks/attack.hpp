@@ -74,4 +74,11 @@ private:
 [[nodiscard]] std::function<double()> track_vehicle(
     core::Scenario& scenario, std::size_t vehicle_index, double offset_m);
 
+/// Ground-truth oracle label for a frame this attack forged, tampered with
+/// or replayed. Every attack stamps the frames it injects (and the beacon
+/// streams it corrupts) so detection benchmarks can score against truth;
+/// the label never reaches protocol logic.
+[[nodiscard]] net::GroundTruth oracle_label(core::AttackKind kind,
+                                            sim::NodeId attacker);
+
 }  // namespace platoon::security

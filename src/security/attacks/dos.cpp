@@ -34,6 +34,7 @@ void DosAttack::flood_one() {
     frame.type = net::MsgType::kManeuver;
     frame.envelope =
         protection_.protect(fake_id, crypto::BytesView(msg.encode()), now);
+    frame.truth = oracle_label(kind(), radio_->id());
     radio_->send(std::move(frame));
     ++requests_;
 }

@@ -60,6 +60,7 @@ void FakeManeuverAttack::inject() {
         frame.envelope = protection_.protect(leader_wire_,
                                              crypto::BytesView(msg.encode()),
                                              now);
+        frame.truth = oracle_label(kind(), radio_->id());
         radio_->send(std::move(frame));
         ++injected_;
     };

@@ -15,11 +15,16 @@ void GpsSpoofAttack::attach(core::Scenario& scenario) {
             if (now > params_.window.stop_s) {
                 if (locked_) {
                     victim.gps().spoof_clear();
+                    victim.clear_beacon_truth();
                     locked_ = false;
                 }
                 return;
             }
             locked_ = true;
+            // The victim is honest but its position claims are poisoned:
+            // taint its beacon stream so detection scoring knows which
+            // messages carried attacker-induced data.
+            victim.set_beacon_truth(oracle_label(kind(), victim.id()));
             offset_m_ = std::min(
                 params_.max_offset_m,
                 offset_m_ + params_.walk_rate_mps * params_.update_period_s);

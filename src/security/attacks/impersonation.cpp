@@ -57,6 +57,7 @@ void ImpersonationAttack::inject() {
         frame.envelope = protection_.protect(victim_wire_,
                                              crypto::BytesView(msg.encode()),
                                              now);
+        frame.truth = oracle_label(kind(), radio_->id());
         radio_->send(std::move(frame));
         ++injected_;
     }
@@ -83,6 +84,7 @@ void ImpersonationAttack::inject() {
         frame.type = net::MsgType::kBeacon;
         frame.envelope = protection_.protect(
             victim_wire_, crypto::BytesView(beacon.encode()), now);
+        frame.truth = oracle_label(kind(), radio_->id());
         radio_->send(std::move(frame));
         ++injected_;
     }

@@ -43,7 +43,9 @@ void ReplayAttack::replay_one() {
     }
     for (const Recorded& rec : buffer_) {
         if (now - rec.heard_at >= params_.replay_delay_s) {
-            radio_->send(rec.frame);
+            net::Frame frame = rec.frame;
+            frame.truth = oracle_label(kind(), radio_->id());
+            radio_->send(std::move(frame));
             ++replayed_;
             return;
         }

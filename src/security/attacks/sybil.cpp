@@ -53,6 +53,7 @@ void SybilAttack::emit_ghost_beacons() {
         frame.envelope = protection_.protect(ghost.sender,
                                              crypto::BytesView(ghost.encode()),
                                              now);
+        frame.truth = oracle_label(kind(), radio_->id());
         radio_->send(std::move(frame));
         ++beacons_;
     }
@@ -72,6 +73,7 @@ void SybilAttack::emit_join_requests() {
         frame.envelope = protection_.protect(msg.sender,
                                              crypto::BytesView(msg.encode()),
                                              now);
+        frame.truth = oracle_label(kind(), radio_->id());
         radio_->send(std::move(frame));
         ++join_requests_;
     }

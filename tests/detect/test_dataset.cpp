@@ -1,0 +1,148 @@
+// Dataset schema tests: the long-format CSV round-trips bit-exactly, and a
+// real attacked run produces a corpus where every forged/tampered beacon
+// carries its oracle ground-truth label.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/taxonomy.hpp"
+#include "detect/harness.hpp"
+
+namespace {
+
+namespace pd = platoon::detect;
+namespace pc = platoon::core;
+
+pd::Dataset tiny_dataset() {
+    pd::Dataset ds;
+    ds.detectors = {"ewma", "freshness"};
+
+    pd::DatasetRow benign;
+    benign.run = "clean/seed42";
+    benign.features.t = 1.25;
+    benign.features.receiver = 101;
+    benign.features.sender = 100;
+    benign.features.type = platoon::net::MsgType::kBeacon;
+    benign.features.seq = 17;
+    benign.features.claimed_position_m = 123.456789;
+    benign.features.claimed_speed_mps = 27.5;
+    benign.features.innovation_m = 0.25;
+    benign.features.seq_delta = 1.0;
+    benign.flags = {0, 0};
+    ds.rows.push_back(benign);
+
+    pd::DatasetRow forged;
+    forged.run = "replay/seed42";
+    forged.features.t = 20.000141;
+    forged.features.receiver = 103;
+    forged.features.sender = 100;
+    forged.features.type = platoon::net::MsgType::kBeacon;
+    forged.features.seq = 3;
+    forged.features.accepted = false;
+    forged.features.sender_is_predecessor = true;
+    forged.features.radar_residual_m = 57.25;
+    forged.features.truth.attack =
+        static_cast<std::uint8_t>(pc::AttackKind::kReplay);
+    forged.features.truth.attacker = 900;
+    forged.flags = {1, 1};
+    ds.rows.push_back(forged);
+
+    pd::DatasetRow maneuver;
+    maneuver.run = "denial-of-service/seed43";
+    maneuver.features.t = 25.0;
+    maneuver.features.receiver = 100;
+    maneuver.features.sender = 8001;
+    maneuver.features.type = platoon::net::MsgType::kManeuver;
+    maneuver.features.seq = 0;
+    maneuver.features.truth.attack =
+        static_cast<std::uint8_t>(pc::AttackKind::kDenialOfService);
+    maneuver.features.truth.attacker = 901;
+    maneuver.flags = {0, 1};
+    ds.rows.push_back(maneuver);
+    return ds;
+}
+
+TEST(Dataset, CsvRoundTripsBitExactly) {
+    const pd::Dataset ds = tiny_dataset();
+    const std::string first = ds.to_csv();
+    const auto parsed = pd::Dataset::from_csv(first);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->detectors, ds.detectors);
+    ASSERT_EQ(parsed->rows.size(), ds.rows.size());
+    EXPECT_EQ(parsed->to_csv(), first);
+
+    // Spot-check semantic fields survived, not just the text.
+    const pd::Features& f = parsed->rows[1].features;
+    EXPECT_FALSE(f.accepted);
+    EXPECT_TRUE(f.sender_is_predecessor);
+    ASSERT_TRUE(f.radar_residual_m.has_value());
+    EXPECT_DOUBLE_EQ(*f.radar_residual_m, 57.25);
+    EXPECT_TRUE(f.truth.malicious());
+    EXPECT_EQ(pd::truth_label(f.truth), "replay");
+    EXPECT_EQ(f.truth.attacker, 900u);
+    EXPECT_EQ(parsed->rows[1].flags, (std::vector<std::uint8_t>{1, 1}));
+    EXPECT_FALSE(parsed->rows[0].features.truth.malicious());
+}
+
+TEST(Dataset, RejectsMalformedInput) {
+    EXPECT_FALSE(pd::Dataset::from_csv("not,a,header\n").has_value());
+    pd::Dataset ds = tiny_dataset();
+    std::string csv = ds.to_csv();
+    csv += "short,row\n";
+    EXPECT_FALSE(pd::Dataset::from_csv(csv).has_value());
+}
+
+TEST(Dataset, AppendConcatenatesMatchingColumns) {
+    pd::Dataset a = tiny_dataset();
+    const pd::Dataset b = tiny_dataset();
+    a.append(b);
+    EXPECT_EQ(a.size(), 6u);
+    pd::Dataset empty;
+    empty.append(b);
+    EXPECT_EQ(empty.detectors, b.detectors);
+    EXPECT_EQ(empty.size(), 3u);
+}
+
+TEST(Dataset, ReplayRunLabelsEveryForgedBeacon) {
+    // One real replay replication: the oracle must label a substantial
+    // forged stream, every label must read "replay" with the attacker id
+    // attached, and the whole corpus must survive a CSV round trip.
+    const auto result = pd::run_detection_once(
+        pd::detection_config(42), pc::AttackKind::kReplay, true);
+    const pd::Dataset& ds = result.dataset;
+    ASSERT_GT(ds.size(), 0u);
+
+    std::size_t malicious = 0;
+    for (const pd::DatasetRow& row : ds.rows) {
+        if (!row.features.truth.malicious()) continue;
+        ++malicious;
+        EXPECT_EQ(pd::truth_label(row.features.truth), "replay");
+        EXPECT_NE(row.features.truth.attacker,
+                  platoon::sim::NodeId::kInvalidValue);
+        EXPECT_EQ(row.features.type, platoon::net::MsgType::kBeacon);
+    }
+    // 20 Hz replay over a 50 s window heard by 5 followers: thousands of
+    // labeled rows, not a handful.
+    EXPECT_GT(malicious, 1000u);
+
+    const std::string csv = ds.to_csv();
+    const auto parsed = pd::Dataset::from_csv(csv);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->to_csv(), csv);
+    std::size_t parsed_malicious = 0;
+    for (const pd::DatasetRow& row : parsed->rows)
+        if (row.features.truth.malicious()) ++parsed_malicious;
+    EXPECT_EQ(parsed_malicious, malicious);
+}
+
+TEST(Dataset, CleanRunHasNoLabelsAndNoFlags) {
+    const auto result = pd::run_detection_once(
+        pd::detection_config(42), pc::AttackKind::kReplay, false);
+    ASSERT_GT(result.dataset.size(), 0u);
+    for (const pd::DatasetRow& row : result.dataset.rows) {
+        EXPECT_FALSE(row.features.truth.malicious());
+        for (const std::uint8_t flag : row.flags) EXPECT_EQ(flag, 0);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Unit tests for the scalar change detectors and the feature extractor on
+// synthetic streams with known change-points: detection delays are exact
+// (the detectors are deterministic sequential tests), and streams that stay
+// below threshold must never alarm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/detectors.hpp"
+#include "detect/features.hpp"
+
+namespace {
+
+namespace pd = platoon::detect;
+
+TEST(EwmaDetector, ExactDetectionDelayOnStep) {
+    // alpha=0.5, threshold=3, step height 4: the EWMA walks 2, 3, 3.5 --
+    // strictly above 3 exactly at the third post-change sample.
+    pd::EwmaDetector ewma({/*alpha=*/0.5, /*threshold=*/3.0});
+    EXPECT_FALSE(ewma.update(4.0));
+    EXPECT_DOUBLE_EQ(ewma.value(), 2.0);
+    EXPECT_FALSE(ewma.update(4.0));
+    EXPECT_DOUBLE_EQ(ewma.value(), 3.0);
+    EXPECT_TRUE(ewma.update(4.0));
+    EXPECT_DOUBLE_EQ(ewma.value(), 3.5);
+}
+
+TEST(EwmaDetector, NoFalseAlarmBelowThreshold) {
+    // A stream capped at the threshold can approach but never cross it.
+    pd::EwmaDetector ewma({/*alpha=*/0.3, /*threshold=*/2.0});
+    for (int i = 0; i < 10000; ++i) EXPECT_FALSE(ewma.update(2.0));
+    EXPECT_FALSE(ewma.alarmed());
+}
+
+TEST(EwmaDetector, RecoversAfterStreamReturnsToNormal) {
+    pd::EwmaDetector ewma({/*alpha=*/0.5, /*threshold=*/3.0});
+    for (int i = 0; i < 10; ++i) ewma.update(10.0);
+    EXPECT_TRUE(ewma.alarmed());
+    for (int i = 0; i < 20; ++i) ewma.update(0.0);
+    EXPECT_FALSE(ewma.alarmed());
+}
+
+TEST(CusumDetector, ExactDetectionDelayOnStep) {
+    // drift=1, threshold=5, step height 2: S grows by exactly 1 per sample
+    // and first strictly exceeds 5 at the sixth post-change sample.
+    pd::CusumDetector cusum({/*drift=*/1.0, /*threshold=*/5.0});
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FALSE(cusum.update(2.0)) << "sample " << i;
+    }
+    EXPECT_TRUE(cusum.update(2.0));
+    EXPECT_DOUBLE_EQ(cusum.statistic(), 6.0);
+}
+
+TEST(CusumDetector, ZeroFalseAlarmsBelowDrift) {
+    // Samples below the drift allowance keep S pinned at zero forever.
+    pd::CusumDetector cusum({/*drift=*/1.0, /*threshold=*/5.0});
+    for (int i = 0; i < 10000; ++i) EXPECT_FALSE(cusum.update(0.9));
+    EXPECT_DOUBLE_EQ(cusum.statistic(), 0.0);
+}
+
+TEST(CusumDetector, AccumulatesSmallPersistentShift) {
+    // A shift of +0.5 over drift needs exactly ceil(5/0.5)+1 = 11 samples.
+    pd::CusumDetector cusum({/*drift=*/1.0, /*threshold=*/5.0});
+    int alarm_at = -1;
+    for (int i = 1; i <= 20; ++i) {
+        if (cusum.update(1.5) && alarm_at < 0) alarm_at = i;
+    }
+    EXPECT_EQ(alarm_at, 11);
+}
+
+TEST(InnovationGateDetector, AlarmsAfterExactRunLength) {
+    pd::InnovationGateDetector gate({/*gate=*/5.0, /*consecutive=*/3});
+    EXPECT_FALSE(gate.update(6.0));
+    EXPECT_FALSE(gate.update(6.0));
+    EXPECT_TRUE(gate.update(6.0));
+    EXPECT_EQ(gate.run_length(), 3u);
+}
+
+TEST(InnovationGateDetector, IsolatedSpikeCannotAlarm) {
+    pd::InnovationGateDetector gate({/*gate=*/5.0, /*consecutive=*/3});
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(gate.update(100.0 /* spike */));
+        EXPECT_FALSE(gate.update(0.0 /* normal resets the run */));
+        EXPECT_FALSE(gate.update(100.0));
+    }
+}
+
+TEST(FeatureExtractor, InnovationAgainstConstantAccelPrediction) {
+    pd::FeatureExtractor fx;
+    platoon::net::Beacon b;
+    b.position_m = 100.0;
+    b.speed_mps = 20.0;
+    b.accel_mps2 = 1.0;
+
+    pd::FeatureExtractor::Input in;
+    in.now = 0.0;
+    in.receiver = 1;
+    in.sender = 2;
+    in.seq = 10;
+    in.beacon = &b;
+    const pd::Features first = fx.update(in);
+    EXPECT_FALSE(first.innovation_m.has_value());
+    EXPECT_FALSE(first.seq_delta.has_value());
+    EXPECT_FALSE(first.jitter_s.has_value());
+
+    // 0.1 s later, claims exactly on the constant-accel prediction:
+    // x = 100 + 20*0.1 + 0.5*1*0.01 = 102.005, v = 20.1.
+    platoon::net::Beacon b2 = b;
+    b2.position_m = 102.005;
+    b2.speed_mps = 20.1;
+    in.now = 0.1;
+    in.seq = 11;
+    in.beacon = &b2;
+    const pd::Features second = fx.update(in);
+    ASSERT_TRUE(second.innovation_m.has_value());
+    EXPECT_NEAR(*second.innovation_m, 0.0, 1e-9);
+    ASSERT_TRUE(second.speed_jump_mps.has_value());
+    EXPECT_NEAR(*second.speed_jump_mps, 0.0, 1e-9);
+    ASSERT_TRUE(second.seq_delta.has_value());
+    EXPECT_DOUBLE_EQ(*second.seq_delta, 1.0);
+    ASSERT_TRUE(second.jitter_s.has_value());
+    EXPECT_NEAR(*second.jitter_s, 0.0, 1e-9);
+
+    // A teleporting third claim shows up as innovation; a regressed seq as
+    // a negative delta.
+    platoon::net::Beacon b3 = b2;
+    b3.position_m = 150.0;
+    in.now = 0.2;
+    in.seq = 5;
+    in.beacon = &b3;
+    const pd::Features third = fx.update(in);
+    ASSERT_TRUE(third.innovation_m.has_value());
+    EXPECT_GT(*third.innovation_m, 40.0);
+    ASSERT_TRUE(third.seq_delta.has_value());
+    EXPECT_DOUBLE_EQ(*third.seq_delta, -6.0);
+}
+
+TEST(FeatureExtractor, RadarResidualOnlyForPredecessorWithRadar) {
+    pd::FeatureExtractor fx;
+    platoon::net::Beacon b;
+    b.position_m = 120.0;
+    b.length_m = 16.0;
+
+    pd::FeatureExtractor::Input in;
+    in.now = 0.0;
+    in.receiver = 1;
+    in.sender = 2;
+    in.beacon = &b;
+    in.own_position_m = 90.0;
+    in.radar_gap_m = 10.0;
+    in.sender_is_predecessor = false;
+    EXPECT_FALSE(fx.update(in).radar_residual_m.has_value());
+
+    in.now = 0.1;
+    in.sender_is_predecessor = true;
+    const pd::Features f = fx.update(in);
+    ASSERT_TRUE(f.radar_residual_m.has_value());
+    // Claimed gap: 120 - 16 - 90 = 14 m, radar says 10 m.
+    EXPECT_NEAR(*f.radar_residual_m, 4.0, 1e-9);
+}
+
+TEST(FeatureExtractor, PredictionHorizonExpires) {
+    pd::FeatureExtractor fx({/*beacon_period_s=*/0.1,
+                             /*prediction_horizon_s=*/1.0});
+    platoon::net::Beacon b;
+    b.position_m = 100.0;
+    b.speed_mps = 20.0;
+
+    pd::FeatureExtractor::Input in;
+    in.now = 0.0;
+    in.receiver = 1;
+    in.sender = 2;
+    in.beacon = &b;
+    fx.update(in);
+
+    // A claim 5 s later (e.g. after a jamming gap) must not be scored
+    // against a stale prediction.
+    in.now = 5.0;
+    EXPECT_FALSE(fx.update(in).innovation_m.has_value());
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Golden-value regression harness for the Table IV detection benchmark.
+//
+// Pins the headline detection-quality numbers on the canonical detection
+// scenario (detection_config: the evaluation platoon with VPD-ADA, trust,
+// reporting and 4 RSUs on an open channel; seed 42) to the measured values.
+// The simulator and the detector bank are deterministic, so these only move
+// if the reproduced receive-path or detector behavior changes; a refactor
+// that shifts them must update EXPERIMENTS.md, not silently drift.
+//
+// The zero-false-alarm contract is exact (integer counts), the
+// recall/timing pins use the golden-metrics harness's 1e-3 relative
+// tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/harness.hpp"
+
+namespace {
+
+namespace pd = platoon::detect;
+
+void expect_rel(double measured, double golden, const char* what,
+                double tol = 1e-3) {
+    EXPECT_NEAR(measured, golden, std::abs(golden) * tol)
+        << what << ": measured " << measured << " vs golden " << golden;
+}
+
+const pd::DetectorScore& score_of(const pd::DetectionResult& result,
+                                  const char* detector) {
+    for (const pd::DetectorScore& s : result.scores)
+        if (s.detector == detector) return s;
+    ADD_FAILURE() << "no detector named " << detector;
+    static pd::DetectorScore none;
+    return none;
+}
+
+// Golden values measured on seed 42 at the commit that introduced the
+// detection subsystem (the full-precision numbers behind the EXPERIMENTS.md
+// Table IV section).
+constexpr double kGoldenReplayFreshnessRecall = 0.91658324991658326;
+constexpr double kGoldenReplayInnovationRecall = 0.41608275275275275;
+constexpr double kGoldenDosManeuverRateRecall = 0.99636363636363634;
+constexpr double kGoldenSybilFreshnessTtd = 0.0028954823529499964;
+
+TEST(GoldenDetection, CleanRunHasZeroFalseAlarms) {
+    // The acceptance contract: at default thresholds, an attack-free run
+    // must not flag a single message -- across every detector and three
+    // seeds (the honest GPS/radar noise the thresholds must clear differs
+    // per seed).
+    for (std::uint64_t seed = 42; seed <= 44; ++seed) {
+        const auto clean = pd::run_detection_once(
+            pd::detection_config(seed), pd::AttackKind::kReplay, false, {},
+            /*keep_dataset=*/false);
+        for (const pd::DetectorScore& s : clean.scores) {
+            EXPECT_EQ(s.confusion.fp, 0u)
+                << s.detector << " false-alarmed on clean seed " << seed;
+            EXPECT_EQ(s.confusion.tp + s.confusion.fn, 0u)
+                << "clean run must contain no labeled rows";
+            EXPECT_EQ(s.false_alarms_per_hour, 0.0);
+        }
+    }
+}
+
+TEST(GoldenDetection, ReplayHeadline) {
+    const auto replay = pd::run_detection_once(
+        pd::detection_config(42), pd::AttackKind::kReplay, true, {},
+        /*keep_dataset=*/false);
+
+    const pd::DetectorScore& freshness = score_of(replay, "freshness");
+    expect_rel(freshness.confusion.recall(), kGoldenReplayFreshnessRecall,
+               "replay freshness recall");
+    EXPECT_EQ(freshness.confusion.fp, 0u)
+        << "seq regression is an exact replay signature";
+    EXPECT_LT(freshness.time_to_detect_s, 0.01)
+        << "the first replayed frame already regresses the counter";
+
+    const pd::DetectorScore& gate = score_of(replay, "innovation-gate");
+    expect_rel(gate.confusion.recall(), kGoldenReplayInnovationRecall,
+               "replay innovation-gate recall");
+    EXPECT_LT(gate.time_to_detect_s, 0.2);
+
+    // The reporting ecosystem adjudicated the abused identity: a finite
+    // time-to-isolation exists for the detectors that fired.
+    EXPECT_LT(freshness.time_to_isolate_s, 1.0);
+    EXPECT_FALSE(replay.isolations.empty());
+}
+
+TEST(GoldenDetection, DosJoinFloodHeadline) {
+    const auto dos = pd::run_detection_once(
+        pd::detection_config(42), pd::AttackKind::kDenialOfService, true, {},
+        /*keep_dataset=*/false);
+    const pd::DetectorScore& flood = score_of(dos, "maneuver-rate");
+    expect_rel(flood.confusion.recall(), kGoldenDosManeuverRateRecall,
+               "dos maneuver-rate recall");
+    EXPECT_GT(flood.confusion.precision(), 0.99);
+    EXPECT_LT(flood.time_to_detect_s, 0.01);
+    // The rotating ghost identities never accumulate a reporter quorum:
+    // time-to-isolation stays undefined (a real limitation, not a bug).
+    EXPECT_EQ(flood.time_to_isolate_s, pd::kNever);
+}
+
+TEST(GoldenDetection, SybilFreshnessTimeToDetect) {
+    const auto sybil = pd::run_detection_once(
+        pd::detection_config(42), pd::AttackKind::kSybil, true, {},
+        /*keep_dataset=*/false);
+    const pd::DetectorScore& freshness = score_of(sybil, "freshness");
+    EXPECT_GT(freshness.confusion.tp, 0u);
+    EXPECT_EQ(freshness.confusion.fp, 0u);
+    expect_rel(freshness.time_to_detect_s, kGoldenSybilFreshnessTtd,
+               "sybil freshness TTD");
+    // Ghost streams are self-consistent: the kinematic detectors are
+    // (honestly) nearly blind, the identity-level detectors carry the row.
+    const pd::DetectorScore& trust = score_of(sybil, "trust");
+    EXPECT_GT(trust.confusion.recall(), 0.1);
+}
+
+}  // namespace

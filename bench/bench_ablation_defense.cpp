@@ -13,7 +13,7 @@
 #include "bench_common.hpp"
 #include "security/attacks/rogue_rsu.hpp"
 #include "crypto/fading_key_agreement.hpp"
-#include "security/defense/vpd_ada.hpp"
+#include "defense/vpd_ada.hpp"
 #include "sim/random.hpp"
 
 namespace pb = platoon::bench;

@@ -1,0 +1,36 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines GSL
+// `Expects`/`Ensures`. Violations indicate programming errors (broken
+// invariants), not recoverable conditions, so they abort with a message.
+//
+// Lives in base/ (the dependency-free bottom layer) so that pure
+// libraries such as crypto can assert contracts without pulling in the
+// simulator. `sim/assert.hpp` forwards here for older includes.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace platoon::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+    std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+    std::abort();
+}
+
+}  // namespace platoon::detail
+
+#define PLATOON_EXPECTS(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                                \
+            : ::platoon::detail::contract_failure("Precondition", #cond,          \
+                                                  __FILE__, __LINE__))
+
+#define PLATOON_ENSURES(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                                \
+            : ::platoon::detail::contract_failure("Postcondition", #cond,         \
+                                                  __FILE__, __LINE__))
+
+#define PLATOON_ASSERT(cond)                                                      \
+    ((cond) ? static_cast<void>(0)                                                \
+            : ::platoon::detail::contract_failure("Invariant", #cond,             \
+                                                  __FILE__, __LINE__))

@@ -1,0 +1,53 @@
+// Fundamental simulation-wide vocabulary types.
+//
+// Lives in base/ (the dependency-free bottom layer) so that pure
+// libraries such as crypto can name identities and timestamps without
+// depending on the simulator runtime. The namespace stays `platoon::sim`
+// because these are the simulation's vocabulary types and every module
+// already spells them `sim::NodeId` / `sim::SimTime`; `sim/types.hpp`
+// forwards here for older includes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace platoon::sim {
+
+/// Simulation time in seconds since simulation start.
+using SimTime = double;
+
+/// Sentinel for "never" / unset times.
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::infinity();
+
+/// Identifier of a simulated node (vehicle, RSU, attacker, authority).
+/// Strong type so that node ids, platoon indices and sequence numbers
+/// cannot be mixed up silently.
+struct NodeId {
+    std::uint32_t value = kInvalidValue;
+
+    static constexpr std::uint32_t kInvalidValue = 0xFFFFFFFFu;
+
+    constexpr NodeId() = default;
+    constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+
+    [[nodiscard]] constexpr bool valid() const { return value != kInvalidValue; }
+    friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+[[nodiscard]] inline std::string to_string(NodeId id) {
+    return id.valid() ? "node" + std::to_string(id.value) : "node<invalid>";
+}
+
+inline constexpr NodeId kInvalidNode{};
+
+}  // namespace platoon::sim
+
+template <>
+struct std::hash<platoon::sim::NodeId> {
+    std::size_t operator()(platoon::sim::NodeId id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value);
+    }
+};

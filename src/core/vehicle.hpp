@@ -29,11 +29,11 @@
 #include "phys/fuel.hpp"
 #include "phys/sensors.hpp"
 #include "phys/vehicle_dynamics.hpp"
-#include "security/defense/hybrid_comms.hpp"
-#include "security/defense/onboard.hpp"
-#include "security/defense/policy.hpp"
-#include "security/defense/trust.hpp"
-#include "security/defense/vpd_ada.hpp"
+#include "defense/hybrid_comms.hpp"
+#include "defense/onboard.hpp"
+#include "defense/policy.hpp"
+#include "defense/trust.hpp"
+#include "defense/vpd_ada.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 

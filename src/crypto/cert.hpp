@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "crypto/eddsa.hpp"
-#include "sim/types.hpp"
+#include "base/types.hpp"
 
 namespace platoon::crypto {
 

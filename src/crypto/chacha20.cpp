@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "sim/assert.hpp"
+#include "base/assert.hpp"
 
 namespace platoon::crypto {
 

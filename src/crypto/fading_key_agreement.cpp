@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "crypto/sha256.hpp"
-#include "sim/assert.hpp"
+#include "base/assert.hpp"
 
 namespace platoon::crypto {
 

@@ -1,6 +1,6 @@
 #include "crypto/hmac.hpp"
 
-#include "sim/assert.hpp"
+#include "base/assert.hpp"
 
 namespace platoon::crypto {
 

@@ -20,7 +20,7 @@
 #include "crypto/cert.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
-#include "sim/types.hpp"
+#include "base/types.hpp"
 
 namespace platoon::crypto {
 

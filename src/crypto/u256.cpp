@@ -3,7 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
-#include "sim/assert.hpp"
+#include "base/assert.hpp"
 
 namespace platoon::crypto {
 

@@ -1,4 +1,4 @@
-#include "security/defense/hybrid_comms.hpp"
+#include "defense/hybrid_comms.hpp"
 
 #include <algorithm>
 

@@ -1,4 +1,4 @@
-#include "security/defense/onboard.hpp"
+#include "defense/onboard.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -1,4 +1,4 @@
-#include "security/defense/policy.hpp"
+#include "defense/policy.hpp"
 
 namespace platoon::security {
 

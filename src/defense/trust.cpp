@@ -1,4 +1,4 @@
-#include "security/defense/trust.hpp"
+#include "defense/trust.hpp"
 
 #include <algorithm>
 

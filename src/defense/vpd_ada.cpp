@@ -1,4 +1,4 @@
-#include "security/defense/vpd_ada.hpp"
+#include "defense/vpd_ada.hpp"
 
 #include <cmath>
 

@@ -13,6 +13,7 @@ Features FeatureExtractor::update(const Input& in) {
     f.seq = in.seq;
     f.accepted = in.accepted;
     f.sender_is_predecessor = in.sender_is_predecessor;
+    // platoonlint: allow(oracle-isolation) label pass-through to the scorer; never read by feature math
     f.truth = in.truth;
 
     Stream& stream = streams_[in.sender];

@@ -47,6 +47,7 @@ struct Features {
     std::optional<double> radar_residual_m;
 
     /// Oracle label (never an input to any detector).
+    // platoonlint: allow(oracle-isolation) carrier field: rides along for the scorer/exporter, feeds no feature
     net::GroundTruth truth;
 };
 
@@ -71,6 +72,7 @@ public:
         const net::Beacon* beacon = nullptr;           ///< Null: non-beacon.
         std::optional<double> own_position_m;          ///< Receiver estimate.
         std::optional<double> radar_gap_m;             ///< Latest radar read.
+        // platoonlint: allow(oracle-isolation) carrier field: the harness stamps the label here, no feature reads it
         net::GroundTruth truth;
     };
 

@@ -1,46 +1,6 @@
-// Fundamental simulation-wide vocabulary types.
+// Forwarder: the vocabulary types moved to base/types.hpp so that pure
+// libraries (crypto) can name identities and timestamps without depending
+// on the simulator. Simulator-layer code may keep including this path.
 #pragma once
 
-#include <compare>
-#include <cstdint>
-#include <functional>
-#include <limits>
-#include <string>
-
-namespace platoon::sim {
-
-/// Simulation time in seconds since simulation start.
-using SimTime = double;
-
-/// Sentinel for "never" / unset times.
-inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::infinity();
-
-/// Identifier of a simulated node (vehicle, RSU, attacker, authority).
-/// Strong type so that node ids, platoon indices and sequence numbers
-/// cannot be mixed up silently.
-struct NodeId {
-    std::uint32_t value = kInvalidValue;
-
-    static constexpr std::uint32_t kInvalidValue = 0xFFFFFFFFu;
-
-    constexpr NodeId() = default;
-    constexpr explicit NodeId(std::uint32_t v) : value(v) {}
-
-    [[nodiscard]] constexpr bool valid() const { return value != kInvalidValue; }
-    friend constexpr auto operator<=>(NodeId, NodeId) = default;
-};
-
-[[nodiscard]] inline std::string to_string(NodeId id) {
-    return id.valid() ? "node" + std::to_string(id.value) : "node<invalid>";
-}
-
-inline constexpr NodeId kInvalidNode{};
-
-}  // namespace platoon::sim
-
-template <>
-struct std::hash<platoon::sim::NodeId> {
-    std::size_t operator()(platoon::sim::NodeId id) const noexcept {
-        return std::hash<std::uint32_t>{}(id.value);
-    }
-};
+#include "base/types.hpp"

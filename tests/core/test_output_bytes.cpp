@@ -1,0 +1,113 @@
+// Byte-level regression pins for every report-emitting path platoonlint's
+// no-unordered-iteration rule guards. The sweep that introduced the rule
+// found the tree already clean (aggregation uses std::map, datasets are
+// vectors in arrival order) -- these pins keep it that way: if anyone
+// reroutes aggregation or CSV emission through a hash-ordered container,
+// the exact bytes here change and this test fails before the golden-metric
+// diffs even run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "detect/dataset.hpp"
+
+namespace core = platoon::core;
+namespace detect = platoon::detect;
+
+TEST(OutputBytes, TablePrintIsByteStable) {
+    core::Table t({"attack", "crashes", "gap_rmse_m"});
+    t.add_row({"replay", "1", core::Table::num(0.25)});
+    t.add_row({"dos", "0", core::Table::num(12345.0)});
+    std::ostringstream os;
+    t.print(os);
+    const std::string expected =
+        "+--------+---------+------------+\n"
+        "| attack | crashes | gap_rmse_m |\n"
+        "+--------+---------+------------+\n"
+        "| replay | 1       | 0.25       |\n"
+        "| dos    | 0       | 12345      |\n"
+        "+--------+---------+------------+\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(OutputBytes, TableCsvIsByteStable) {
+    core::Table t({"metric", "value"});
+    t.add_row({"precision", "0.875"});
+    t.add_row({"recall", "1"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(),
+              "metric,value\n"
+              "precision,0.875\n"
+              "recall,1\n");
+}
+
+TEST(OutputBytes, AggregateRunsEmitsKeysInSortedOrder) {
+    // MetricMap must stay an ordered map: aggregation folds and report
+    // loops iterate it directly, so its iteration order IS the output
+    // order of every metrics table.
+    std::vector<core::MetricMap> runs(2);
+    runs[0] = {{"z_last", 1.0}, {"a_first", 3.0}, {"m_mid", 2.0}};
+    runs[1] = {{"m_mid", 4.0}, {"a_first", 5.0}, {"z_last", 3.0}};
+    const core::Aggregate agg = core::aggregate_runs(runs);
+    std::ostringstream os;
+    for (const auto& [name, value] : agg.mean)
+        os << name << '=' << value << ';';
+    EXPECT_EQ(os.str(), "a_first=4;m_mid=3;z_last=2;");
+}
+
+TEST(OutputBytes, DatasetCsvIsByteStable) {
+    detect::Dataset ds;
+    ds.detectors = {"freshness", "trust"};
+
+    detect::DatasetRow row1;
+    row1.run = "replay/seed42";
+    row1.features.t = 20.5;
+    row1.features.receiver = 2;
+    row1.features.sender = 1;
+    row1.features.type = platoon::net::MsgType::kBeacon;
+    row1.features.seq = 7;
+    row1.features.accepted = true;
+    row1.features.sender_is_predecessor = true;
+    row1.features.claimed_position_m = 123.25;
+    row1.features.claimed_speed_mps = 25.0;
+    row1.features.claimed_accel_mps2 = -0.5;
+    row1.features.innovation_m = 3.5;
+    row1.features.seq_delta = -3.0;
+    // jitter_s / speed_jump_mps / radar_residual_m stay unset -> empty cells.
+    row1.features.truth.attack = 2;  // AttackKind::kReplay -> label "replay"
+    row1.features.truth.attacker = 9;
+    row1.flags = {1, 0};
+
+    detect::DatasetRow row2;
+    row2.run = "clean/seed42";
+    row2.features.t = 0.125;
+    row2.features.receiver = 3;
+    row2.features.sender = 2;
+    row2.features.type = platoon::net::MsgType::kManeuver;
+    row2.features.seq = 1;
+    row2.features.accepted = true;
+    row2.features.sender_is_predecessor = false;
+    row2.flags = {0, 0};
+
+    ds.rows = {row1, row2};
+
+    const std::string expected =
+        "run,time_s,receiver,sender,msg_type,seq,accepted,predecessor,"
+        "claimed_position_m,claimed_speed_mps,claimed_accel_mps2,"
+        "innovation_m,speed_jump_mps,jitter_s,seq_delta,radar_residual_m,"
+        "label,attacker,flag_freshness,flag_trust\n"
+        "replay/seed42,20.5,2,1,beacon,7,1,1,123.25,25,-0.5,3.5,,,-3,,"
+        "replay,9,1,0\n"
+        "clean/seed42,0.125,3,2,maneuver,1,1,0,0,0,0,,,,,,benign,,0,0\n";
+    EXPECT_EQ(ds.to_csv(), expected);
+
+    // And the parse side still round-trips those exact bytes.
+    const auto parsed = detect::Dataset::from_csv(expected);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->to_csv(), expected);
+}

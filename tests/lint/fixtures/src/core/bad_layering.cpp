@@ -1,0 +1,5 @@
+// Fixture: core reaching up into the attack library. Never compiled.
+#include "core/scenario.hpp"
+#include "security/attacks/attack.hpp"  // line 3: layering (core -> security)
+
+int touch() { return 0; }

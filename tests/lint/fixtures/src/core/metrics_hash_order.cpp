@@ -1,0 +1,26 @@
+// Fixture: hash-order iteration in report-emitting code. Never compiled.
+// The path sits under src/core/metrics*, one of the aggregation/report
+// scopes where no-unordered-iteration applies.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+struct Summary {
+    std::unordered_map<std::string, double> by_name;
+};
+
+void emit(const Summary& s) {
+    for (const auto& [name, value] : s.by_name) {  // line 13: no-unordered-iteration
+        std::printf("%s=%f\n", name.c_str(), value);
+    }
+}
+
+double fold(const Summary& s) {
+    double total = 0.0;
+    auto it = s.by_name.begin();  // line 20: no-unordered-iteration
+    for (; it != s.by_name.end(); ++it) total += it->second;
+    return total;
+}
+
+// Lookup (no iteration) is fine:
+double lookup(const Summary& s) { return s.by_name.count("x") ? 1.0 : 0.0; }

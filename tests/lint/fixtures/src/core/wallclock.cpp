@@ -1,0 +1,25 @@
+// Fixture: wall-clock reads in simulation code. Never compiled.
+#include <chrono>
+#include <ctime>
+
+double wall_now() {
+    const auto t = std::chrono::system_clock::now();  // line 6: no-wallclock
+    return static_cast<double>(t.time_since_epoch().count());
+}
+
+long unix_seconds() {
+    return static_cast<long>(time(nullptr));  // line 11: no-wallclock
+}
+
+const char* build_stamp() {
+    return __DATE__;  // line 15: no-wallclock
+}
+
+// steady_clock is monotonic and allowed (perf timing only):
+double ok_monotonic() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// `runtime(` is not the token `time(`:
+int runtime(int x) { return x; }
+int call_it() { return runtime(1); }

@@ -1,0 +1,14 @@
+// Fixture: a suppression with no reason must NOT suppress (the finding
+// stays, plus a note). Never compiled.
+struct Row {
+    int attack = 0;
+};
+
+struct Frame {
+    Row truth;
+};
+
+bool unjustified(const Frame& f) {
+    // platoonlint: allow(oracle-isolation)
+    return f.truth.attack != 0;  // line 13: oracle-isolation survives
+}

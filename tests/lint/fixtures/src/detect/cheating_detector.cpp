@@ -1,0 +1,13 @@
+// Fixture: a detector that reads the oracle label. Never compiled.
+// src/detect/ outside the whitelisted consumers must stay blind.
+struct Row {
+    int attack = 0;
+};
+
+struct Frame {
+    Row truth;
+};
+
+bool cheat(const Frame& f) {
+    return f.truth.attack != 0;  // line 12: oracle-isolation (.truth)
+}

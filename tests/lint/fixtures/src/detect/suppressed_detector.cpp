@@ -1,0 +1,15 @@
+// Fixture: the same oracle read, carrying a justified suppression -- the
+// whole file must lint clean (exit 0). Never compiled.
+struct Row {
+    int attack = 0;
+};
+
+struct Frame {
+    // platoonlint: allow(oracle-isolation) fixture: carrier declaration, mirrors detect/features.hpp
+    Row truth;
+};
+
+bool audited(const Frame& f) {
+    // platoonlint: allow(oracle-isolation) fixture: documented carrier access, mirrors detect/features.cpp
+    return f.truth.attack != 0;
+}

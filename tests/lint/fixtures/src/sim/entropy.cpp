@@ -1,0 +1,16 @@
+// Fixture: ambient entropy outside the seeding whitelist. Never compiled;
+// linted by test_platoonlint with --root tests/lint/fixtures.
+#include <cstdlib>
+#include <random>
+
+int roll_unseeded() {
+    return rand() % 6;  // line 7: no-unseeded-random (C rand)
+}
+
+unsigned draw_entropy() {
+    std::random_device rd;  // line 11: no-unseeded-random (random_device)
+    return rd();
+}
+
+// The word rand inside a string or comment must NOT fire: "rand()".
+const char* kDoc = "call rand() never";

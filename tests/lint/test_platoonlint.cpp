@@ -1,0 +1,191 @@
+// Tests for tools/platoonlint: each fixture under tests/lint/fixtures/
+// seeds exactly the violations its comments claim, the suppressed fixture
+// lints clean, and the real tree is clean (the CI contract). The binary is
+// exercised end-to-end -- exit codes are part of the interface.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+    int exit_code = -1;
+    std::string output;
+};
+
+RunResult run_lint(const std::string& args) {
+    const std::string cmd =
+        std::string(PLATOONLINT_BIN) + " " + args + " 2>&1";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    RunResult r;
+    if (pipe == nullptr) return r;
+    std::array<char, 4096> buf{};
+    std::size_t n = 0;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        r.output.append(buf.data(), n);
+    const int status = pclose(pipe);
+    r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+std::string fixture(const std::string& rel) {
+    return std::string(LINT_FIXTURE_DIR) + "/" + rel;
+}
+
+std::string fixture_args(const std::string& rel) {
+    return "--root " + std::string(LINT_FIXTURE_DIR) + " " + fixture(rel);
+}
+
+}  // namespace
+
+TEST(Platoonlint, FlagsUnseededRandomness) {
+    const RunResult r = run_lint(fixture_args("src/sim/entropy.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/sim/entropy.cpp:7: error: "
+                            "[no-unseeded-random]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/sim/entropy.cpp:11: error: "
+                            "[no-unseeded-random]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("2 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, FlagsWallClockReads) {
+    const RunResult r = run_lint(fixture_args("src/core/wallclock.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/core/wallclock.cpp:6: error: "
+                            "[no-wallclock]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/core/wallclock.cpp:11: error: "
+                            "[no-wallclock]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/core/wallclock.cpp:15: error: "
+                            "[no-wallclock]"),
+              std::string::npos)
+        << r.output;
+    // steady_clock and runtime( are allowed: exactly three findings.
+    EXPECT_NE(r.output.find("3 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, FlagsUnorderedIterationInReportScope) {
+    const RunResult r =
+        run_lint(fixture_args("src/core/metrics_hash_order.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/core/metrics_hash_order.cpp:13: error: "
+                            "[no-unordered-iteration]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/core/metrics_hash_order.cpp:20: error: "
+                            "[no-unordered-iteration]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("2 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, FixOrderModePrintsSortedKeyHint) {
+    const RunResult r = run_lint(
+        "--fix-order " + fixture_args("src/core/metrics_hash_order.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("hint: extract the keys, sort"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("std::sort(keys.begin(), keys.end())"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(Platoonlint, FlagsOracleReadInDetector) {
+    const RunResult r =
+        run_lint(fixture_args("src/detect/cheating_detector.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/detect/cheating_detector.cpp:12: error: "
+                            "[oracle-isolation]"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(Platoonlint, FlagsLayeringViolation) {
+    const RunResult r = run_lint(fixture_args("src/core/bad_layering.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/core/bad_layering.cpp:3: error: "
+                            "[layering]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("`core` must not include `security`"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, JustifiedSuppressionSilencesFinding) {
+    const RunResult r =
+        run_lint(fixture_args("src/detect/suppressed_detector.cpp"));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("1 files clean"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, BareSuppressionDoesNotSuppress) {
+    const RunResult r =
+        run_lint(fixture_args("src/detect/bare_suppression.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("note: [oracle-isolation] suppression ignored: "
+                            "missing reason"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/detect/bare_suppression.cpp:13: error: "
+                            "[oracle-isolation]"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(Platoonlint, JsonOutputIsMachineReadable) {
+    const RunResult r = run_lint("--format=json " +
+                                 fixture_args("src/core/bad_layering.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("\"rule\": \"layering\""), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"line\": 3"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("\"count\": 1"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, WholeFixtureTreeCountsEverySeededViolation) {
+    const RunResult r =
+        run_lint("--root " + std::string(LINT_FIXTURE_DIR) + " " +
+                 std::string(LINT_FIXTURE_DIR));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // entropy(2) + wallclock(3) + unordered(2) + cheating(2: decl + read)
+    // + layering(1) + bare_suppression(2: decl + read) = 12; the justified
+    // suppressions in suppressed_detector.cpp contribute none.
+    EXPECT_NE(r.output.find("12 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, RealTreeIsClean) {
+    const RunResult r =
+        run_lint("--root " + std::string(REPO_SOURCE_DIR) + " ");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("files clean"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, BadPathExitsTwo) {
+    const RunResult r = run_lint("/nonexistent/definitely_missing.cpp");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(Platoonlint, ListRulesDocumentsAllFive) {
+    const RunResult r = run_lint("--list-rules");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    for (const char* rule :
+         {"no-unseeded-random", "no-wallclock", "no-unordered-iteration",
+          "oracle-isolation", "layering"}) {
+        EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
+    }
+}

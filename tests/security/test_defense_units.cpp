@@ -2,10 +2,10 @@
 // fusion, onboard hardening.
 #include <gtest/gtest.h>
 
-#include "security/defense/hybrid_comms.hpp"
-#include "security/defense/onboard.hpp"
-#include "security/defense/policy.hpp"
-#include "security/defense/vpd_ada.hpp"
+#include "defense/hybrid_comms.hpp"
+#include "defense/onboard.hpp"
+#include "defense/policy.hpp"
+#include "defense/vpd_ada.hpp"
 #include "sim/random.hpp"
 
 namespace ps = platoon::security;

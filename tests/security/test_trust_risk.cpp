@@ -5,7 +5,7 @@
 #include "core/risk.hpp"
 #include "core/scenario.hpp"
 #include "security/attacks/sybil.hpp"
-#include "security/defense/trust.hpp"
+#include "defense/trust.hpp"
 
 namespace ps = platoon::security;
 namespace pc = platoon::core;

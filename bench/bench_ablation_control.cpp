@@ -154,9 +154,12 @@ BENCHMARK(BM_ControllerScenario)
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::obs_init();
     pb::print_jobs_banner("bench_ablation_control");
     controller_loss_sweep();
     dos_rate_sweep();
+    pb::write_bench_json("bench_ablation_control",
+                         "controller robustness sweeps", 42);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

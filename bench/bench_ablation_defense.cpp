@@ -238,12 +238,15 @@ BENCHMARK(BM_FadingKeyAgreement);
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::obs_init();
     pb::print_jobs_banner("bench_ablation_defense");
     fka_noise_sweep();
     vpd_threshold_sweep();
     pseudonym_period_sweep();
     trust_vs_quarantine();
     rogue_rsu_postures();
+    pb::write_bench_json("bench_ablation_defense",
+                         "defense-parameter sweeps", 42);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -149,10 +149,13 @@ BENCHMARK(BM_JammedScenario)->Arg(1)->Unit(benchmark::kMillisecond)
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::obs_init();
     pb::print_jobs_banner("bench_ablation_sweeps");
     replay_rate_sweep();
     jammer_power_sweep();
     sybil_ghost_sweep();
+    pb::write_bench_json("bench_ablation_sweeps",
+                         "attack-parameter sweeps (replay/jam/sybil)", 42);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

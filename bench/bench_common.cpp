@@ -3,6 +3,10 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
+#include "obs/counters.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/timer.hpp"
 
 namespace platoon::bench {
 
@@ -12,6 +16,24 @@ void print_jobs_banner(const char* binary) {
     std::cerr << binary << ": running experiment grids on " << jobs()
               << " worker thread(s) (set PLATOON_JOBS to override; results "
                  "are identical at any job count)\n";
+}
+
+void obs_init() {
+    obs::set_enabled(true);
+    obs::reset_counters();
+    obs::reset_timers();
+}
+
+void write_bench_json(const char* bench, const char* scenario,
+                      std::uint64_t seed) {
+    const obs::Manifest manifest =
+        obs::make_manifest(bench, scenario, seed, jobs());
+    const std::string path = obs::bench_json_path(bench);
+    if (obs::write_json_file(path, obs::snapshot_json(manifest))) {
+        std::cerr << bench << ": wrote " << path << "\n";
+    } else {
+        std::cerr << bench << ": FAILED to write " << path << "\n";
+    }
 }
 
 }  // namespace platoon::bench

@@ -49,4 +49,16 @@ using eval::verdict;
 /// at any job count).
 void print_jobs_banner(const char* binary);
 
+/// Enables the observability layer and clears counters/timers, so the
+/// exported artifact covers exactly this binary's deterministic phase.
+void obs_init();
+
+/// Writes BENCH_<bench>.json (counters + manifest + timings) to
+/// $PLATOON_BENCH_JSON_DIR or the working directory. Must run AFTER the
+/// deterministic table phase and BEFORE benchmark::RunSpecifiedBenchmarks():
+/// google-benchmark picks iteration counts dynamically, which would leak
+/// machine-dependent totals into the counter section.
+void write_bench_json(const char* bench, const char* scenario,
+                      std::uint64_t seed);
+
 }  // namespace platoon::bench

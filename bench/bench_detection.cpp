@@ -158,6 +158,7 @@ BENCHMARK(BM_DetectionScenario)
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::obs_init();
     pb::print_jobs_banner("bench_detection");
 
     // Peel off --export-dataset=PATH before google-benchmark sees argv.
@@ -175,6 +176,8 @@ int main(int argc, char** argv) {
 
     run_and_print();
     if (!export_path.empty()) export_dataset(export_path);
+    pb::write_bench_json("bench_detection",
+                         "Table IV misbehavior-detection grid", 42);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "crypto/chacha20.hpp"
@@ -193,7 +194,12 @@ void report_parallel_speedup() {
 }  // namespace
 
 int main(int argc, char** argv) {
+    platoon::bench::obs_init();
     report_parallel_speedup();
+    // Exported before RunSpecifiedBenchmarks: google-benchmark's dynamic
+    // iteration counts would make the counter section machine-dependent.
+    platoon::bench::write_bench_json("bench_perf_kernel",
+                                     "run_seeds 16x20s speedup probe", 7);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();

@@ -73,7 +73,9 @@ BENCHMARK(BM_TaxonomyLookup);
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::obs_init();
     print_table1();
+    pb::write_bench_json("bench_table1_survey", "Table I survey (static)", 0);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

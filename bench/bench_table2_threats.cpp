@@ -155,10 +155,14 @@ void print_risk_register(const std::vector<Row>& rows) {
 }
 
 int main(int argc, char** argv) {
+    pb::obs_init();
     pb::print_jobs_banner("bench_table2_threats");
     const auto rows = run_all();
     print_table2(rows);
     print_risk_register(rows);
+    pb::write_bench_json("bench_table2_threats",
+                         "Table II grid: 9 attacks x clean/attacked x 3 seeds",
+                         42);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -153,8 +153,11 @@ BENCHMARK(BM_DefendedScenario)
 }  // namespace
 
 int main(int argc, char** argv) {
+    pb::obs_init();
     pb::print_jobs_banner("bench_table3_mitigations");
     run_and_print();
+    pb::write_bench_json("bench_table3_mitigations",
+                         "Table III defense-vs-attack grid", 42);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

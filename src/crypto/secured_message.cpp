@@ -3,8 +3,18 @@
 #include <cmath>
 
 #include "base/assert.hpp"
+#include "obs/counters.hpp"
+#include "obs/timer.hpp"
 
 namespace platoon::crypto {
+
+namespace {
+obs::Counter g_protect_ops{"crypto.protect"};
+obs::Counter g_sign_ops{"crypto.sign"};
+obs::Counter g_sig_verifies{"crypto.sig_verifies"};
+obs::Counter g_verify_ok{"crypto.verify.ok"};
+obs::Counter g_verify_fail{"crypto.verify.fail"};
+}  // namespace
 
 const char* to_string(VerifyResult r) {
     switch (r) {
@@ -54,6 +64,7 @@ VerifyResult ReplayGuard::check(std::uint32_t sender, std::uint64_t seq,
 bool MessageProtection::cert_signature_valid(const Certificate& cert) const {
     if (verified_cert_serials_.contains(cert.serial)) return true;
     Signature sig{cert.ca_signature};
+    g_sig_verifies.inc();
     if (!verify(BytesView(ca_public_key_), cert.tbs(), sig)) return false;
     verified_cert_serials_.insert(cert.serial);
     return true;
@@ -85,6 +96,7 @@ Bytes MessageProtection::nonce_for(std::uint32_t sender,
 Envelope MessageProtection::protect(std::uint32_t sender, BytesView payload,
                                     sim::SimTime now,
                                     std::optional<std::uint32_t> receiver) {
+    g_protect_ops.inc();
     Envelope env;
     env.mode = config_.mode;
     env.sender = sender;
@@ -120,6 +132,7 @@ Envelope MessageProtection::protect(std::uint32_t sender, BytesView payload,
         }
         case AuthMode::kSignature: {
             PLATOON_EXPECTS(credential_.has_value());
+            g_sign_ops.inc();
             env.tag = sign(credential_->key, env.authenticated_bytes()).bytes;
             env.cert = credential_->cert;
             break;
@@ -130,6 +143,18 @@ Envelope MessageProtection::protect(std::uint32_t sender, BytesView payload,
 
 VerifyResult MessageProtection::verify_and_open(Envelope& envelope,
                                                 sim::SimTime now) {
+    const obs::ScopedTimer timer("crypto.verify");
+    const VerifyResult result = verify_and_open_impl(envelope, now);
+    if (result == VerifyResult::kOk) {
+        g_verify_ok.inc();
+    } else {
+        g_verify_fail.inc();
+    }
+    return result;
+}
+
+VerifyResult MessageProtection::verify_and_open_impl(Envelope& envelope,
+                                                     sim::SimTime now) {
     if (config_.mode != AuthMode::kNone) {
         // A signature is acceptable under any policy that demands
         // authentication (it is strictly stronger than a MAC) -- RSUs sign
@@ -176,6 +201,7 @@ VerifyResult MessageProtection::verify_and_open(Envelope& envelope,
                 if (crl_.is_revoked(envelope.cert->serial))
                     return VerifyResult::kRevoked;
                 Signature sig{envelope.tag};
+                g_sig_verifies.inc();
                 if (!verify(BytesView(envelope.cert->public_key),
                             envelope.authenticated_bytes(), sig))
                     return VerifyResult::kBadTag;

@@ -130,6 +130,7 @@ public:
     void set_seq_base(std::uint64_t seq) { next_seq_ = seq; }
 
 private:
+    VerifyResult verify_and_open_impl(Envelope& envelope, sim::SimTime now);
     [[nodiscard]] Bytes mac_key_for(std::uint32_t peer) const;
     [[nodiscard]] Bytes encryption_key() const;
     [[nodiscard]] Bytes nonce_for(std::uint32_t sender, std::uint64_t seq) const;

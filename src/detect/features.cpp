@@ -2,9 +2,18 @@
 
 #include <cmath>
 
+#include "obs/counters.hpp"
+#include "obs/timer.hpp"
+
 namespace platoon::detect {
 
+namespace {
+obs::Counter g_feature_rows{"detect.feature_rows"};
+}  // namespace
+
 Features FeatureExtractor::update(const Input& in) {
+    const obs::ScopedTimer timer("detect.features");
+    g_feature_rows.inc();
     Features f;
     f.t = in.now;
     f.receiver = in.receiver;

@@ -5,10 +5,13 @@
 
 #include "core/experiment.hpp"
 #include "eval/harness.hpp"
+#include "obs/counters.hpp"
 
 namespace platoon::detect {
 
 namespace {
+
+obs::Counter g_detector_flags{"detect.flags"};
 
 // Mirrors the eval harness's DoS-row fixture: a legitimate joiner whose
 // admission the flood tries to deny (its handshake is exactly the benign
@@ -108,8 +111,11 @@ void DetectionHarness::observe(
     row.run = run_tag_;
     row.features = f;
     row.flags.reserve(receiver.detectors.size());
-    for (auto& detector : receiver.detectors)
-        row.flags.push_back(detector->update(f, vehicle) ? 1 : 0);
+    for (auto& detector : receiver.detectors) {
+        const bool flagged = detector->update(f, vehicle);
+        if (flagged) g_detector_flags.inc();
+        row.flags.push_back(flagged ? 1 : 0);
+    }
     dataset_.rows.push_back(std::move(row));
 }
 

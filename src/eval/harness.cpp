@@ -4,6 +4,8 @@
 #include <functional>
 #include <utility>
 
+#include "obs/counters.hpp"
+#include "obs/timer.hpp"
 #include "security/attacks/dos.hpp"
 #include "security/attacks/eavesdrop.hpp"
 #include "security/attacks/fake_maneuver.hpp"
@@ -18,6 +20,8 @@
 namespace platoon::eval {
 
 namespace {
+
+obs::Counter g_eval_scenarios{"eval.scenarios"};
 
 core::PlatoonVehicle& add_legit_joiner(core::Scenario& scenario) {
     core::VehicleConfig joiner;
@@ -126,6 +130,8 @@ void apply_defense(core::ScenarioConfig& config, DefenseKind defense) {
 
 MetricMap run_eval_once(core::ScenarioConfig config, AttackKind kind,
                         bool with_attack) {
+    const obs::ScopedTimer timer("eval.run_once");
+    g_eval_scenarios.inc();
     core::Scenario scenario(config);
     std::unique_ptr<security::Attack> attack;
     if (with_attack) {
@@ -210,6 +216,7 @@ std::vector<MetricMap> run_eval_grid(const std::vector<EvalCell>& cells,
     const std::vector<MetricMap> per_seed =
         core::run_grid(std::move(tasks), jobs);
 
+    const obs::ScopedTimer timer("eval.score");
     std::vector<MetricMap> out;
     out.reserve(cells.size());
     std::size_t offset = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/counters.hpp"
+#include "obs/timer.hpp"
 #include "sim/assert.hpp"
 #include "sim/logging.hpp"
 
@@ -11,6 +13,14 @@ namespace platoon::net {
 namespace {
 double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
 double mw_to_dbm(double mw) { return 10.0 * std::log10(std::max(mw, 1e-15)); }
+
+obs::Counter g_sent{"net.sent"};
+obs::Counter g_sent_forged{"net.sent_forged"};
+obs::Counter g_delivered{"net.delivered"};
+obs::Counter g_dropped_per{"net.dropped.per"};
+obs::Counter g_dropped_mac{"net.dropped.mac"};
+obs::Counter g_dropped_half_duplex{"net.dropped.half_duplex"};
+obs::Counter g_dropped_range{"net.dropped.range"};
 }  // namespace
 
 Network::Network(sim::Scheduler& scheduler, Params params, std::uint64_t seed)
@@ -93,8 +103,12 @@ bool Network::medium_busy(sim::NodeId at, Band band) {
 
 void Network::broadcast(sim::NodeId from, Frame frame) {
     PLATOON_EXPECTS(nodes_.contains(from));
+    // Observability only: the oracle label is counted (one bump per forged
+    // submission), never branched on for delivery.
+    if (frame.truth.malicious()) g_sent_forged.inc();
     if (frame.band == Band::kVlc) {
         ++stats_.sent;
+        g_sent.inc();
         deliver_vlc(from, frame);
         return;
     }
@@ -105,6 +119,7 @@ void Network::attempt_transmit(sim::NodeId from, Frame frame, int attempt) {
     if (!nodes_.contains(from)) return;  // node left while backing off
     if (attempt > params_.max_mac_attempts) {
         ++stats_.dropped_mac;
+        g_dropped_mac.inc();
         return;
     }
     // Half-duplex: one outgoing frame at a time, on any band -- a second
@@ -147,6 +162,7 @@ void Network::start_transmission(sim::NodeId from, Frame frame) {
     active_.push_back(std::move(tx));
     node_it->second.transmitting = true;
     ++stats_.sent;
+    g_sent.inc();
 
     // Identify this transmission by its (from, start) pair at finish time;
     // (a node cannot start two simultaneous transmissions on one band).
@@ -163,6 +179,7 @@ void Network::start_transmission(sim::NodeId from, Frame frame) {
 
 void Network::finish_transmission(std::size_t tx_index) {
     PLATOON_EXPECTS(tx_index < active_.size());
+    const obs::ScopedTimer timer("net.deliver");
     // Copy: delivery handlers may trigger new transmissions that mutate
     // active_.
     const Transmission tx = active_[tx_index];
@@ -188,10 +205,12 @@ void Network::finish_transmission(std::size_t tx_index) {
         const double dist = std::abs(tx.tx_position - rx_pos);
         if (dist > params_.max_range_m) {
             ++stats_.dropped_range;
+            g_dropped_range.inc();
             continue;
         }
         if (it->second.transmitting) {
             ++stats_.dropped_half_duplex;
+            g_dropped_half_duplex.inc();
             continue;
         }
         const double signal_mw = dbm_to_mw(channel_.rx_power_dbm(
@@ -206,9 +225,11 @@ void Network::finish_transmission(std::size_t tx_index) {
             channel_.packet_error_rate(sinr_db, tx.frame.wire_size());
         if (rng_.chance(per)) {
             ++stats_.dropped_per;
+            g_dropped_per.inc();
             continue;
         }
         ++stats_.delivered;
+        g_delivered.inc();
         RxInfo info{sinr_db, tx.frame.band, now, tx.from};
         it->second.on_receive(tx.frame, info);
     }
@@ -263,6 +284,7 @@ void Network::deliver_vlc(sim::NodeId from, const Frame& frame) {
         if (!rx.valid()) continue;
         if (rng_.chance(params_.vlc_loss_prob)) {
             ++stats_.dropped_per;
+            g_dropped_per.inc();
             continue;
         }
         scheduler_.schedule_in(
@@ -270,6 +292,7 @@ void Network::deliver_vlc(sim::NodeId from, const Frame& frame) {
                 const auto it = nodes_.find(rx);
                 if (it == nodes_.end()) return;
                 ++stats_.delivered;
+                g_delivered.inc();
                 RxInfo info{40.0, Band::kVlc, scheduler_.now(), from};
                 it->second.on_receive(frame, info);
             });

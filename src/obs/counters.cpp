@@ -1,0 +1,43 @@
+#include "obs/counters.hpp"
+
+namespace platoon::obs {
+
+namespace {
+
+/// Head of the intrusive registry. Registration is a CAS push so counters
+/// defined as function-local statics (first touched on a worker thread)
+/// register safely too.
+std::atomic<Counter*>& registry_head() {
+    static std::atomic<Counter*> head{nullptr};
+    return head;
+}
+
+}  // namespace
+
+Counter::Counter(const char* name) : name_(name) {
+    auto& head = registry_head();
+    Counter* expected = head.load(std::memory_order_relaxed);
+    do {
+        next_ = expected;
+    } while (!head.compare_exchange_weak(expected, this,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+}
+
+std::map<std::string, std::uint64_t> counter_snapshot() {
+    std::map<std::string, std::uint64_t> out;
+    for (const Counter* c = registry_head().load(std::memory_order_acquire);
+         c != nullptr; c = c->next_) {
+        out[c->name_] += c->value();
+    }
+    return out;
+}
+
+void reset_counters() {
+    for (Counter* c = registry_head().load(std::memory_order_acquire);
+         c != nullptr; c = c->next_) {
+        c->value_.store(0, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace platoon::obs

@@ -1,0 +1,74 @@
+// Named monotonic counters: the deterministic half of the observability
+// layer (src/obs/).
+//
+// A Counter is a process-global, relaxed-atomic uint64 registered under a
+// stable dotted name ("net.sent", "crypto.verify.ok", ...). Instrumented
+// code defines one at namespace scope in its own TU and bumps it on the hot
+// path; when observability is disabled (the default) an increment is a
+// single relaxed load + branch, and nothing is ever allocated.
+//
+// The determinism contract: every counter counts *logical simulation
+// events*, and every simulation task contributes a fixed count regardless
+// of which worker thread ran it. Integer addition commutes, so the totals
+// -- and the exported, sorted-key counter JSON -- are byte-identical at any
+// PLATOON_JOBS. Wall-clock timings live in timer.hpp and are quarantined in
+// a separate, explicitly non-deterministic export section.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace platoon::obs {
+
+/// Master switch. Disabled by default; bench binaries (and tests that
+/// assert on counters) enable it. Instrumentation compiled into the
+/// libraries is inert while disabled.
+inline std::atomic<bool> g_enabled{false};
+
+[[nodiscard]] inline bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// A named monotonic counter. Define at namespace scope (static storage):
+/// registration hooks the instance into a global intrusive list and is
+/// lock-free; instances must therefore never be destroyed before process
+/// exit (namespace-scope statics satisfy this trivially).
+class Counter {
+public:
+    explicit Counter(const char* name);
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    void add(std::uint64_t n) {
+        if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void inc() { add(1); }
+
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const char* name() const { return name_; }
+
+private:
+    friend std::map<std::string, std::uint64_t> counter_snapshot();
+    friend void reset_counters();
+
+    const char* name_;
+    std::atomic<std::uint64_t> value_{0};
+    Counter* next_ = nullptr;  ///< Intrusive registry link.
+};
+
+/// All registered counters by name, sorted (duplicate names sum). Includes
+/// zero-valued counters so the exported schema is stable: the key set is
+/// the set of linked instrumentation TUs, not what happened to run.
+[[nodiscard]] std::map<std::string, std::uint64_t> counter_snapshot();
+
+/// Zeroes every registered counter (tests and multi-phase benches).
+void reset_counters();
+
+}  // namespace platoon::obs

@@ -1,0 +1,70 @@
+#include "obs/export.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/counters.hpp"
+#include "obs/timer.hpp"
+
+namespace platoon::obs {
+
+Json counters_json() {
+    Json j = Json::object();
+    for (const auto& [name, value] : counter_snapshot()) {
+        j.set(name, Json::integer(static_cast<std::int64_t>(value)));
+    }
+    return j;
+}
+
+Json timings_json() {
+    Json timers = Json::object();
+    for (const auto& [path, stat] : timer_snapshot()) {
+        Json entry = Json::object();
+        entry.set("calls",
+                  Json::integer(static_cast<std::int64_t>(stat.calls)));
+        entry.set("total_ms",
+                  Json::number(static_cast<double>(stat.total_ns) / 1e6));
+        entry.set("mean_us",
+                  Json::number(stat.calls == 0
+                                   ? 0.0
+                                   : static_cast<double>(stat.total_ns) /
+                                         static_cast<double>(stat.calls) /
+                                         1e3));
+        entry.set("max_ms",
+                  Json::number(static_cast<double>(stat.max_ns) / 1e6));
+        timers.set(path, std::move(entry));
+    }
+    Json section = Json::object();
+    section.set("note",
+                Json::string("wall-clock timings: machine- and "
+                             "schedule-dependent; compared with relative "
+                             "thresholds only, never for equality"));
+    section.set("timers", std::move(timers));
+    return section;
+}
+
+Json snapshot_json(const Manifest& manifest) {
+    Json j = Json::object();
+    j.set("counters", counters_json());
+    j.set("manifest", manifest_json(manifest));
+    j.set("schema_version", Json::integer(kSchemaVersion));
+    j.set("timings_nondeterministic", timings_json());
+    return j;
+}
+
+std::string bench_json_path(const std::string& bench) {
+    std::string dir = ".";
+    if (const char* env = std::getenv("PLATOON_BENCH_JSON_DIR")) {
+        if (*env != '\0') dir = env;
+    }
+    return dir + "/BENCH_" + bench + ".json";
+}
+
+bool write_json_file(const std::string& path, const Json& json) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << json.dump();
+    return static_cast<bool>(out);
+}
+
+}  // namespace platoon::obs

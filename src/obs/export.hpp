@@ -1,0 +1,49 @@
+// Assembles the BENCH_*.json artifact: manifest + exact counter section +
+// quarantined timing section, all deterministic, sorted-key JSON.
+//
+// Schema v1:
+//   {
+//     "counters": { "<name>": <uint>, ... },          // exact, deterministic
+//     "manifest": { "bench": ..., "git_sha": ..., ... },
+//     "schema_version": 1,
+//     "timings_nondeterministic": {                   // advisory only
+//       "note": "...",
+//       "timers": { "<path>": {"calls": n, "max_ms": x,
+//                              "mean_us": y, "total_ms": z}, ... }
+//     }
+//   }
+//
+// The "counters" object is the byte-identity surface: for a deterministic
+// workload it must not change with PLATOON_JOBS, the machine, or the run.
+// Everything under "timings_nondeterministic" is wall-clock and explicitly
+// out of scope for equality checks (benchdiff applies relative thresholds).
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+
+namespace platoon::obs {
+
+inline constexpr int kSchemaVersion = 1;
+
+/// The counter section alone (sorted, exact). Tests byte-compare its dump
+/// across job counts.
+[[nodiscard]] Json counters_json();
+
+/// The timing section (calls deterministic, nanoseconds not).
+[[nodiscard]] Json timings_json();
+
+/// The full artifact for the current counter/timer state.
+[[nodiscard]] Json snapshot_json(const Manifest& manifest);
+
+/// Where a bench artifact lives: $PLATOON_BENCH_JSON_DIR (when set) or the
+/// working directory, file name "BENCH_<bench>.json".
+[[nodiscard]] std::string bench_json_path(const std::string& bench);
+
+/// Writes `json` to `path` (+ trailing newline already included by dump).
+/// Returns false on IO failure.
+bool write_json_file(const std::string& path, const Json& json);
+
+}  // namespace platoon::obs

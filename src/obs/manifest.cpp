@@ -1,0 +1,68 @@
+#include "obs/manifest.hpp"
+
+#include <cstdlib>
+
+namespace platoon::obs {
+
+namespace {
+
+#ifndef PLATOON_GIT_SHA
+#define PLATOON_GIT_SHA "unknown"
+#endif
+
+std::string detect_git_sha() {
+    if (const char* env = std::getenv("PLATOON_GIT_SHA")) {
+        if (*env != '\0') return env;
+    }
+    return PLATOON_GIT_SHA;
+}
+
+std::string detect_compiler() {
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+std::string detect_build_type() {
+#ifdef NDEBUG
+    return "release";
+#else
+    return "debug";
+#endif
+}
+
+}  // namespace
+
+Manifest make_manifest(std::string bench, std::string scenario,
+                       std::uint64_t seed, unsigned jobs) {
+    Manifest m;
+    m.bench = std::move(bench);
+    m.scenario = std::move(scenario);
+    m.seed = seed;
+    m.jobs = jobs;
+    m.git_sha = detect_git_sha();
+    m.compiler = detect_compiler();
+    m.build_type = detect_build_type();
+    return m;
+}
+
+Json manifest_json(const Manifest& manifest) {
+    Json j = Json::object();
+    j.set("bench", Json::string(manifest.bench));
+    j.set("scenario", Json::string(manifest.scenario));
+    j.set("seed", Json::integer(static_cast<std::int64_t>(manifest.seed)));
+    j.set("jobs", Json::integer(static_cast<std::int64_t>(manifest.jobs)));
+    j.set("git_sha", Json::string(manifest.git_sha));
+    j.set("compiler", Json::string(manifest.compiler));
+    j.set("build_type", Json::string(manifest.build_type));
+    for (const auto& [key, value] : manifest.extra) {
+        j.set("x_" + key, Json::string(value));
+    }
+    return j;
+}
+
+}  // namespace platoon::obs

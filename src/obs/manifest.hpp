@@ -1,0 +1,36 @@
+// Per-run manifest: the provenance block of every BENCH_*.json artifact.
+// Records what produced the numbers (binary, git SHA, compiler, build
+// type, job count, scenario/seed) so a baseline snapshot is auditable and
+// benchdiff can annotate a delta with "compared across compilers" style
+// caveats. Deliberately contains no wall-clock timestamp: artifacts must be
+// byte-reproducible, and platoonlint bans wall-clock reads anyway.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace platoon::obs {
+
+struct Manifest {
+    std::string bench;         ///< Binary name, e.g. "bench_table2_threats".
+    std::string scenario;      ///< Human label, e.g. "eval_config(6 trucks)".
+    std::uint64_t seed = 0;    ///< Base seed of the deterministic phase.
+    unsigned jobs = 1;         ///< Worker count the run used.
+    std::string git_sha;       ///< Filled by make_manifest when empty.
+    std::string compiler;      ///< Filled by make_manifest when empty.
+    std::string build_type;    ///< Filled by make_manifest when empty.
+    std::map<std::string, std::string> extra;  ///< Free-form provenance.
+};
+
+/// Fills the environment-derived fields: git SHA (PLATOON_GIT_SHA env var,
+/// else the configure-time PLATOON_GIT_SHA compile definition, else
+/// "unknown"), compiler (__VERSION__), build type (NDEBUG).
+[[nodiscard]] Manifest make_manifest(std::string bench, std::string scenario,
+                                     std::uint64_t seed, unsigned jobs);
+
+[[nodiscard]] Json manifest_json(const Manifest& manifest);
+
+}  // namespace platoon::obs

@@ -1,0 +1,83 @@
+// The one sanctioned monotonic-clock reader in src/ (see the platoonlint
+// no-steady-clock rule): every other library TU must express timing through
+// ScopedTimer so that wall-clock reads stay corralled behind the obs enable
+// switch and out of simulation semantics.
+#include "obs/timer.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace platoon::obs {
+
+namespace {
+
+std::uint64_t monotonic_now_ns() {
+    // platoonlint: allow(no-steady-clock) the sanctioned reader: perf timing only, gated on obs::enabled(), never feeds simulation state
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+struct TimerTable {
+    std::mutex mu;
+    std::map<std::string, TimerStat> stats;
+};
+
+TimerTable& table() {
+    static TimerTable t;
+    return t;
+}
+
+/// Per-thread stack of open scopes; the joined names form the aggregation
+/// path. Plain pointers: ScopedTimer is scope-bound, so the string literals
+/// outlive their stack entries.
+thread_local std::vector<const char*> t_scope_stack;
+
+std::string current_path() {
+    std::string path;
+    for (const char* name : t_scope_stack) {
+        if (!path.empty()) path += '/';
+        path += name;
+    }
+    return path;
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(const char* name) : active_(enabled()) {
+    if (!active_) return;
+    t_scope_stack.push_back(name);
+    start_ns_ = monotonic_now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+    if (!active_) return;
+    const std::uint64_t end_ns = monotonic_now_ns();
+    const std::uint64_t elapsed = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+    const std::string path = current_path();
+    t_scope_stack.pop_back();
+
+    TimerTable& t = table();
+    const std::lock_guard<std::mutex> lock(t.mu);
+    TimerStat& s = t.stats[path];
+    ++s.calls;
+    s.total_ns += elapsed;
+    if (elapsed > s.max_ns) s.max_ns = elapsed;
+}
+
+std::map<std::string, TimerStat> timer_snapshot() {
+    TimerTable& t = table();
+    const std::lock_guard<std::mutex> lock(t.mu);
+    return t.stats;
+}
+
+void reset_timers() {
+    TimerTable& t = table();
+    const std::lock_guard<std::mutex> lock(t.mu);
+    t.stats.clear();
+}
+
+}  // namespace platoon::obs

@@ -1,0 +1,55 @@
+// Scoped wall/CPU timers with hierarchical aggregation: the explicitly
+// NON-deterministic half of the observability layer.
+//
+// A ScopedTimer names a region ("crypto.verify", "eval.run_once", ...);
+// nested scopes aggregate under slash-joined paths, so a signature check
+// inside an eval replication lands at "eval.run_once/sim.run/crypto.verify"
+// and the same check from a microbenchmark at "crypto.verify". Aggregation
+// is per-(path): call count, total and max wall nanoseconds.
+//
+// Timings are machine- and schedule-dependent by nature, so the exporter
+// quarantines them under "timings_nondeterministic" and benchdiff treats
+// them as advisory (relative thresholds), never as an equality gate.
+// timer.cpp is the repo's single sanctioned monotonic-clock reader -- see
+// the platoonlint no-steady-clock rule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace platoon::obs {
+
+struct TimerStat {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+
+    friend bool operator==(const TimerStat&, const TimerStat&) = default;
+};
+
+/// RAII region timer. Inert (two relaxed loads, no clock read) while
+/// observability is disabled; cheap enough for per-message hot paths when
+/// enabled. Scopes nest per thread; results merge into a global table under
+/// a mutex when the scope closes.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(const char* name);
+    ~ScopedTimer();
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    bool active_;
+    std::uint64_t start_ns_ = 0;
+};
+
+/// All aggregated timer paths, sorted. The *key set and call counts* are
+/// deterministic for a deterministic workload; the nanosecond fields never
+/// are -- consumers must not diff them for equality.
+[[nodiscard]] std::map<std::string, TimerStat> timer_snapshot();
+
+/// Clears all aggregated timers (tests and multi-phase benches).
+void reset_timers();
+
+}  // namespace platoon::obs

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+#include "obs/timer.hpp"
 #include "sim/assert.hpp"
 
 namespace platoon::sim {
+
+namespace {
+obs::Counter g_events_executed{"sim.events_executed"};
+}  // namespace
 
 EventHandle Scheduler::schedule_at(SimTime at, Action action) {
     PLATOON_EXPECTS(at >= now_);
@@ -61,11 +67,13 @@ bool Scheduler::step() {
     }
     (*e.action)();
     ++executed_;
+    g_events_executed.inc();
     return true;
 }
 
 std::uint64_t Scheduler::run_until(SimTime until) {
     PLATOON_EXPECTS(until >= now_);
+    const obs::ScopedTimer timer("sim.run");
     std::uint64_t n = 0;
     stop_requested_ = false;
     for (;;) {
@@ -85,9 +93,13 @@ std::uint64_t Scheduler::run_until(SimTime until) {
         (*e.action)();
         ++executed_;
         ++n;
-        if (stop_requested_) return n;
+        if (stop_requested_) {
+            g_events_executed.add(n);
+            return n;
+        }
     }
     now_ = std::max(now_, until);
+    g_events_executed.add(n);
     return n;
 }
 

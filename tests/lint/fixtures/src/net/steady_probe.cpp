@@ -1,0 +1,9 @@
+// Fixture: an unsanctioned steady_clock read in library code (src/net/).
+// The no-steady-clock rule scopes to all of src/, not just src/obs/, so
+// ad-hoc perf probes outside obs::ScopedTimer are findings. Never compiled.
+#include <chrono>
+
+double probe_latency_s() {
+    const auto t0 = std::chrono::steady_clock::now();  // line 7: no-steady-clock
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

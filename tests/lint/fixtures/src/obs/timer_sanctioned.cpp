@@ -1,0 +1,12 @@
+// Fixture: the sanctioned monotonic-clock reader pattern from
+// src/obs/timer.cpp -- a steady_clock read carrying a reasoned allow.
+// Must lint clean. Never compiled.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t monotonic_now_ns() {
+    // platoonlint: allow(no-steady-clock) perf timing only, gated on the obs enable switch, never feeds simulation state
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}

@@ -72,8 +72,29 @@ TEST(Platoonlint, FlagsWallClockReads) {
                             "[no-wallclock]"),
               std::string::npos)
         << r.output;
-    // steady_clock and runtime( are allowed: exactly three findings.
-    EXPECT_NE(r.output.find("3 finding(s)"), std::string::npos) << r.output;
+    // The steady_clock read is its own rule; runtime( is not time(.
+    EXPECT_NE(r.output.find("src/core/wallclock.cpp:20: error: "
+                            "[no-steady-clock]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("4 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, FlagsSteadyClockInLibraryCode) {
+    const RunResult r = run_lint(fixture_args("src/net/steady_probe.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/net/steady_probe.cpp:7: error: "
+                            "[no-steady-clock]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, SanctionedObsTimerLintsClean) {
+    const RunResult r =
+        run_lint(fixture_args("src/obs/timer_sanctioned.cpp"));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("1 files clean"), std::string::npos) << r.output;
 }
 
 TEST(Platoonlint, FlagsUnorderedIterationInReportScope) {
@@ -162,10 +183,11 @@ TEST(Platoonlint, WholeFixtureTreeCountsEverySeededViolation) {
         run_lint("--root " + std::string(LINT_FIXTURE_DIR) + " " +
                  std::string(LINT_FIXTURE_DIR));
     EXPECT_EQ(r.exit_code, 1) << r.output;
-    // entropy(2) + wallclock(3) + unordered(2) + cheating(2: decl + read)
-    // + layering(1) + bare_suppression(2: decl + read) = 12; the justified
-    // suppressions in suppressed_detector.cpp contribute none.
-    EXPECT_NE(r.output.find("12 finding(s)"), std::string::npos) << r.output;
+    // entropy(2) + wallclock(3+1 steady) + unordered(2) + cheating(2: decl
+    // + read) + layering(1) + bare_suppression(2: decl + read) +
+    // steady_probe(1) = 14; the justified suppressions in
+    // suppressed_detector.cpp and timer_sanctioned.cpp contribute none.
+    EXPECT_NE(r.output.find("14 finding(s)"), std::string::npos) << r.output;
 }
 
 TEST(Platoonlint, RealTreeIsClean) {
@@ -180,12 +202,12 @@ TEST(Platoonlint, BadPathExitsTwo) {
     EXPECT_EQ(r.exit_code, 2) << r.output;
 }
 
-TEST(Platoonlint, ListRulesDocumentsAllFive) {
+TEST(Platoonlint, ListRulesDocumentsAllSix) {
     const RunResult r = run_lint("--list-rules");
     EXPECT_EQ(r.exit_code, 0) << r.output;
     for (const char* rule :
-         {"no-unseeded-random", "no-wallclock", "no-unordered-iteration",
-          "oracle-isolation", "layering"}) {
+         {"no-unseeded-random", "no-wallclock", "no-steady-clock",
+          "no-unordered-iteration", "oracle-isolation", "layering"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
     }
 }

@@ -1,0 +1,153 @@
+// Tests for tools/benchdiff: crafted baseline/candidate artifact pairs
+// drive the built binary end-to-end. The exit-code contract is what CI
+// scripts key on: 0 ok, 1 perf regression, 2 counter mismatch, 3 usage/IO.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+    int exit_code = -1;
+    std::string output;
+};
+
+RunResult run_diff(const std::string& args) {
+    const std::string cmd = std::string(BENCHDIFF_BIN) + " " + args + " 2>&1";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    RunResult r;
+    if (pipe == nullptr) return r;
+    std::array<char, 4096> buf{};
+    std::size_t n = 0;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        r.output.append(buf.data(), n);
+    const int status = pclose(pipe);
+    r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+/// Writes a minimal schema-v1 artifact and returns its path.
+std::string write_artifact(const std::string& name, long net_sent,
+                           double verify_total_ms,
+                           bool extra_counter = false) {
+    const std::string path = testing::TempDir() + "benchdiff_" + name + ".json";
+    std::ofstream out(path);
+    out << "{\n"
+           "  \"counters\": {\n"
+           "    \"crypto.verify.ok\": 100,\n";
+    if (extra_counter) out << "    \"net.dropped\": 3,\n";
+    out << "    \"net.sent\": " << net_sent << "\n"
+           "  },\n"
+           "  \"manifest\": {\"bench\": \"t\", \"seed\": 1},\n"
+           "  \"schema_version\": 1,\n"
+           "  \"timings_nondeterministic\": {\n"
+           "    \"note\": \"advisory\",\n"
+           "    \"timers\": {\n"
+           "      \"crypto.verify\": {\"calls\": 100, \"max_ms\": 1.0,\n"
+           "        \"mean_us\": 10.0, \"total_ms\": "
+        << verify_total_ms
+        << "}\n"
+           "    }\n"
+           "  }\n"
+           "}\n";
+    EXPECT_TRUE(out.good());
+    return path;
+}
+
+TEST(Benchdiff, IdenticalArtifactsExitZero) {
+    const std::string base = write_artifact("id_a", 500, 20.0);
+    const std::string cand = write_artifact("id_b", 500, 20.0);
+    const RunResult r = run_diff(base + " " + cand);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("benchdiff: OK"), std::string::npos) << r.output;
+}
+
+TEST(Benchdiff, CounterValueDriftExitsTwo) {
+    const std::string base = write_artifact("cv_a", 500, 20.0);
+    const std::string cand = write_artifact("cv_b", 501, 20.0);
+    const RunResult r = run_diff(base + " " + cand);
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("COUNTER MISMATCH"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("net.sent"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("mismatch"), std::string::npos) << r.output;
+}
+
+TEST(Benchdiff, NewCounterKeyExitsTwo) {
+    // A new counter key is still drift: the schema is part of the contract.
+    const std::string base = write_artifact("nk_a", 500, 20.0);
+    const std::string cand =
+        write_artifact("nk_b", 500, 20.0, /*extra_counter=*/true);
+    const RunResult r = run_diff(base + " " + cand);
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("new"), std::string::npos) << r.output;
+}
+
+TEST(Benchdiff, TimingRegressionExitsOne) {
+    const std::string base = write_artifact("tr_a", 500, 20.0);
+    const std::string cand = write_artifact("tr_b", 500, 30.0);  // +50%
+    const RunResult r = run_diff(base + " " + cand + " --threshold=0.25");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("PERF REGRESSION"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("crypto.verify"), std::string::npos) << r.output;
+}
+
+TEST(Benchdiff, LooseThresholdAbsorbsSlowdown) {
+    const std::string base = write_artifact("lt_a", 500, 20.0);
+    const std::string cand = write_artifact("lt_b", 500, 30.0);
+    const RunResult r = run_diff(base + " " + cand + " --threshold=0.6");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Benchdiff, CountersOnlyIgnoresTimingRegression) {
+    const std::string base = write_artifact("co_a", 500, 20.0);
+    const std::string cand = write_artifact("co_b", 500, 200.0);  // 10x
+    const RunResult r = run_diff(base + " " + cand + " --counters-only");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Benchdiff, CounterMismatchTrumpsPerfRegression) {
+    const std::string base = write_artifact("tm_a", 500, 20.0);
+    const std::string cand = write_artifact("tm_b", 7, 200.0);
+    const RunResult r = run_diff(base + " " + cand);
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(Benchdiff, MissingFileExitsThree) {
+    const RunResult r = run_diff("/nonexistent/a.json /nonexistent/b.json");
+    EXPECT_EQ(r.exit_code, 3) << r.output;
+}
+
+TEST(Benchdiff, MalformedJsonExitsThree) {
+    const std::string good = write_artifact("mf_a", 500, 20.0);
+    const std::string bad = testing::TempDir() + "benchdiff_mf_bad.json";
+    std::ofstream(bad) << "{not json";
+    const RunResult r = run_diff(good + " " + bad);
+    EXPECT_EQ(r.exit_code, 3) << r.output;
+}
+
+TEST(Benchdiff, UnknownFlagExitsThree) {
+    const std::string a = write_artifact("uf_a", 500, 20.0);
+    const RunResult r = run_diff(a + " " + a + " --bogus");
+    EXPECT_EQ(r.exit_code, 3) << r.output;
+}
+
+TEST(Benchdiff, JsonFormatEmitsMachineReadableDelta) {
+    const std::string base = write_artifact("jf_a", 500, 20.0);
+    const std::string cand = write_artifact("jf_b", 501, 20.0);
+    const RunResult r = run_diff(base + " " + cand + " --format=json");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("\"exit_code\": 2"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"status\": \"mismatch\""), std::string::npos)
+        << r.output;
+}
+
+}  // namespace

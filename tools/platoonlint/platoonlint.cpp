@@ -50,6 +50,7 @@ namespace {
 
 constexpr const char* kRuleRandom = "no-unseeded-random";
 constexpr const char* kRuleWallclock = "no-wallclock";
+constexpr const char* kRuleSteadyClock = "no-steady-clock";
 constexpr const char* kRuleUnorderedIter = "no-unordered-iteration";
 constexpr const char* kRuleOracle = "oracle-isolation";
 constexpr const char* kRuleLayering = "layering";
@@ -65,7 +66,11 @@ constexpr RuleDoc kRules[] = {
      "whitelist (src/sim/random.*) breaks run-to-run reproducibility"},
     {kRuleWallclock,
      "wall-clock reads (system_clock, C time APIs, __DATE__/__TIME__) make "
-     "output depend on when it ran; steady_clock is fine for perf timing"},
+     "output depend on when it ran; use the simulation clock"},
+    {kRuleSteadyClock,
+     "steady_clock inside src/ leaks host timing into library code; perf "
+     "timing goes through obs::ScopedTimer (src/obs/timer.cpp is the one "
+     "sanctioned reader). bench/tests/examples/tools may read it freely"},
     {kRuleUnorderedIter,
      "iterating std::unordered_map/set in aggregation, scoring or "
      "report-emitting code emits hash-order bytes; extract+sort the keys or "
@@ -85,27 +90,31 @@ constexpr RuleDoc kRules[] = {
 // modules its files may include (transitively closed, checked per edge).
 
 const std::map<std::string, std::set<std::string>>& layer_allow() {
+    // obs sits directly above base: it must stay includable from every
+    // instrumented module without dragging anything else along.
     static const std::map<std::string, std::set<std::string>> allow = {
         {"base", {"base"}},
-        {"sim", {"sim", "base"}},
-        {"phys", {"phys", "sim", "base"}},
-        {"crypto", {"crypto", "base"}},
-        {"net", {"net", "crypto", "sim", "base"}},
-        {"control", {"control", "net", "sim", "base"}},
-        {"rsu", {"rsu", "crypto", "net", "sim", "base"}},
-        {"defense", {"defense", "crypto", "net", "phys", "sim", "base"}},
+        {"obs", {"obs", "base"}},
+        {"sim", {"sim", "obs", "base"}},
+        {"phys", {"phys", "sim", "obs", "base"}},
+        {"crypto", {"crypto", "obs", "base"}},
+        {"net", {"net", "crypto", "sim", "obs", "base"}},
+        {"control", {"control", "net", "sim", "obs", "base"}},
+        {"rsu", {"rsu", "crypto", "net", "sim", "obs", "base"}},
+        {"defense",
+         {"defense", "crypto", "net", "phys", "sim", "obs", "base"}},
         {"core",
          {"core", "control", "crypto", "defense", "net", "phys", "rsu", "sim",
-          "base"}},
+          "obs", "base"}},
         {"security",
          {"security", "core", "control", "crypto", "defense", "net", "phys",
-          "rsu", "sim", "base"}},
+          "rsu", "sim", "obs", "base"}},
         {"eval",
          {"eval", "security", "core", "control", "crypto", "defense", "net",
-          "phys", "rsu", "sim", "base"}},
+          "phys", "rsu", "sim", "obs", "base"}},
         {"detect",
          {"detect", "eval", "security", "core", "control", "crypto", "defense",
-          "net", "phys", "rsu", "sim", "base"}},
+          "net", "phys", "rsu", "sim", "obs", "base"}},
     };
     return allow;
 }
@@ -352,7 +361,7 @@ bool unordered_iter_scoped(const std::string& rel) {
     static const char* kPrefixes[] = {
         "src/core/metrics", "src/core/report",  "src/core/experiment",
         "src/detect/score", "src/detect/bank",  "src/detect/dataset",
-        "src/eval/",        "bench/",
+        "src/eval/",        "src/obs/",         "bench/",
     };
     for (const char* p : kPrefixes)
         if (starts_with(rel, p)) return true;
@@ -405,13 +414,20 @@ constexpr TokenRule kTokenRules[] = {
     {"__TIME__", false, kRuleWallclock, "__TIME__ bakes build time in"},
     {"__TIMESTAMP__", false, kRuleWallclock,
      "__TIMESTAMP__ bakes build time in"},
+    {"steady_clock", false, kRuleSteadyClock,
+     "steady_clock reads host time inside library code"},
 };
 
 void check_tokens(const SourceFile& src, std::vector<Finding>& findings) {
     const bool whitelisted = randomness_whitelisted(src.rel);
+    // The steady-clock ban covers library code only: benches, tests and
+    // tools time things on purpose. Inside src/, the single sanctioned
+    // reader (src/obs/timer.cpp) carries an inline reasoned allow.
+    const bool library_tu = starts_with(src.rel, "src/");
     const std::string& text = src.stripped;
     for (const TokenRule& tr : kTokenRules) {
         if (whitelisted && std::string(tr.rule) == kRuleRandom) continue;
+        if (!library_tu && std::string(tr.rule) == kRuleSteadyClock) continue;
         const std::string token = tr.token;
         std::size_t pos = 0;
         while ((pos = text.find(token, pos)) != std::string::npos) {

@@ -1,0 +1,228 @@
+// "Table V" -- benign faults beside the attacks they mimic. Every fault
+// class in src/fault (burst packet loss, node crash, sensor dropout, clock
+// drift) is run through the same evaluation platoon as its matched Table II
+// attack, and the bench prints the two stories side by side:
+//
+//   1. stability -- spacing RMS, minimum gap, CACC availability, PDR and
+//      trust revocations per cell: how much platoon degradation a benign
+//      fault causes compared to a deliberate attack on the same channel;
+//   2. detection -- per-detector false alarms on the fault cells (every
+//      flagged row is a false alarm: nothing is malicious) against the
+//      matched attack's recall, plus a headline false-alarm summary.
+//
+// A misbehavior stack that revokes a truck with a rain-faded radio is
+// measured here, not discovered in deployment. Banners go to stderr; every
+// table goes to stdout and is byte-identical at any PLATOON_JOBS count.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "crypto/secured_message.hpp"
+#include "detect/harness.hpp"
+#include "fault/plan.hpp"
+
+namespace pb = platoon::bench;
+namespace pc = platoon::core;
+namespace pd = platoon::detect;
+namespace pf = platoon::fault;
+
+namespace {
+
+constexpr std::size_t kSeeds = 2;
+
+std::string opt_num(double v, bool defined, int precision = 3) {
+    return defined ? pc::Table::num(v, precision) : std::string("-");
+}
+
+/// One Table V row: a benign fault plan and the Table II attack it mimics.
+struct FaultRow {
+    const char* fault;            ///< Row label for the fault cell.
+    pc::ScenarioConfig config;    ///< detection_config + the fault plan.
+    pc::AttackKind matched;       ///< The attack twin.
+    pc::ScenarioConfig attack_config;  ///< Config for the attack cell.
+};
+
+std::vector<FaultRow> fault_rows() {
+    // All faults open at/after the Table II attack-start anchor (t=20 s of
+    // a 70 s run) so the faulted window and the attacked window line up.
+    std::vector<FaultRow> rows;
+
+    {  // Rain fade / deep shadowing on the V2V band vs a deliberate jammer.
+        FaultRow row{"burst-loss", pd::detection_config(),
+                     pc::AttackKind::kJamming, pd::detection_config()};
+        pf::BurstLossParams burst;
+        burst.start_s = pd::kAttackStartTime;
+        burst.end_s = pb::kEvalDuration;
+        burst.mean_good_s = 1.0;
+        burst.mean_bad_s = 0.4;
+        burst.loss_bad = 0.95;
+        row.config.faults.burst_loss.push_back(burst);
+        rows.push_back(std::move(row));
+    }
+    {  // OBU reboot mid-run vs a DoS attack flooding the same channel.
+        FaultRow row{"node-crash", pd::detection_config(),
+                     pc::AttackKind::kDenialOfService, pd::detection_config()};
+        row.config.faults.crashes.push_back({3, 25.0, 20.0});
+        rows.push_back(std::move(row));
+    }
+    {  // GPS/radar outage (stale CACC input) vs deliberate sensor spoofing.
+        FaultRow row{"sensor-dropout", pd::detection_config(),
+                     pc::AttackKind::kSensorSpoofing, pd::detection_config()};
+        row.config.faults.sensor_dropouts.push_back({2, 25.0, 20.0});
+        rows.push_back(std::move(row));
+    }
+    {  // Clock drift past the freshness window vs an actual replay. The
+        // fault cell is normalized to a signed deployment (drift only
+        // matters where timestamps are checked); the attack cell keeps the
+        // open-channel detection config so the detector bank -- not the
+        // replay guard -- is what catches the replay, matching Table IV.
+        FaultRow row{"clock-drift", pd::detection_config(),
+                     pc::AttackKind::kReplay, pd::detection_config()};
+        row.config.security.auth_mode = platoon::crypto::AuthMode::kSignature;
+        row.config.faults.clock_drifts.push_back({2, 20.0, 0.3, 0.01});
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void add_stability_row(pc::Table& table, const std::string& cell,
+                       const pc::MetricMap& m) {
+    const bool has_gap = pb::metric(m, "has_gap_samples", 0.0) > 0.5;
+    table.add_row({cell,
+                   pc::Table::num(pb::metric(m, "spacing_rms_m", 0.0), 3),
+                   opt_num(pb::metric(m, "min_gap_m", 0.0), has_gap, 2),
+                   pc::Table::num(pb::metric(m, "cacc_availability", 0.0), 3),
+                   pc::Table::num(pb::metric(m, "pdr", 0.0), 3),
+                   pc::Table::num(pb::metric(m, "revoked_credentials", 0.0), 0)});
+}
+
+void run_and_print() {
+    const auto rows = fault_rows();
+
+    // ------------------------------------------------------------------
+    // Grid A: platoon stability. Clean baseline, then for each row the
+    // fault cell (no attack) and the matched attack cell.
+    std::vector<pb::EvalCell> stability;
+    stability.push_back(
+        {pd::detection_config(), pc::AttackKind::kReplay, false, kSeeds});
+    for (const FaultRow& row : rows) {
+        stability.push_back({row.config, row.matched, false, kSeeds});
+        stability.push_back({row.attack_config, row.matched, true, kSeeds});
+    }
+    const auto metrics = pb::run_eval_grid(stability, pb::jobs());
+
+    pc::print_banner(
+        std::cout,
+        "Table V -- benign faults vs matched attacks: platoon stability "
+        "(spacing RMS, min gap, CACC availability, PDR, revocations)");
+    pc::Table table({"cell", "spacing_rms_m", "min_gap_m", "cacc_avail",
+                     "pdr", "revoked"});
+    add_stability_row(table, "(clean)", metrics[0]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        add_stability_row(table, std::string("fault:") + rows[r].fault,
+                          metrics[1 + 2 * r]);
+        add_stability_row(
+            table,
+            std::string("attack:") + pc::to_string(rows[r].matched),
+            metrics[2 + 2 * r]);
+    }
+    table.print(std::cout);
+
+    // ------------------------------------------------------------------
+    // Grid B: the detector bank's view. Fault cells carry with_attack =
+    // false, so every flagged row is by construction a false alarm.
+    std::vector<pd::DetectionCell> detection;
+    detection.push_back(
+        {pd::detection_config(), pc::AttackKind::kReplay, false, kSeeds, {}});
+    for (const FaultRow& row : rows) {
+        detection.push_back({row.config, row.matched, false, kSeeds, {}});
+        detection.push_back({row.attack_config, row.matched, true, kSeeds, {}});
+    }
+    const auto verdicts = pd::run_detection_grid(detection, pb::jobs());
+
+    pc::print_banner(
+        std::cout,
+        "Table V -- detector false alarms under benign faults vs recall on "
+        "the matched attack (fault cells have zero malicious rows)");
+    pc::Table bank({"cell", "detector", "fa_per_h", "recall", "flagged"});
+    const auto add_bank_rows = [&bank](const std::string& cell,
+                                       const std::vector<pd::DetectorSummary>&
+                                           summaries,
+                                       bool attacked) {
+        for (const pd::DetectorSummary& s : summaries) {
+            bank.add_row({cell, s.detector,
+                          pc::Table::num(s.false_alarms_per_hour, 1),
+                          opt_num(s.recall, attacked),
+                          pc::Table::num(s.flagged_rows, 1)});
+        }
+    };
+    add_bank_rows("(clean)", verdicts[0], false);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        add_bank_rows(std::string("fault:") + rows[r].fault,
+                      verdicts[1 + 2 * r], false);
+        add_bank_rows(std::string("attack:") + pc::to_string(rows[r].matched),
+                      verdicts[2 + 2 * r], true);
+    }
+    bank.print(std::cout);
+
+    // ------------------------------------------------------------------
+    // Headline: per fault, the worst-offending detector's false-alarm rate
+    // and whether the trust pipeline revoked anyone for being unlucky.
+    pc::print_banner(std::cout,
+                     "Table V headline -- worst-case false-alarm rate and "
+                     "revocations per benign fault");
+    pc::Table headline({"fault", "max_fa_per_h", "worst_detector", "revoked",
+                        "matched_attack", "attack_max_recall"});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        double max_fa = 0.0;
+        std::string worst = "(none)";
+        for (const pd::DetectorSummary& s : verdicts[1 + 2 * r]) {
+            if (s.false_alarms_per_hour > max_fa) {
+                max_fa = s.false_alarms_per_hour;
+                worst = s.detector;
+            }
+        }
+        double max_recall = 0.0;
+        for (const pd::DetectorSummary& s : verdicts[2 + 2 * r])
+            max_recall = std::max(max_recall, s.recall);
+        headline.add_row(
+            {rows[r].fault, pc::Table::num(max_fa, 1), worst,
+             pc::Table::num(
+                 pb::metric(metrics[1 + 2 * r], "revoked_credentials", 0.0), 0),
+             pc::to_string(rows[r].matched),
+             pc::Table::num(max_recall, 3)});
+    }
+    headline.print(std::cout);
+}
+
+void BM_FaultedScenario(benchmark::State& state) {
+    const auto rows = fault_rows();
+    const auto& row = rows[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pb::run_eval_once(row.config, row.matched, false));
+    }
+    state.SetLabel(row.fault);
+}
+BENCHMARK(BM_FaultedScenario)
+    ->Arg(0)  // burst-loss
+    ->Arg(1)  // node-crash
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    pb::obs_init();
+    pb::print_jobs_banner("bench_table_faults");
+    run_and_print();
+    pb::write_bench_json("bench_table_faults",
+                         "Table V benign-fault vs attack grid", 42);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -53,9 +53,25 @@ Aggregate run_seeds(RunSpec spec, std::size_t seeds, unsigned jobs) {
         cells.emplace_back(
             [seed_spec = std::move(seed_spec)] { return run_once(seed_spec); });
     }
-    // run_grid returns per-seed maps in seed order; the fold below is the
-    // same accumulation at any job count, hence bit-identical output.
-    return aggregate_runs(run_grid(std::move(cells), jobs == 0 ? 1 : jobs));
+    // run_grid_protected returns per-seed outcomes in seed order; the fold
+    // below is the same accumulation at any job count, hence bit-identical
+    // output. A replication that throws becomes a RunFailure record instead
+    // of aborting the sweep (and the other seeds' results with it).
+    const std::vector<CellOutcome<MetricMap>> outcomes =
+        run_grid_protected(std::move(cells), jobs == 0 ? 1 : jobs);
+    std::vector<MetricMap> succeeded;
+    succeeded.reserve(outcomes.size());
+    std::vector<RunFailure> failures;
+    for (std::size_t k = 0; k < outcomes.size(); ++k) {
+        if (outcomes[k].value) {
+            succeeded.push_back(*outcomes[k].value);
+        } else {
+            failures.push_back(RunFailure{k, base_seed + k, outcomes[k].error});
+        }
+    }
+    Aggregate agg = aggregate_runs(succeeded);
+    agg.failures = std::move(failures);
+    return agg;
 }
 
 Aggregate run_seeds_parallel(RunSpec spec, std::size_t seeds, unsigned jobs) {

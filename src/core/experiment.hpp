@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,10 +38,20 @@ struct RunSpec {
 /// Runs one scenario to completion and returns its metrics.
 [[nodiscard]] MetricMap run_once(const RunSpec& spec);
 
+/// One replication that threw instead of producing metrics. Failures are
+/// first-class results: a sweep over hostile configurations must report
+/// "seed 43 exploded" next to the seeds that survived, not abort the batch.
+struct RunFailure {
+    std::size_t index = 0;     ///< Replication index (0-based).
+    std::uint64_t seed = 0;    ///< The seed that failed.
+    std::string error;         ///< exception .what(), or "unknown exception".
+};
+
 struct Aggregate {
     MetricMap mean;
     MetricMap stddev;
-    std::size_t runs = 0;
+    std::size_t runs = 0;  ///< Successful replications (the divisor).
+    std::vector<RunFailure> failures;
 };
 
 /// Folds per-run metric maps (in run order) into mean/stddev. Keys missing
@@ -87,6 +98,37 @@ template <typename T>
     for (auto& cell : cells) futures.push_back(pool.submit(std::move(cell)));
     for (auto& future : futures) results.push_back(future.get());
     return results;
+}
+
+/// Result of one protected cell: exactly one of `value` / `error` is set.
+template <typename T>
+struct CellOutcome {
+    std::optional<T> value;
+    std::string error;
+};
+
+/// run_grid with per-cell exception isolation: a throwing cell yields a
+/// CellOutcome carrying the exception message instead of tearing down the
+/// whole grid (futures rethrow on .get(), which would otherwise abandon
+/// every other cell's result). Outcome order matches cell order at any job
+/// count, preserving the determinism contract.
+template <typename T>
+[[nodiscard]] std::vector<CellOutcome<T>> run_grid_protected(
+    std::vector<std::function<T()>> cells, unsigned jobs = 0) {
+    std::vector<std::function<CellOutcome<T>()>> wrapped;
+    wrapped.reserve(cells.size());
+    for (auto& cell : cells) {
+        wrapped.emplace_back([cell = std::move(cell)]() -> CellOutcome<T> {
+            try {
+                return CellOutcome<T>{cell(), {}};
+            } catch (const std::exception& e) {
+                return CellOutcome<T>{std::nullopt, e.what()};
+            } catch (...) {
+                return CellOutcome<T>{std::nullopt, "unknown exception"};
+            }
+        });
+    }
+    return run_grid(std::move(wrapped), jobs);
 }
 
 }  // namespace platoon::core

@@ -7,11 +7,23 @@
 
 namespace platoon::core {
 
+double population_stddev(const std::vector<double>& values) {
+    const std::size_t n = values.size();
+    if (n < 2) return 0.0;
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    const double mean = sum / static_cast<double>(n);
+    double sq_dev = 0.0;
+    for (const double v : values) sq_dev += (v - mean) * (v - mean);
+    return std::sqrt(sq_dev / static_cast<double>(n));
+}
+
 std::map<std::string, double> MetricsSummary::as_map() const {
     return {
         {"spacing_rms_m", spacing_rms_m},
         {"spacing_max_abs_m", spacing_max_abs_m},
         {"min_gap_m", min_gap_m},
+        {"has_gap_samples", has_gap_samples ? 1.0 : 0.0},
         {"collisions", static_cast<double>(collisions)},
         {"follower_speed_stddev", follower_speed_stddev},
         {"max_abs_accel", max_abs_accel},
@@ -101,11 +113,13 @@ MetricsSummary PlatoonMetrics::summarize(
         }
     }
     out.spacing_rms_m = n > 0 ? std::sqrt(sq_sum / static_cast<double>(n)) : 0.0;
-    out.min_gap_m = min_gap > 1e17 ? 0.0 : min_gap;
+    out.has_gap_samples = min_gap <= 1e17;
+    out.min_gap_m = out.has_gap_samples
+                        ? min_gap
+                        : std::numeric_limits<double>::quiet_NaN();
 
     // Follower speed oscillation: pooled stddev across followers.
-    double speed_sum = 0.0, speed_sq = 0.0;
-    std::size_t speed_n = 0;
+    std::vector<double> follower_speeds;
     bool first = true;
     double fuel_sum = 0.0;
     std::size_t fuel_n = 0;
@@ -122,9 +136,7 @@ MetricsSummary PlatoonMetrics::summarize(
         if (speed != nullptr) {
             for (std::size_t i = 0; i < speed->size(); ++i) {
                 if (speed->times()[i] < warmup) continue;
-                speed_sum += speed->values()[i];
-                speed_sq += speed->values()[i] * speed->values()[i];
-                ++speed_n;
+                follower_speeds.push_back(speed->values()[i]);
             }
         }
         fuel_sum += v->fuel().litres_per_100km();
@@ -139,11 +151,7 @@ MetricsSummary PlatoonMetrics::summarize(
             out.self_echoes,
             static_cast<std::uint64_t>(v->impersonation_self_echoes()));
     }
-    if (speed_n > 1) {
-        const double mean = speed_sum / static_cast<double>(speed_n);
-        out.follower_speed_stddev = std::sqrt(
-            std::max(0.0, speed_sq / static_cast<double>(speed_n) - mean * mean));
-    }
+    out.follower_speed_stddev = population_stddev(follower_speeds);
     if (fuel_n > 0) out.fuel_l_per_100km = fuel_sum / static_cast<double>(fuel_n);
     if (avail_n > 0) out.cacc_availability = avail_sum / static_cast<double>(avail_n);
     return out;

@@ -10,6 +10,7 @@
 // plus network and security counters read from the stack at summary time.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -31,7 +32,11 @@ struct MetricsParams {
 struct MetricsSummary {
     double spacing_rms_m = 0.0;      ///< RMS of (gap - desired) over pairs.
     double spacing_max_abs_m = 0.0;
-    double min_gap_m = 0.0;
+    /// Smallest post-warmup inter-vehicle gap. NaN (with has_gap_samples
+    /// false) when no post-warmup gap was ever sampled -- the old 0.0
+    /// sentinel was indistinguishable from "vehicles were touching".
+    double min_gap_m = std::numeric_limits<double>::quiet_NaN();
+    bool has_gap_samples = false;
     int collisions = 0;
     double follower_speed_stddev = 0.0;
     double max_abs_accel = 0.0;
@@ -46,6 +51,12 @@ struct MetricsSummary {
 
     [[nodiscard]] std::map<std::string, double> as_map() const;
 };
+
+/// Numerically stable (two-pass) population standard deviation. The naive
+/// E[x^2] - mean^2 form cancels catastrophically when the mean dwarfs the
+/// spread (speeds ~25 m/s with mm/s oscillation already loses digits; a
+/// position-like series loses everything). Returns 0.0 for n < 2.
+[[nodiscard]] double population_stddev(const std::vector<double>& values);
 
 class PlatoonMetrics {
 public:

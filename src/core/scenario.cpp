@@ -98,6 +98,30 @@ Scenario::Scenario(ScenarioConfig config)
     }
     metrics_.watch(std::move(watched));
 
+    // --- benign faults -------------------------------------------------------
+    // Built after the vehicles exist (hooks capture stable pointers; the
+    // vehicles_ vector only grows and owns by unique_ptr). An empty plan
+    // skips construction entirely, so fault-free scenarios are bit-identical
+    // to the pre-fault codebase.
+    if (!config_.faults.empty()) {
+        std::vector<fault::VehicleHooks> hooks;
+        hooks.reserve(config_.platoon_size);
+        for (std::size_t i = 0; i < config_.platoon_size; ++i) {
+            PlatoonVehicle* v = vehicles_[i].get();
+            fault::VehicleHooks h;
+            h.set_comms_down = [v](bool down) { v->set_comms_down(down); };
+            h.set_sensor_dropout = [v](bool on) { v->set_sensor_dropout(on); };
+            h.set_clock_skew = [v](sim::SimTime anchor, double offset,
+                                   double rate) {
+                v->set_clock_skew(anchor, offset, rate);
+            };
+            hooks.push_back(std::move(h));
+        }
+        fault_injector_ = std::make_unique<fault::Injector>(
+            scheduler_, *network_, config_.faults, std::move(hooks),
+            config_.seed);
+    }
+
     // Leader speed profile.
     for (const SpeedStep& step : config_.speed_profile) {
         PlatoonVehicle* leader = vehicles_.front().get();

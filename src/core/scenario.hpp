@@ -10,6 +10,7 @@
 
 #include "core/metrics.hpp"
 #include "core/vehicle.hpp"
+#include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "rsu/rsu.hpp"
 #include "rsu/trusted_authority.hpp"
@@ -37,6 +38,11 @@ struct ScenarioConfig {
     std::vector<SpeedStep> speed_profile = {
         {0.0, 25.0}, {40.0, 20.0}, {60.0, 25.0}};
     MetricsParams metrics;
+    /// Benign faults (burst loss, node crash, sensor dropout, clock drift)
+    /// injected at build time as first-class scenario components. Empty by
+    /// default: a fault-free scenario constructs no injector and consumes
+    /// no randomness, so adding this field changes nothing downstream.
+    fault::FaultPlan faults;
     std::size_t rsu_count = 0;
     double rsu_spacing_m = 1000.0;
     bool rsus_require_signatures = false;
@@ -60,6 +66,8 @@ public:
     [[nodiscard]] rsu::TrustedAuthority& authority() { return *authority_; }
     [[nodiscard]] const ScenarioConfig& config() const { return config_; }
     [[nodiscard]] PlatoonMetrics& metrics() { return metrics_; }
+    /// Fault injector, or nullptr when the config's FaultPlan is empty.
+    [[nodiscard]] fault::Injector* faults() { return fault_injector_.get(); }
     [[nodiscard]] std::uint64_t seed() const { return config_.seed; }
 
     [[nodiscard]] std::size_t vehicle_count() const { return vehicles_.size(); }
@@ -102,6 +110,9 @@ private:
     std::unique_ptr<rsu::TrustedAuthority> authority_;
     std::vector<std::unique_ptr<PlatoonVehicle>> vehicles_;
     std::vector<std::unique_ptr<rsu::RsuNode>> rsus_;
+    /// Declared after network_ and vehicles_: its destructor uninstalls the
+    /// network fault hook, so it must die first.
+    std::unique_ptr<fault::Injector> fault_injector_;
     PlatoonMetrics metrics_;
     crypto::Bytes group_key_;
     sim::RandomStream scenario_rng_;

@@ -209,18 +209,26 @@ void PlatoonVehicle::control_step() {
     prune_peers(now);
 
     // --- sensing -----------------------------------------------------------
-    const phys::GpsSensor::Fix fix = gps_.read();
-    double own_position = fix.position_m;
-    if (config_.security.sensor_fusion) {
-        const auto fused =
-            gps_fusion_.update(now, fix.position_m, odometry_.read_speed(), dt);
-        own_position = fused.position_m;
+    // Sensor dropout (benign fault): the sensors return nothing, so the
+    // vehicle drives on -- and beacons -- its last fused position while its
+    // true position moves on. An honest vehicle that looks like it is lying
+    // about where it is, which is the detectors' hardest benign case.
+    double own_position = last_own_position_;
+    if (!sensor_dropout_) {
+        const phys::GpsSensor::Fix fix = gps_.read();
+        own_position = fix.position_m;
+        if (config_.security.sensor_fusion) {
+            const auto fused = gps_fusion_.update(now, fix.position_m,
+                                                  odometry_.read_speed(), dt);
+            own_position = fused.position_m;
+        }
+        last_own_position_ = own_position;
     }
-    last_own_position_ = own_position;
 
     if (radar_target_resolver_)
         radar_.set_target(radar_target_resolver_(*this));
-    const auto radar_meas = radar_.read();
+    std::optional<phys::RadarSensor::Measurement> radar_meas;
+    if (!sensor_dropout_) radar_meas = radar_.read();
     last_radar_gap_m_.reset();
     last_radar_closing_mps_.reset();
     if (radar_meas) {
@@ -415,8 +423,15 @@ void PlatoonVehicle::control_step() {
     fuel_.accumulate(dynamics_.speed(), dynamics_.accel(), drag, dt);
 }
 
+sim::SimTime PlatoonVehicle::stamped_now() const {
+    const sim::SimTime now = scheduler_.now();
+    if (!clock_skew_active_) return now;
+    return now + clock_skew_offset_s_ +
+           clock_skew_rate_ * (now - clock_skew_anchor_);
+}
+
 void PlatoonVehicle::send_beacon() {
-    if (drop_beacons_) return;
+    if (drop_beacons_ || comms_down_) return;
 
     net::Beacon beacon;
     beacon.sender = wire_id();
@@ -432,9 +447,8 @@ void PlatoonVehicle::send_beacon() {
     if (beacon_mutator_) beacon_mutator_(beacon);
 
     const crypto::Bytes payload = beacon.encode();
-    crypto::Envelope envelope =
-        protection_.protect(beacon.sender, crypto::BytesView(payload),
-                            scheduler_.now());
+    crypto::Envelope envelope = protection_.protect(
+        beacon.sender, crypto::BytesView(payload), stamped_now());
 
     net::Frame frame;
     frame.type = net::MsgType::kBeacon;
@@ -455,8 +469,9 @@ void PlatoonVehicle::send_beacon() {
 }
 
 void PlatoonVehicle::send_typed(net::MsgType type, crypto::BytesView payload) {
+    if (comms_down_) return;
     crypto::Envelope envelope =
-        protection_.protect(wire_id(), payload, scheduler_.now());
+        protection_.protect(wire_id(), payload, stamped_now());
     net::Frame frame;
     frame.type = type;
     frame.envelope = envelope;
@@ -512,7 +527,7 @@ void PlatoonVehicle::report_misbehavior(std::uint32_t suspect) {
 
 void PlatoonVehicle::on_frame(const net::Frame& frame,
                               const net::RxInfo& info) {
-    if (!running_) return;
+    if (!running_ || comms_down_) return;  // crashed OBU hears nothing
 
     if (config_.security.hybrid_comms) {
         const auto action =

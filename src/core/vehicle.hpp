@@ -171,6 +171,33 @@ public:
         return beacon_mutator_ != nullptr || drop_beacons_;
     }
 
+    /// --- benign fault hooks (src/fault) -------------------------------------
+    /// Unlike the compromise hooks above these model *failures*, not
+    /// adversaries: a crashed/rebooting OBU, a dirty radar, a drifting
+    /// oscillator. They deliberately do not touch `compromised()` -- a
+    /// faulty vehicle is still honest, which is exactly what makes benign
+    /// faults a false-positive stressor for the detectors.
+    /// OBU down: no beacons, no control messages, and received frames are
+    /// discarded at the radio (the vehicle keeps driving on its fallback).
+    void set_comms_down(bool down) { comms_down_ = down; }
+    [[nodiscard]] bool comms_down() const { return comms_down_; }
+    /// Sensor dropout: GPS fusion and radar reads are skipped; the control
+    /// loop keeps using the last fused position and loses the radar gap.
+    void set_sensor_dropout(bool dropout) { sensor_dropout_ = dropout; }
+    [[nodiscard]] bool sensor_dropout() const { return sensor_dropout_; }
+    /// Clock skew: beacon/message generation timestamps read
+    /// now + offset + rate * (now - anchor) instead of scheduler time.
+    /// Receive-side freshness checks still use true local time, so a peer
+    /// with a drifting clock looks increasingly stale/early to others.
+    void set_clock_skew(sim::SimTime anchor, double offset_s, double rate) {
+        clock_skew_active_ = true;
+        clock_skew_anchor_ = anchor;
+        clock_skew_offset_s_ = offset_s;
+        clock_skew_rate_ = rate;
+    }
+    void clear_clock_skew() { clock_skew_active_ = false; }
+    [[nodiscard]] bool clock_skew_active() const { return clock_skew_active_; }
+
     /// --- detection instrumentation (oracle side, src/detect) ----------------
     /// Ground-truth taint stamped onto every beacon this vehicle transmits
     /// while its output is corrupted (malware FDI payload, locked-on GPS
@@ -246,6 +273,9 @@ private:
     void refresh_topology(double own_position, sim::SimTime now);
     void prune_peers(sim::SimTime now);
     [[nodiscard]] std::optional<double> beacon_gap(double own_position) const;
+    /// Timestamp this vehicle *writes* into outgoing messages: scheduler
+    /// time unless a clock-skew fault is active.
+    [[nodiscard]] sim::SimTime stamped_now() const;
 
     VehicleConfig config_;
     sim::Scheduler& scheduler_;
@@ -291,6 +321,12 @@ private:
     RadarTargetResolver radar_target_resolver_;
     BeaconMutator beacon_mutator_;
     bool drop_beacons_ = false;
+    bool comms_down_ = false;        ///< Benign fault: OBU crashed.
+    bool sensor_dropout_ = false;    ///< Benign fault: GPS+radar stale.
+    bool clock_skew_active_ = false; ///< Benign fault: oscillator drift.
+    sim::SimTime clock_skew_anchor_ = 0.0;
+    double clock_skew_offset_s_ = 0.0;
+    double clock_skew_rate_ = 0.0;
     net::GroundTruth beacon_truth_;
     MessageObserver message_observer_;
     std::optional<double> last_radar_gap_m_;

@@ -1,0 +1,65 @@
+// The fault injector: arms one FaultPlan against a built simulation world.
+//
+// Sits below core in the module DAG: it sees the scheduler and the network
+// directly, but drives vehicles only through the opaque VehicleHooks the
+// scenario layer hands it -- faults never touch protocol logic, and a
+// faulted vehicle is never compromised() (benign degradation must stay
+// distinguishable from attacks by outcome, not by construction).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fault/gilbert_elliott.hpp"
+#include "fault/plan.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace platoon::fault {
+
+/// Per-vehicle control surface (installed by core::Scenario, index =
+/// platoon slot). All three are optional; an unset hook disables the
+/// corresponding fault class for that vehicle.
+struct VehicleHooks {
+    std::function<void(bool)> set_comms_down;
+    std::function<void(bool)> set_sensor_dropout;
+    /// set_clock_skew(anchor, offset_s, rate): see ClockDriftParams.
+    std::function<void(sim::SimTime, double, double)> set_clock_skew;
+};
+
+struct InjectorStats {
+    std::uint64_t burst_drops = 0;    ///< Deliveries eaten by Gilbert-Elliott.
+    std::uint64_t crashes = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t sensor_dropouts = 0;
+    std::uint64_t clock_skews = 0;
+};
+
+class Injector {
+public:
+    /// Arms the plan immediately: installs the network loss process and
+    /// schedules every crash/dropout/drift window. Vehicle indices in the
+    /// plan must be < hooks.size().
+    Injector(sim::Scheduler& scheduler, net::Network& network, FaultPlan plan,
+             std::vector<VehicleHooks> hooks, std::uint64_t master_seed);
+    ~Injector();
+    Injector(const Injector&) = delete;
+    Injector& operator=(const Injector&) = delete;
+
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+    [[nodiscard]] const InjectorStats& stats() const { return stats_; }
+
+private:
+    void arm();
+
+    sim::Scheduler& scheduler_;
+    net::Network& network_;
+    FaultPlan plan_;
+    std::vector<VehicleHooks> hooks_;
+    std::vector<std::unique_ptr<GilbertElliott>> channels_;
+    InjectorStats stats_;
+};
+
+}  // namespace platoon::fault

@@ -31,7 +31,7 @@ double Channel::path_loss_db(double distance_m) const {
 Channel::PairKey Channel::pair_key(sim::NodeId a, sim::NodeId b) {
     const std::uint64_t lo = std::min(a.value, b.value);
     const std::uint64_t hi = std::max(a.value, b.value);
-    return PairKey{(hi << 32) | lo};
+    return PairKey{lo, hi};
 }
 
 double Channel::fading_db(sim::NodeId a, sim::NodeId b, sim::SimTime t) {

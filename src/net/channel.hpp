@@ -71,23 +71,33 @@ public:
     /// packets experience.
     double fading_db(sim::NodeId a, sim::NodeId b, sim::SimTime t);
 
-private:
+    /// Canonical unordered-pair identity for the per-link fading process.
+    /// Both node id words are kept in full: packing them as (hi << 32) | lo
+    /// would silently collide for id values >= 2^32 (e.g. if the jammer
+    /// pseudo-node range ever widens), merging independent fading processes.
     struct PairKey {
-        std::uint64_t key;
+        std::uint64_t lo = 0;  ///< min(a, b), full width.
+        std::uint64_t hi = 0;  ///< max(a, b), full width.
         friend bool operator==(PairKey, PairKey) = default;
     };
     struct PairKeyHash {
         std::size_t operator()(PairKey k) const {
-            return std::hash<std::uint64_t>{}(k.key);
+            // Mix both full words (boost::hash_combine flavour).
+            std::uint64_t h = k.lo * 0x9E3779B97F4A7C15ull;
+            h ^= k.hi + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+            return static_cast<std::size_t>(h);
         }
     };
+
+    /// Order-insensitive: pair_key(a, b) == pair_key(b, a) (reciprocity).
+    [[nodiscard]] static PairKey pair_key(sim::NodeId a, sim::NodeId b);
+
+private:
     struct FadingState {
         bool initialised = false;
         sim::SimTime last_t = 0.0;
         double value_db = 0.0;
     };
-
-    static PairKey pair_key(sim::NodeId a, sim::NodeId b);
 
     ChannelParams params_;
     sim::RandomStream fading_rng_;

@@ -21,6 +21,7 @@ obs::Counter g_dropped_per{"net.dropped.per"};
 obs::Counter g_dropped_mac{"net.dropped.mac"};
 obs::Counter g_dropped_half_duplex{"net.dropped.half_duplex"};
 obs::Counter g_dropped_range{"net.dropped.range"};
+obs::Counter g_dropped_fault{"net.dropped.fault"};
 }  // namespace
 
 Network::Network(sim::Scheduler& scheduler, Params params, std::uint64_t seed)
@@ -127,7 +128,7 @@ void Network::attempt_transmit(sim::NodeId from, Frame frame, int attempt) {
     const auto self_it = nodes_.find(from);
     const bool self_busy = self_it->second.transmitting;
     if (self_busy || (frame.band == Band::kDsrc && medium_busy(from, frame.band))) {
-        const int cw = (params_.cw_min + 1) << std::min(attempt, 5);
+        const int cw = contention_window(attempt);
         const double backoff =
             params_.aifs_s +
             params_.slot_time_s *
@@ -211,6 +212,14 @@ void Network::finish_transmission(std::size_t tx_index) {
         if (it->second.transmitting) {
             ++stats_.dropped_half_duplex;
             g_dropped_half_duplex.inc();
+            continue;
+        }
+        // Benign fault process (burst loss): a faulted delivery is decided
+        // before the SINR/PER draw -- the frame never reaches the decoder,
+        // so it must not be double-counted as a PER loss.
+        if (fault_loss_ && fault_loss_(tx.from, rx, tx.frame.band, now)) {
+            ++stats_.dropped_fault;
+            g_dropped_fault.inc();
             continue;
         }
         const double signal_mw = dbm_to_mw(channel_.rx_power_dbm(

@@ -61,13 +61,15 @@ struct NetworkStats {
     std::uint64_t dropped_mac = 0;         ///< CSMA gave up (medium busy).
     std::uint64_t dropped_half_duplex = 0; ///< Receiver was transmitting.
     std::uint64_t dropped_range = 0;
+    std::uint64_t dropped_fault = 0;       ///< Benign fault process (src/fault).
 
     /// Delivery ratio over receivers in range. MAC-starved frames count
     /// once each (they reached nobody); under total starvation this goes
     /// to zero even though per-receiver drops were never evaluated.
     [[nodiscard]] double pdr() const {
-        const std::uint64_t attempts =
-            delivered + dropped_per + dropped_half_duplex + dropped_mac;
+        const std::uint64_t attempts = delivered + dropped_per +
+                                       dropped_half_duplex + dropped_mac +
+                                       dropped_fault;
         return attempts == 0
                    ? 1.0
                    : static_cast<double>(delivered) /
@@ -121,6 +123,24 @@ public:
     void remove_jammer(int jammer_id);
     [[nodiscard]] std::size_t active_jammers() const { return jammers_.size(); }
 
+    /// --- benign faults ----------------------------------------------------
+    /// Loss process installed by fault::Injector: consulted once per
+    /// (transmitter, receiver) delivery on the RF bands, after the
+    /// half-duplex check and before the SINR/PER draw (VLC is optical and
+    /// bypasses it). Returning true drops that delivery and counts it as
+    /// dropped_fault. Pass nullptr to uninstall.
+    using FaultLossFn = std::function<bool(sim::NodeId from, sim::NodeId to,
+                                           Band band, sim::SimTime now)>;
+    void set_fault_loss(FaultLossFn fn) { fault_loss_ = std::move(fn); }
+
+    /// Contention window for MAC backoff `attempt` (binary exponential,
+    /// capped at 2^5 doublings of cw_min+1). The backoff slot count is drawn
+    /// uniformly from [0, contention_window(attempt) - 1] -- uniform_int's
+    /// upper bound is exclusive, which the MAC-backoff tests pin.
+    [[nodiscard]] int contention_window(int attempt) const {
+        return (params_.cw_min + 1) << std::min(attempt, 5);
+    }
+
     [[nodiscard]] const NetworkStats& stats() const { return stats_; }
     [[nodiscard]] NetworkStats& mutable_stats() { return stats_; }
     [[nodiscard]] Channel& channel() { return channel_; }
@@ -165,6 +185,7 @@ private:
     std::vector<Transmission> active_;  // includes recently finished
     std::unordered_map<int, JammerConfig> jammers_;
     int next_jammer_id_ = 1;
+    FaultLossFn fault_loss_;
     NetworkStats stats_;
 };
 

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <stdexcept>
 #include <thread>
 
 #include "core/experiment.hpp"
@@ -30,8 +32,12 @@ void expect_bitwise_equal(const pc::MetricMap& a, const pc::MetricMap& b) {
     auto ib = b.begin();
     for (const auto& [name, value] : a) {
         EXPECT_EQ(name, ib->first);
-        // Bit-exact, not approximately equal: same fold order, same bits.
-        EXPECT_EQ(value, ib->second) << "metric " << name;
+        // Literally bit-exact, not operator==: a run too short to yield any
+        // post-warmup gap samples reports min_gap_m = NaN, and two NaNs with
+        // the same bit pattern ARE the same deterministic result.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(value),
+                  std::bit_cast<std::uint64_t>(ib->second))
+            << "metric " << name << ": " << value << " vs " << ib->second;
         ++ib;
     }
 }
@@ -79,6 +85,79 @@ TEST(ExperimentParallel, ZeroSeedsYieldsEmptyAggregateNotNaNs) {
 TEST(ExperimentParallel, RunSeedsParallelMatchesSerialRunSeeds) {
     const auto serial = pc::run_seeds(small_spec(), 4, 1);
     const auto parallel = pc::run_seeds_parallel(small_spec(), 4, 0);
+    expect_bitwise_equal(serial.mean, parallel.mean);
+    expect_bitwise_equal(serial.stddev, parallel.stddev);
+}
+
+TEST(ExperimentParallel, FaultedRunsIndependentOfJobCount) {
+    // All four benign fault classes active at once: the fault schedule and
+    // every Gilbert-Elliott draw derive from named streams off the scenario
+    // seed, so the faulted metrics AND the fault/net counters must fold
+    // bit-identically at any job count.
+    auto spec = small_spec();
+    spec.duration_s = 12.0;
+    platoon::fault::BurstLossParams burst;
+    burst.start_s = 1.0;
+    burst.end_s = 11.0;
+    burst.mean_good_s = 0.5;
+    burst.mean_bad_s = 0.4;
+    burst.loss_bad = 0.95;
+    spec.scenario.faults.burst_loss.push_back(burst);
+    spec.scenario.faults.crashes.push_back({2, 2.0, 3.0});
+    spec.scenario.faults.sensor_dropouts.push_back({1, 3.0, 2.0});
+    spec.scenario.faults.clock_drifts.push_back({3, 1.0, 0.2, 0.01});
+    spec.collect = [](pc::Scenario& scenario, pc::MetricMap& out) {
+        const auto* injector = scenario.faults();
+        ASSERT_NE(injector, nullptr);
+        out["fault.burst_drops"] =
+            static_cast<double>(injector->stats().burst_drops);
+        out["fault.crashes"] = static_cast<double>(injector->stats().crashes);
+        out["fault.recoveries"] =
+            static_cast<double>(injector->stats().recoveries);
+        out["fault.sensor_dropouts"] =
+            static_cast<double>(injector->stats().sensor_dropouts);
+        out["fault.clock_skews"] =
+            static_cast<double>(injector->stats().clock_skews);
+        out["net.dropped_fault"] =
+            static_cast<double>(scenario.network().stats().dropped_fault);
+    };
+    const auto serial = pc::run_seeds(spec, 4, 1);
+    const auto parallel = pc::run_seeds(spec, 4, 4);
+    ASSERT_EQ(serial.runs, 4u);
+    ASSERT_EQ(parallel.runs, 4u);
+    expect_bitwise_equal(serial.mean, parallel.mean);
+    expect_bitwise_equal(serial.stddev, parallel.stddev);
+    // The faults actually fired (otherwise this test proves nothing).
+    EXPECT_GT(serial.mean.at("fault.burst_drops"), 0.0);
+    EXPECT_EQ(serial.mean.at("fault.crashes"), 1.0);
+    EXPECT_EQ(serial.mean.at("fault.recoveries"), 1.0);
+    EXPECT_EQ(serial.mean.at("fault.sensor_dropouts"), 1.0);
+    EXPECT_EQ(serial.mean.at("fault.clock_skews"), 1.0);
+    EXPECT_EQ(serial.mean.at("fault.burst_drops"),
+              serial.mean.at("net.dropped_fault"));
+}
+
+TEST(ExperimentParallel, ThrowingReplicationIsIsolatedAndReported) {
+    // One hostile seed must not abort the sweep: the other replications
+    // still aggregate and the failure is recorded (index, seed, message) --
+    // identically at any job count.
+    auto spec = small_spec();
+    spec.setup = [](pc::Scenario& scenario) {
+        if (scenario.seed() == 43) throw std::runtime_error("boom");
+    };
+    const auto serial = pc::run_seeds(spec, 3, 1);
+    EXPECT_EQ(serial.runs, 2u);
+    ASSERT_EQ(serial.failures.size(), 1u);
+    EXPECT_EQ(serial.failures[0].index, 1u);
+    EXPECT_EQ(serial.failures[0].seed, 43u);
+    EXPECT_EQ(serial.failures[0].error, "boom");
+
+    const auto parallel = pc::run_seeds(spec, 3, 4);
+    EXPECT_EQ(parallel.runs, 2u);
+    ASSERT_EQ(parallel.failures.size(), 1u);
+    EXPECT_EQ(parallel.failures[0].index, 1u);
+    EXPECT_EQ(parallel.failures[0].seed, 43u);
+    EXPECT_EQ(parallel.failures[0].error, "boom");
     expect_bitwise_equal(serial.mean, parallel.mean);
     expect_bitwise_equal(serial.stddev, parallel.stddev);
 }

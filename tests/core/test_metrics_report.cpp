@@ -1,6 +1,7 @@
 // Metrics aggregation, ASCII reporting and the experiment runner.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "core/metrics.hpp"
@@ -60,6 +61,68 @@ TEST(MetricsSummary, MapContainsAllFields) {
     EXPECT_TRUE(map.contains("cacc_availability"));
     EXPECT_TRUE(map.contains("pdr"));
     EXPECT_TRUE(map.contains("vpd_detections"));
+    EXPECT_TRUE(map.contains("has_gap_samples"));
+}
+
+TEST(MetricsSummary, PopulationStddevSurvivesLargeMeanTinyVariance) {
+    // Speeds of ~1e8 with a spread of 1e-3: E[x^2] and mean^2 agree to 22
+    // decimal digits, so the old E[x^2] - mean^2 form computed their
+    // difference as a rounding artifact (often 0, sometimes sqrt of junk).
+    // The two-pass form keeps the true stddev to full precision.
+    std::vector<double> values;
+    const double base = 1e8;
+    for (int i = 0; i < 1000; ++i) {
+        values.push_back(base + (i % 2 == 0 ? 1e-3 : -1e-3));
+    }
+    const double sd = pc::population_stddev(values);
+    // 1e-7 tolerance: storing 1e8 +/- 1e-3 already rounds the offsets by
+    // ~ulp(1e8)/2 = 7.5e-9 each, so even a perfect algorithm lands a few
+    // 1e-9 off; the naive formula below misses by more than 1e-4.
+    EXPECT_NEAR(sd, 1e-3, 1e-7);
+
+    // The naive single-pass formula demonstrably loses this case -- the
+    // regression this test pins.
+    double sum = 0.0, sum_sq = 0.0;
+    for (const double v : values) {
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / 1000.0;
+    const double naive = std::sqrt(std::max(0.0, sum_sq / 1000.0 - mean * mean));
+    EXPECT_GT(std::abs(naive - 1e-3), 1e-4);
+
+    // Degenerate inputs stay defined.
+    EXPECT_EQ(pc::population_stddev({}), 0.0);
+    EXPECT_EQ(pc::population_stddev({5.0}), 0.0);
+    EXPECT_NEAR(pc::population_stddev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(Metrics, NoPostWarmupSamplesReportsNaNMinGapNotZero) {
+    // A run shorter than the warm-up used to report min_gap_m = 0.0 -- the
+    // same value as "vehicles were touching the whole time". It now reports
+    // NaN and has_gap_samples = false, which downstream tables can render
+    // as n/a instead of as a phantom collision.
+    pc::ScenarioConfig config;
+    config.seed = 5;
+    config.platoon_size = 3;
+    config.metrics.warmup_s = 10.0;
+    pc::Scenario scenario(config);
+    scenario.run_until(5.0);  // ends before warm-up: zero scored samples
+    const auto s = scenario.summarize();
+    EXPECT_FALSE(s.has_gap_samples);
+    EXPECT_TRUE(std::isnan(s.min_gap_m));
+    const auto map = s.as_map();
+    EXPECT_EQ(map.at("has_gap_samples"), 0.0);
+    EXPECT_TRUE(std::isnan(map.at("min_gap_m")));
+
+    // And a run with samples keeps the real minimum plus the flag.
+    pc::Scenario longer(config);
+    longer.run_until(15.0);
+    const auto s2 = longer.summarize();
+    EXPECT_TRUE(s2.has_gap_samples);
+    EXPECT_FALSE(std::isnan(s2.min_gap_m));
+    EXPECT_GT(s2.min_gap_m, 0.0);
+    EXPECT_EQ(s2.as_map().at("has_gap_samples"), 1.0);
 }
 
 TEST(Metrics, WarmupExcludedFromStatistics) {

@@ -1,0 +1,255 @@
+// The benign-fault injection subsystem (src/fault): Gilbert-Elliott burst
+// loss, node crash/recovery, sensor dropout and clock drift -- determinism,
+// the network/vehicle integration, and the property the whole suite exists
+// for: a faulted vehicle is degraded but never compromised().
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "fault/gilbert_elliott.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+
+namespace pc = platoon::core;
+namespace pf = platoon::fault;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gilbert-Elliott process.
+
+TEST(GilbertElliott, SameSeedSameStreamSameDecisions) {
+    pf::BurstLossParams params;
+    params.mean_good_s = 1.0;
+    params.mean_bad_s = 0.5;
+    params.loss_bad = 0.7;
+    params.loss_good = 0.1;
+    pf::GilbertElliott a(params, 42, "fault.burstloss.0");
+    pf::GilbertElliott b(params, 42, "fault.burstloss.0");
+    for (int i = 0; i < 5000; ++i) {
+        const double t = i * 0.01;
+        ASSERT_EQ(a.should_drop(t), b.should_drop(t)) << "t=" << t;
+    }
+}
+
+TEST(GilbertElliott, DistinctStreamsAreIndependent) {
+    pf::BurstLossParams params;
+    params.mean_good_s = 0.5;
+    params.mean_bad_s = 0.5;
+    params.loss_bad = 1.0;
+    params.loss_good = 0.0;
+    pf::GilbertElliott a(params, 42, "fault.burstloss.0");
+    pf::GilbertElliott b(params, 42, "fault.burstloss.1");
+    int disagreements = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const double t = i * 0.01;
+        if (a.bad_at(t) != b.bad_at(t)) ++disagreements;
+    }
+    // Two independent half-duty processes disagree roughly half the time.
+    EXPECT_GT(disagreements, 200);
+}
+
+TEST(GilbertElliott, NeverDropsOutsideTheFaultWindow) {
+    pf::BurstLossParams params;
+    params.start_s = 10.0;
+    params.end_s = 20.0;
+    params.loss_good = 1.0;  // would drop everything if the window leaked
+    params.loss_bad = 1.0;
+    pf::GilbertElliott ge(params, 7, "fault.burstloss.0");
+    EXPECT_FALSE(ge.should_drop(0.0));
+    EXPECT_FALSE(ge.should_drop(9.999));
+    EXPECT_TRUE(ge.should_drop(10.0));
+    EXPECT_TRUE(ge.should_drop(20.0));
+    EXPECT_FALSE(ge.should_drop(20.001));
+    EXPECT_FALSE(ge.should_drop(1000.0));
+}
+
+TEST(GilbertElliott, DropsOnlyInTheBadState) {
+    pf::BurstLossParams params;
+    params.mean_good_s = 1.0;
+    params.mean_bad_s = 1.0;
+    params.loss_good = 0.0;
+    params.loss_bad = 1.0;
+    pf::GilbertElliott ge(params, 9, "fault.burstloss.0");
+    pf::GilbertElliott shadow(params, 9, "fault.burstloss.0");
+    int bad_seen = 0, good_seen = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const double t = i * 0.01;
+        // Query state first on the shadow (bad_at consumes no draw), then
+        // the loss decision on the twin so both consume identical streams.
+        const bool bad = shadow.bad_at(t);
+        const bool dropped = ge.should_drop(t);
+        EXPECT_EQ(dropped, bad) << "t=" << t;
+        (bad ? bad_seen : good_seen)++;
+    }
+    // Both states actually visited (mean sojourn 1 s over a 50 s scan).
+    EXPECT_GT(bad_seen, 500);
+    EXPECT_GT(good_seen, 500);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario integration. platoon_size 4, short horizons: these exercise the
+// wiring, the Table V bench measures the consequences at scale.
+
+pc::ScenarioConfig faulted_config(std::uint64_t seed) {
+    pc::ScenarioConfig config;
+    config.seed = seed;
+    config.platoon_size = 4;
+    return config;
+}
+
+TEST(FaultInjector, EmptyPlanBuildsNoInjector) {
+    pc::Scenario scenario(faulted_config(1));
+    EXPECT_EQ(scenario.faults(), nullptr);
+}
+
+TEST(FaultInjector, NodeCrashSilencesThenRecoversWithoutCompromise) {
+    auto config = faulted_config(2);
+    config.faults.crashes.push_back({2, 5.0, 5.0});
+    pc::Scenario scenario(config);
+    ASSERT_NE(scenario.faults(), nullptr);
+    auto& victim = scenario.vehicle(2);
+
+    scenario.run_until(4.9);
+    EXPECT_GT(victim.beacons_sent(), 0u);
+    EXPECT_FALSE(victim.comms_down());
+
+    scenario.run_until(5.1);  // crash fired at t=5
+    EXPECT_TRUE(victim.comms_down());
+    const auto sent_before = victim.beacons_sent();
+
+    scenario.run_until(9.9);  // inside the outage
+    EXPECT_EQ(victim.beacons_sent(), sent_before);  // silent
+    EXPECT_FALSE(victim.compromised());             // faulty, not malicious
+
+    scenario.run_until(15.0);  // recovered
+    EXPECT_FALSE(victim.comms_down());
+    EXPECT_GT(victim.beacons_sent(), sent_before);
+    EXPECT_FALSE(victim.compromised());
+    EXPECT_EQ(scenario.faults()->stats().crashes, 1u);
+    EXPECT_EQ(scenario.faults()->stats().recoveries, 1u);
+}
+
+TEST(FaultInjector, CrashedVehicleIsDeafNotJustMute) {
+    auto config = faulted_config(3);
+    config.faults.crashes.push_back({3, 2.0, 60.0});  // down for the run
+    pc::Scenario scenario(config);
+    auto& victim = scenario.vehicle(3);
+    scenario.run_until(10.0);
+    // Peers the victim heard before the crash age out (2 s prune window)
+    // and nothing new arrives while the OBU is down.
+    EXPECT_TRUE(victim.peers().empty());
+}
+
+TEST(FaultInjector, SensorDropoutFreezesTheBeaconPositionClaim) {
+    auto config = faulted_config(4);
+    config.faults.sensor_dropouts.push_back({2, 5.0, 10.0});
+    pc::Scenario scenario(config);
+    auto& victim = scenario.vehicle(2);
+    scenario.run_until(5.5);
+    ASSERT_TRUE(victim.sensor_dropout());
+    const double frozen_claim = victim.own_position_estimate();
+    EXPECT_FALSE(victim.last_radar_gap().has_value());  // radar dark too
+
+    scenario.run_until(9.0);
+    // The claim froze while the truck kept moving at ~25 m/s.
+    EXPECT_EQ(victim.own_position_estimate(), frozen_claim);
+    EXPECT_GT(victim.dynamics().position(), frozen_claim + 50.0);
+    EXPECT_FALSE(victim.compromised());
+
+    scenario.run_until(16.0);  // sensors back
+    EXPECT_FALSE(victim.sensor_dropout());
+    EXPECT_GT(victim.own_position_estimate(), frozen_claim + 100.0);
+    EXPECT_EQ(scenario.faults()->stats().sensor_dropouts, 1u);
+}
+
+TEST(FaultInjector, ClockDriftTripsFreshnessChecksUnderSignatures) {
+    // Signed deployment, 0.5 s freshness window. A 0.3 s initial offset
+    // plus 50 ms/s of drift crosses the window ~4 s in: from then on the
+    // drifter's beacons verify but read as stale -- honest traffic
+    // rejected, the benign twin of a replay.
+    auto config = faulted_config(5);
+    config.security.auth_mode = platoon::crypto::AuthMode::kSignature;
+    config.faults.clock_drifts.push_back({1, 10.0, 0.3, 0.05});
+    pc::Scenario scenario(config);
+    auto& drifter = scenario.vehicle(1);
+
+    scenario.run_until(10.0);
+    std::uint64_t rejected_before = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (i == 1) continue;
+        rejected_before += scenario.vehicle(i).counters().rejected_total();
+    }
+
+    scenario.run_until(30.0);
+    EXPECT_TRUE(drifter.clock_skew_active());
+    std::uint64_t rejected_after = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (i == 1) continue;
+        rejected_after += scenario.vehicle(i).counters().rejected_total();
+    }
+    // ~16 s of out-of-window beacons at 10 Hz toward 3 receivers.
+    EXPECT_GT(rejected_after, rejected_before + 100);
+    EXPECT_FALSE(drifter.compromised());
+    EXPECT_EQ(scenario.faults()->stats().clock_skews, 1u);
+}
+
+TEST(FaultInjector, BurstLossDegradesPdrAndCountsFaultDrops) {
+    auto config = faulted_config(6);
+    pf::BurstLossParams burst;
+    burst.start_s = 2.0;
+    burst.end_s = 18.0;
+    burst.mean_good_s = 0.5;
+    burst.mean_bad_s = 0.5;
+    burst.loss_bad = 1.0;
+    config.faults.burst_loss.push_back(burst);
+    pc::Scenario faulted(config);
+    faulted.run_until(20.0);
+
+    auto clean_config = faulted_config(6);
+    pc::Scenario clean(clean_config);
+    clean.run_until(20.0);
+
+    const auto& fs = faulted.network().stats();
+    EXPECT_GT(fs.dropped_fault, 100u);
+    EXPECT_EQ(faulted.faults()->stats().burst_drops, fs.dropped_fault);
+    EXPECT_LT(fs.pdr(), clean.network().stats().pdr() - 0.1);
+    EXPECT_EQ(clean.network().stats().dropped_fault, 0u);
+}
+
+TEST(FaultInjector, FaultedRunOnceIsDeterministic) {
+    pc::RunSpec spec;
+    spec.scenario = faulted_config(7);
+    spec.duration_s = 15.0;
+    pf::BurstLossParams burst;
+    burst.mean_good_s = 0.5;
+    burst.mean_bad_s = 0.3;
+    burst.loss_bad = 0.9;
+    spec.scenario.faults.burst_loss.push_back(burst);
+    spec.scenario.faults.crashes.push_back({1, 3.0, 4.0});
+    spec.scenario.faults.sensor_dropouts.push_back({2, 4.0, 3.0});
+    spec.scenario.faults.clock_drifts.push_back({3, 2.0, 0.2, 0.02});
+    spec.collect = [](pc::Scenario& scenario, pc::MetricMap& out) {
+        out["fault.burst_drops"] = static_cast<double>(
+            scenario.faults()->stats().burst_drops);
+    };
+    const auto a = pc::run_once(spec);
+    const auto b = pc::run_once(spec);
+    ASSERT_EQ(a.size(), b.size());
+    auto ib = b.begin();
+    for (const auto& [name, value] : a) {
+        EXPECT_EQ(name, ib->first);
+        if (std::isnan(value)) {
+            EXPECT_TRUE(std::isnan(ib->second)) << name;
+        } else {
+            EXPECT_EQ(value, ib->second) << name;
+        }
+        ++ib;
+    }
+    EXPECT_GT(a.at("fault.burst_drops"), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,7 @@
+// Fixture: the fault layer reaching up into the vehicle model. Faults may
+// shape the network and the schedule, never the vehicles directly (the
+// injector goes through opaque hooks). Never compiled.
+#include "fault/injector.hpp"
+#include "core/vehicle.hpp"  // line 5: layering (fault -> core)
+
+int touch() { return 0; }

@@ -147,6 +147,21 @@ TEST(Platoonlint, FlagsLayeringViolation) {
     EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
 }
 
+TEST(Platoonlint, FlagsFaultLayeringViolation) {
+    // The fault layer drives vehicles through opaque hooks; a direct
+    // include of the vehicle model is the exact coupling the DAG forbids.
+    const RunResult r = run_lint(fixture_args("src/fault/bad_layering.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/fault/bad_layering.cpp:5: error: "
+                            "[layering]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("`fault` must not include `core`"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
 TEST(Platoonlint, JustifiedSuppressionSilencesFinding) {
     const RunResult r =
         run_lint(fixture_args("src/detect/suppressed_detector.cpp"));
@@ -184,10 +199,10 @@ TEST(Platoonlint, WholeFixtureTreeCountsEverySeededViolation) {
                  std::string(LINT_FIXTURE_DIR));
     EXPECT_EQ(r.exit_code, 1) << r.output;
     // entropy(2) + wallclock(3+1 steady) + unordered(2) + cheating(2: decl
-    // + read) + layering(1) + bare_suppression(2: decl + read) +
-    // steady_probe(1) = 14; the justified suppressions in
+    // + read) + layering(1) + fault layering(1) + bare_suppression(2: decl
+    // + read) + steady_probe(1) = 15; the justified suppressions in
     // suppressed_detector.cpp and timer_sanctioned.cpp contribute none.
-    EXPECT_NE(r.output.find("14 finding(s)"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("15 finding(s)"), std::string::npos) << r.output;
 }
 
 TEST(Platoonlint, RealTreeIsClean) {

@@ -1,9 +1,12 @@
 // Message codecs, channel propagation and the network/MAC.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "net/channel.hpp"
 #include "net/message.hpp"
 #include "net/network.hpp"
+#include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
 namespace pn = platoon::net;
@@ -148,6 +151,37 @@ TEST(Channel, AirtimeScalesWithSize) {
     EXPECT_GT(t200, t100);
     // 100 bytes at 6 Mb/s = 133 us + 40 us preamble.
     EXPECT_NEAR(t100, 40e-6 + 800.0 / 6e6, 1e-9);
+}
+
+TEST(Channel, PairKeyIsOrderInsensitive) {
+    const auto ab = pn::Channel::pair_key(NodeId{100}, NodeId{104});
+    const auto ba = pn::Channel::pair_key(NodeId{104}, NodeId{100});
+    EXPECT_EQ(ab, ba);
+    EXPECT_EQ(ab.lo, 100u);
+    EXPECT_EQ(ab.hi, 104u);
+}
+
+TEST(Channel, PairKeysDistinctAcrossJammerPseudoNodes) {
+    // Jammer noise uses synthetic node ids 0xFFFF0000 + jammer_id. Every
+    // (vehicle, pseudo-node) pair must map to its own fading process: a
+    // collision would correlate supposedly independent jammers. The old
+    // (hi << 32) | lo packing was one id-width widening away from exactly
+    // that; the two-word key cannot collide by construction.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> keys;
+    const std::vector<NodeId> vehicles = {NodeId{100}, NodeId{101},
+                                          NodeId{102}, NodeId{1000}};
+    for (std::uint32_t jammer = 1; jammer <= 8; ++jammer) {
+        const NodeId pseudo{0xFFFF0000u + jammer};
+        for (const NodeId v : vehicles) {
+            const auto key = pn::Channel::pair_key(v, pseudo);
+            EXPECT_EQ(key.hi, pseudo.value);  // pseudo ids sort above real ids
+            keys.insert({key.lo, key.hi});
+        }
+    }
+    EXPECT_EQ(keys.size(), 8u * 4u);  // no two pairs merged
+    // And pseudo-node pairs never alias a vehicle-vehicle pair.
+    const auto vehicle_pair = pn::Channel::pair_key(NodeId{100}, NodeId{101});
+    EXPECT_FALSE(keys.contains({vehicle_pair.lo, vehicle_pair.hi}));
 }
 
 // ---------------------------------------------------------------------------
@@ -330,6 +364,72 @@ TEST_F(NetFixture, NonVlcNodesDoNotBlockTheOpticalChain) {
     scheduler.run_until(0.1);
     ASSERT_EQ(received.size(), 1u);
     EXPECT_EQ(received[0].first, NodeId{2});
+}
+
+TEST_F(NetFixture, ContentionWindowDoublesAndCaps) {
+    build();
+    // cw_min = 15: window is (cw_min + 1) << min(attempt, 5).
+    EXPECT_EQ(network->contention_window(0), 16);
+    EXPECT_EQ(network->contention_window(1), 32);
+    EXPECT_EQ(network->contention_window(2), 64);
+    EXPECT_EQ(network->contention_window(5), 512);
+    EXPECT_EQ(network->contention_window(6), 512);   // capped
+    EXPECT_EQ(network->contention_window(100), 512); // no UB past the cap
+}
+
+TEST_F(NetFixture, MacBackoffSlotsStayInsideTheContentionWindow) {
+    // attempt_transmit draws backoff slots as uniform_int(cw) from the
+    // "network.mac" stream. Pin the distribution semantics the MAC relies
+    // on: the upper bound is EXCLUSIVE ([0, cw - 1] inclusive), zero-slot
+    // backoff is possible, and every slot is reachable. An off-by-one here
+    // silently skews channel-access fairness in every experiment.
+    build();
+    const int cw = network->contention_window(0);
+    ASSERT_EQ(cw, 16);
+    platoon::sim::RandomStream rng(11, "network.mac");
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t slot =
+            rng.uniform_int(static_cast<std::uint64_t>(cw));
+        ASSERT_LT(slot, static_cast<std::uint64_t>(cw));
+        seen.insert(slot);
+    }
+    // 4000 draws over 16 slots: every slot, including both endpoints.
+    EXPECT_EQ(seen.size(), 16u);
+    EXPECT_TRUE(seen.contains(0u));
+    EXPECT_TRUE(seen.contains(15u));
+    EXPECT_FALSE(seen.contains(16u));
+}
+
+TEST_F(NetFixture, FaultLossHookDropsAndCountsDeliveries) {
+    build();
+    add_node(NodeId{1}, 0.0);
+    add_node(NodeId{2}, 20.0);
+    add_node(NodeId{3}, 40.0);
+    std::uint64_t consulted = 0;
+    network->set_fault_loss([&consulted](NodeId from, NodeId to, pn::Band band,
+                                         double /*now*/) {
+        EXPECT_EQ(from, NodeId{1});
+        EXPECT_TRUE(to == NodeId{2} || to == NodeId{3});
+        EXPECT_EQ(band, pn::Band::kDsrc);
+        ++consulted;
+        return true;  // drop everything
+    });
+    for (int i = 0; i < 5; ++i) network->broadcast(NodeId{1}, beacon_frame(1));
+    scheduler.run_until(1.0);
+    EXPECT_TRUE(received.empty());
+    EXPECT_EQ(consulted, 10u);  // 5 frames x 2 receivers
+    EXPECT_EQ(network->stats().dropped_fault, 10u);
+    EXPECT_EQ(network->stats().delivered, 0u);
+    // Fault drops are attempts that reached nobody: PDR collapses to 0.
+    EXPECT_DOUBLE_EQ(network->stats().pdr(), 0.0);
+
+    // Uninstalling restores delivery and stops the accounting.
+    network->set_fault_loss(nullptr);
+    network->broadcast(NodeId{1}, beacon_frame(1));
+    scheduler.run_until(2.0);
+    EXPECT_EQ(received.size(), 2u);
+    EXPECT_EQ(network->stats().dropped_fault, 10u);
 }
 
 TEST_F(NetFixture, EavesdropperHearsEverything) {

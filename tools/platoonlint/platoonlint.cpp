@@ -99,22 +99,26 @@ const std::map<std::string, std::set<std::string>>& layer_allow() {
         {"phys", {"phys", "sim", "obs", "base"}},
         {"crypto", {"crypto", "obs", "base"}},
         {"net", {"net", "crypto", "sim", "obs", "base"}},
+        // fault sits beside the attack suite but below core: it may shape
+        // the network and schedule, never reach into vehicles/defenses
+        // directly (core hands it opaque hooks instead).
+        {"fault", {"fault", "net", "crypto", "sim", "obs", "base"}},
         {"control", {"control", "net", "sim", "obs", "base"}},
         {"rsu", {"rsu", "crypto", "net", "sim", "obs", "base"}},
         {"defense",
          {"defense", "crypto", "net", "phys", "sim", "obs", "base"}},
         {"core",
-         {"core", "control", "crypto", "defense", "net", "phys", "rsu", "sim",
-          "obs", "base"}},
-        {"security",
-         {"security", "core", "control", "crypto", "defense", "net", "phys",
+         {"core", "control", "crypto", "defense", "fault", "net", "phys",
           "rsu", "sim", "obs", "base"}},
-        {"eval",
-         {"eval", "security", "core", "control", "crypto", "defense", "net",
+        {"security",
+         {"security", "core", "control", "crypto", "defense", "fault", "net",
           "phys", "rsu", "sim", "obs", "base"}},
+        {"eval",
+         {"eval", "security", "core", "control", "crypto", "defense", "fault",
+          "net", "phys", "rsu", "sim", "obs", "base"}},
         {"detect",
          {"detect", "eval", "security", "core", "control", "crypto", "defense",
-          "net", "phys", "rsu", "sim", "obs", "base"}},
+          "fault", "net", "phys", "rsu", "sim", "obs", "base"}},
     };
     return allow;
 }

@@ -22,6 +22,22 @@ Scenario::Scenario(ScenarioConfig config)
     authority_ = std::make_unique<rsu::TrustedAuthority>(
         crypto::BytesView(ta_seed));
 
+    // Shared verification fast path: one fact cache for every receiver in
+    // this scenario (per-scenario state keeps parallel seed sweeps
+    // bit-identical), plus a network-level prewarm hook that batch-verifies
+    // signed fan-outs into it before delivery.
+    if (config_.share_verify_verdicts) {
+        verdict_cache_ = std::make_unique<crypto::VerdictCache>();
+        network_->set_verify_prewarm(
+            [cache = verdict_cache_.get(),
+             ca_pub = authority_->public_key()](
+                const crypto::Envelope& envelope, sim::RandomStream& rng) {
+                crypto::prewarm_signature_verdicts(
+                    envelope, crypto::BytesView(ca_pub), *cache,
+                    [&rng] { return rng.bits(); });
+            });
+    }
+
     // Group key (generated lazily but deterministically).
     if (config_.security.auth_mode == crypto::AuthMode::kGroupMac ||
         config_.security.encrypt_payloads) {
@@ -77,6 +93,7 @@ Scenario::Scenario(ScenarioConfig config)
                                                    *network_, *authority_);
         node->set_credential(
             authority_->enroll(rsu_id, scheduler_.now()).long_term);
+        node->set_verdict_cache(verdict_cache_.get());
         if (!group_key_.empty()) node->set_group_key(group_key_);
         node->start();
         rsus_.push_back(std::move(node));
@@ -184,6 +201,7 @@ rsu::TrustedAuthority::Enrollment Scenario::enroll(sim::NodeId id) {
 void Scenario::provision(PlatoonVehicle& vehicle,
                          const security::SecurityPolicy& policy) {
     vehicle.set_ca_public_key(authority_->public_key());
+    vehicle.set_verdict_cache(verdict_cache_.get());
 
     if (policy.auth_mode == crypto::AuthMode::kSignature ||
         policy.pseudonym_rotation_s > 0.0) {

@@ -46,6 +46,13 @@ struct ScenarioConfig {
     std::size_t rsu_count = 0;
     double rsu_spacing_m = 1000.0;
     bool rsus_require_signatures = false;
+    /// Share receiver-independent verification facts (signature / cert /
+    /// group-MAC validity) across all receivers through one bounded
+    /// deterministic VerdictCache, and batch-verify signed fan-outs before
+    /// delivery. Affects cost and the crypto.verify.* counter split only --
+    /// verdicts are bit-identical either way (the differential fast-path
+    /// suite pins this). Off = every receiver verifies independently.
+    bool share_verify_verdicts = true;
     sim::SimTime control_period_s = 0.01;
     sim::SimTime beacon_period_s = 0.1;
 };
@@ -108,6 +115,10 @@ private:
     sim::Scheduler scheduler_;
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<rsu::TrustedAuthority> authority_;
+    /// Shared verification-fact cache; null when share_verify_verdicts is
+    /// off. Declared before vehicles_/rsus_ so it outlives every
+    /// MessageProtection holding a pointer to it.
+    std::unique_ptr<crypto::VerdictCache> verdict_cache_;
     std::vector<std::unique_ptr<PlatoonVehicle>> vehicles_;
     std::vector<std::unique_ptr<rsu::RsuNode>> rsus_;
     /// Declared after network_ and vehicles_: its destructor uninstalls the

@@ -88,6 +88,10 @@ void PlatoonVehicle::set_pairwise_key(std::uint32_t peer, crypto::Bytes key) {
     protection_.set_pairwise_key(peer, std::move(key));
 }
 
+void PlatoonVehicle::set_verdict_cache(crypto::VerdictCache* cache) {
+    protection_.set_verdict_cache(cache);
+}
+
 void PlatoonVehicle::start() {
     PLATOON_EXPECTS(!running_);
     running_ = true;

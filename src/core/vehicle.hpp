@@ -76,6 +76,9 @@ public:
                               crypto::PseudonymPool pseudonyms);
     void set_ca_public_key(crypto::Bytes ca_pub);
     void set_pairwise_key(std::uint32_t peer, crypto::Bytes key);
+    /// Scenario-shared cache of receiver-independent verification facts
+    /// (see crypto::VerdictCache); non-owning, may be null.
+    void set_verdict_cache(crypto::VerdictCache* cache);
     /// Ground-truth resolver for the radar (installed by the Scenario).
     using RadarTargetResolver =
         std::function<const phys::VehicleDynamics*(const PlatoonVehicle&)>;

@@ -1,7 +1,10 @@
 #include "crypto/secured_message.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
+#include "crypto/sha256.hpp"
 #include "base/assert.hpp"
 #include "obs/counters.hpp"
 #include "obs/timer.hpp"
@@ -14,6 +17,83 @@ obs::Counter g_sign_ops{"crypto.sign"};
 obs::Counter g_sig_verifies{"crypto.sig_verifies"};
 obs::Counter g_verify_ok{"crypto.verify.ok"};
 obs::Counter g_verify_fail{"crypto.verify.fail"};
+/// kOk verdicts served entirely from the shared VerdictCache (every
+/// consulted fact was a hit, zero fresh crypto this call). Invariant:
+/// crypto.verify.ok + crypto.verify.cached equals what crypto.verify.ok
+/// was before memoization existed.
+obs::Counter g_verify_cached{"crypto.verify.cached"};
+
+using FactKey = VerdictCache::Key;
+
+/// SHA-256 of the envelope's canonical authenticated bytes.
+Sha256::Digest authenticated_digest(const Envelope& envelope) {
+    Sha256 h;
+    const Bytes ab = envelope.authenticated_bytes();
+    h.update(BytesView(ab));
+    return h.finish();
+}
+
+/// Fact: "this tag is a valid MAC over these bytes under this key". Keyed
+/// on the key's digest, never the key itself.
+FactKey mac_fact_key(BytesView key_digest, const Envelope& envelope) {
+    Sha256 h;
+    h.update(std::string_view("platoonsec.vc.mac.v1"));
+    h.update(key_digest);
+    const auto ad = authenticated_digest(envelope);
+    h.update(BytesView(ad.data(), ad.size()));
+    h.update(BytesView(envelope.tag));
+    return h.finish();
+}
+
+/// Fact: "this tag is a valid signature over these bytes under this key".
+FactKey sig_fact_key(BytesView signer_public_key, const Envelope& envelope) {
+    Sha256 h;
+    h.update(std::string_view("platoonsec.vc.sig.v1"));
+    h.update(signer_public_key);
+    const auto ad = authenticated_digest(envelope);
+    h.update(BytesView(ad.data(), ad.size()));
+    h.update(BytesView(envelope.tag));
+    return h.finish();
+}
+
+/// Fact: "this certificate's CA signature verifies under this CA key".
+/// Time-window and CRL status are deliberately NOT part of the fact -- they
+/// depend on `now` and the receiver's CRL and are always checked fresh.
+FactKey cert_fact_key(BytesView ca_public_key, const Certificate& cert) {
+    Sha256 h;
+    h.update(std::string_view("platoonsec.vc.cert.v1"));
+    h.update(ca_public_key);
+    const Bytes tbs = cert.tbs();
+    h.update(BytesView(tbs));
+    h.update(BytesView(cert.ca_signature));
+    return h.finish();
+}
+
+/// Marker fact for unprotected envelopes under a kNone policy. The verdict
+/// is payload-independent there, so the key packs the header fields
+/// directly -- no hashing on the baseline hot path. The leading domain byte
+/// keeps packed keys disjoint from digest keys (which are SHA-256 outputs).
+FactKey accept_fact_key(const Envelope& envelope) {
+    FactKey k{};
+    k[0] = 0xA1;
+    k[1] = static_cast<std::uint8_t>(envelope.mode);
+    k[2] = envelope.encrypted ? 1 : 0;
+    std::size_t at = 3;
+    for (int i = 0; i < 4; ++i)
+        k[at++] = static_cast<std::uint8_t>(envelope.sender >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        k[at++] = static_cast<std::uint8_t>(envelope.seq >> (8 * i));
+    std::uint64_t ts_bits;
+    static_assert(sizeof(ts_bits) == sizeof(envelope.timestamp));
+    std::memcpy(&ts_bits, &envelope.timestamp, sizeof(ts_bits));
+    for (int i = 0; i < 8; ++i)
+        k[at++] = static_cast<std::uint8_t>(ts_bits >> (8 * i));
+    const std::uint64_t payload_size = envelope.payload.size();
+    for (int i = 0; i < 8; ++i)
+        k[at++] = static_cast<std::uint8_t>(payload_size >> (8 * i));
+    return k;
+}
+
 }  // namespace
 
 const char* to_string(VerifyResult r) {
@@ -61,13 +141,38 @@ VerifyResult ReplayGuard::check(std::uint32_t sender, std::uint64_t seq,
     return VerifyResult::kOk;
 }
 
-bool MessageProtection::cert_signature_valid(const Certificate& cert) const {
+bool MessageProtection::cert_signature_valid(const Certificate& cert,
+                                             CacheProbe& probe) const {
+    if (cache_ != nullptr) {
+        const FactKey key = cert_fact_key(BytesView(ca_public_key_), cert);
+        ++probe.consulted;
+        if (const auto hit = cache_->lookup(key)) {
+            ++probe.hits;
+            return *hit;
+        }
+        Signature sig{cert.ca_signature};
+        g_sig_verifies.inc();
+        const bool ok = verify(BytesView(ca_public_key_), cert.tbs(), sig);
+        cache_->store(key, ok);
+        return ok;
+    }
     if (verified_cert_serials_.contains(cert.serial)) return true;
     Signature sig{cert.ca_signature};
     g_sig_verifies.inc();
     if (!verify(BytesView(ca_public_key_), cert.tbs(), sig)) return false;
     verified_cert_serials_.insert(cert.serial);
     return true;
+}
+
+const Bytes& MessageProtection::group_key_digest() const {
+    if (group_key_digest_.empty() && !group_key_.empty()) {
+        Sha256 h;
+        h.update(std::string_view("platoonsec.vc.key.v1"));
+        h.update(BytesView(group_key_));
+        const auto d = h.finish();
+        group_key_digest_.assign(d.begin(), d.end());
+    }
+    return group_key_digest_;
 }
 
 Bytes MessageProtection::mac_key_for(std::uint32_t peer) const {
@@ -144,9 +249,14 @@ Envelope MessageProtection::protect(std::uint32_t sender, BytesView payload,
 VerifyResult MessageProtection::verify_and_open(Envelope& envelope,
                                                 sim::SimTime now) {
     const obs::ScopedTimer timer("crypto.verify");
-    const VerifyResult result = verify_and_open_impl(envelope, now);
+    CacheProbe probe;
+    const VerifyResult result = verify_and_open_impl(envelope, now, probe);
     if (result == VerifyResult::kOk) {
-        g_verify_ok.inc();
+        if (probe.consulted > 0 && probe.hits == probe.consulted) {
+            g_verify_cached.inc();
+        } else {
+            g_verify_ok.inc();
+        }
     } else {
         g_verify_fail.inc();
     }
@@ -154,7 +264,20 @@ VerifyResult MessageProtection::verify_and_open(Envelope& envelope,
 }
 
 VerifyResult MessageProtection::verify_and_open_impl(Envelope& envelope,
-                                                     sim::SimTime now) {
+                                                     sim::SimTime now,
+                                                     CacheProbe& probe) {
+    if (config_.mode == AuthMode::kNone && cache_ != nullptr) {
+        // Pure bookkeeping: an unprotected policy has no crypto to share,
+        // but the marker fact still measures the delivery fan-out -- the
+        // first receiver of an envelope counts crypto.verify.ok, the rest
+        // crypto.verify.cached. The verdict never reads the fact.
+        ++probe.consulted;
+        if (cache_->lookup(accept_fact_key(envelope)).has_value()) {
+            ++probe.hits;
+        } else {
+            cache_->store(accept_fact_key(envelope), true);
+        }
+    }
     if (config_.mode != AuthMode::kNone) {
         // A signature is acceptable under any policy that demands
         // authentication (it is strictly stronger than a MAC) -- RSUs sign
@@ -169,14 +292,37 @@ VerifyResult MessageProtection::verify_and_open_impl(Envelope& envelope,
                 return VerifyResult::kUnprotected;
             case AuthMode::kGroupMac: {
                 if (group_key_.empty()) return VerifyResult::kNoKey;
-                const Bytes expected =
-                    hmac_tag(BytesView(mac_key_for(envelope.sender)),
-                             BytesView(envelope.authenticated_bytes()));
-                if (!ct_equal(BytesView(expected), BytesView(envelope.tag)))
-                    return VerifyResult::kBadTag;
+                const auto compute_tag_ok = [&] {
+                    const Bytes expected =
+                        hmac_tag(BytesView(mac_key_for(envelope.sender)),
+                                 BytesView(envelope.authenticated_bytes()));
+                    return ct_equal(BytesView(expected),
+                                    BytesView(envelope.tag));
+                };
+                bool tag_ok;
+                if (cache_ != nullptr) {
+                    // Group-MAC validity is receiver-independent (same key
+                    // for everyone); the fact binds the key digest so
+                    // differently-keyed receivers cannot alias.
+                    const FactKey key =
+                        mac_fact_key(BytesView(group_key_digest()), envelope);
+                    ++probe.consulted;
+                    if (const auto hit = cache_->lookup(key)) {
+                        ++probe.hits;
+                        tag_ok = *hit;
+                    } else {
+                        tag_ok = compute_tag_ok();
+                        cache_->store(key, tag_ok);
+                    }
+                } else {
+                    tag_ok = compute_tag_ok();
+                }
+                if (!tag_ok) return VerifyResult::kBadTag;
                 break;
             }
             case AuthMode::kPairwiseMac: {
+                // Never cached: the key is per-(sender,receiver), so the
+                // verdict is receiver-dependent by construction.
                 const Bytes key = mac_key_for(envelope.sender);
                 if (key.empty()) return VerifyResult::kNoKey;
                 const Bytes expected = hmac_tag(
@@ -188,7 +334,7 @@ VerifyResult MessageProtection::verify_and_open_impl(Envelope& envelope,
             case AuthMode::kSignature: {
                 if (ca_public_key_.empty()) return VerifyResult::kNoKey;
                 if (!envelope.cert) return VerifyResult::kBadCert;
-                if (!cert_signature_valid(*envelope.cert))
+                if (!cert_signature_valid(*envelope.cert, probe))
                     return VerifyResult::kBadCert;
                 if (now < envelope.cert->valid_from ||
                     now > envelope.cert->valid_until)
@@ -200,16 +346,36 @@ VerifyResult MessageProtection::verify_and_open_impl(Envelope& envelope,
                     return VerifyResult::kBadCert;
                 if (crl_.is_revoked(envelope.cert->serial))
                     return VerifyResult::kRevoked;
-                Signature sig{envelope.tag};
-                g_sig_verifies.inc();
-                if (!verify(BytesView(envelope.cert->public_key),
-                            envelope.authenticated_bytes(), sig))
-                    return VerifyResult::kBadTag;
+                const auto compute_sig_ok = [&] {
+                    Signature sig{envelope.tag};
+                    g_sig_verifies.inc();
+                    return verify(BytesView(envelope.cert->public_key),
+                                  envelope.authenticated_bytes(), sig);
+                };
+                bool sig_ok;
+                if (cache_ != nullptr) {
+                    const FactKey key = sig_fact_key(
+                        BytesView(envelope.cert->public_key), envelope);
+                    ++probe.consulted;
+                    if (const auto hit = cache_->lookup(key)) {
+                        ++probe.hits;
+                        sig_ok = *hit;
+                    } else {
+                        sig_ok = compute_sig_ok();
+                        cache_->store(key, sig_ok);
+                    }
+                } else {
+                    sig_ok = compute_sig_ok();
+                }
+                if (!sig_ok) return VerifyResult::kBadTag;
                 break;
             }
         }
 
         if (config_.check_replay) {
+            // Never cached: freshness depends on `now` and this receiver's
+            // per-sender high-water mark. A replayed envelope must fail
+            // here even when every authenticity fact above was a cache hit.
             const VerifyResult fresh = replay_guard_.check(
                 envelope.sender, envelope.seq, envelope.timestamp, now);
             if (fresh != VerifyResult::kOk) return fresh;
@@ -217,6 +383,8 @@ VerifyResult MessageProtection::verify_and_open_impl(Envelope& envelope,
     }
 
     if (envelope.encrypted) {
+        // Never cached: decryption outcome depends on this receiver's key
+        // material, and the payload mutation must happen per copy.
         const Bytes key = encryption_key();
         if (key.empty()) return VerifyResult::kNoKey;
         ChaCha20 cipher(BytesView(key),
@@ -225,6 +393,52 @@ VerifyResult MessageProtection::verify_and_open_impl(Envelope& envelope,
         envelope.encrypted = false;
     }
     return VerifyResult::kOk;
+}
+
+void prewarm_signature_verdicts(const Envelope& envelope,
+                                BytesView ca_public_key, VerdictCache& cache,
+                                const ScalarBits& scalar_bits) {
+    if (envelope.mode != AuthMode::kSignature || !envelope.cert ||
+        ca_public_key.empty())
+        return;
+    const Certificate& cert = *envelope.cert;
+    const FactKey cert_key = cert_fact_key(ca_public_key, cert);
+    const FactKey sig_key =
+        sig_fact_key(BytesView(cert.public_key), envelope);
+    const auto cert_known = cache.lookup(cert_key);
+    const auto sig_known = cache.lookup(sig_key);
+    if (cert_known.has_value() && sig_known.has_value()) return;
+    if (!cert_known.has_value() && !sig_known.has_value()) {
+        // Both facts unknown (typically the first beacon from a sender):
+        // settle the certificate chain and the message signature with one
+        // batch equation; bisection recovers exact per-item verdicts when
+        // either is forged, so the cached booleans match plain verify.
+        std::vector<BatchItem> batch(2);
+        batch[0].public_key = Bytes(ca_public_key.begin(),
+                                    ca_public_key.end());
+        batch[0].msg = cert.tbs();
+        batch[0].sig = Signature{cert.ca_signature};
+        batch[1].public_key = cert.public_key;
+        batch[1].msg = envelope.authenticated_bytes();
+        batch[1].sig = Signature{envelope.tag};
+        const std::vector<bool> verdicts =
+            batch_verify_each(batch, scalar_bits);
+        cache.store(cert_key, verdicts[0]);
+        cache.store(sig_key, verdicts[1]);
+        return;
+    }
+    // Exactly one fact missing (steady state: known cert, fresh message):
+    // a single verification, counted like the receiver-side one it replaces.
+    g_sig_verifies.inc();
+    if (!cert_known.has_value()) {
+        cache.store(cert_key, verify(ca_public_key, cert.tbs(),
+                                     Signature{cert.ca_signature}));
+    } else {
+        cache.store(sig_key,
+                    verify(BytesView(cert.public_key),
+                           envelope.authenticated_bytes(),
+                           Signature{envelope.tag}));
+    }
 }
 
 }  // namespace platoon::crypto

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -20,6 +21,7 @@
 #include "crypto/cert.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/verdict_cache.hpp"
 #include "base/types.hpp"
 
 namespace platoon::crypto {
@@ -96,8 +98,22 @@ public:
     void set_mode(AuthMode mode) { config_.mode = mode; }
     void set_encrypt(bool on) { config_.encrypt = on; }
 
+    /// --- shared-verdict memoization ---------------------------------------
+    /// Installs a shared (per-scenario) cache of receiver-independent crypto
+    /// facts: certificate-signature validity, message-signature validity and
+    /// group-MAC tag validity. N receivers of one broadcast envelope then
+    /// pay one verification; the rest count as `crypto.verify.cached`.
+    /// Per-receiver checks (cert time window, CRL, replay freshness,
+    /// pairwise-MAC, decryption) are never cached. nullptr (the default)
+    /// restores fully independent verification.
+    void set_verdict_cache(VerdictCache* cache) { cache_ = cache; }
+    [[nodiscard]] VerdictCache* verdict_cache() const { return cache_; }
+
     /// --- key material -----------------------------------------------------
-    void set_group_key(Bytes key) { group_key_ = std::move(key); }
+    void set_group_key(Bytes key) {
+        group_key_ = std::move(key);
+        group_key_digest_.clear();
+    }
     [[nodiscard]] bool has_group_key() const { return !group_key_.empty(); }
     void set_pairwise_key(std::uint32_t peer, Bytes key) {
         pairwise_keys_[peer] = std::move(key);
@@ -130,25 +146,56 @@ public:
     void set_seq_base(std::uint64_t seq) { next_seq_ = seq; }
 
 private:
-    VerifyResult verify_and_open_impl(Envelope& envelope, sim::SimTime now);
+    /// Tracks shared-cache consultations within one verify_and_open call:
+    /// a call whose every consulted fact was a hit did zero fresh crypto
+    /// and is counted as `crypto.verify.cached` instead of
+    /// `crypto.verify.ok` (only kOk calls are split; failures count as
+    /// `crypto.verify.fail` either way).
+    struct CacheProbe {
+        int consulted = 0;
+        int hits = 0;
+    };
+
+    VerifyResult verify_and_open_impl(Envelope& envelope, sim::SimTime now,
+                                      CacheProbe& probe);
     [[nodiscard]] Bytes mac_key_for(std::uint32_t peer) const;
     [[nodiscard]] Bytes encryption_key() const;
     [[nodiscard]] Bytes nonce_for(std::uint32_t sender, std::uint64_t seq) const;
+    /// SHA-256 of the group key (cached); binds group-MAC facts to the key.
+    [[nodiscard]] const Bytes& group_key_digest() const;
 
     /// Memoized CA-signature checks: certificates are immutable, so a
     /// serial whose signature verified once never needs re-verification
     /// (time-window and CRL checks stay per-message -- they depend on now).
-    [[nodiscard]] bool cert_signature_valid(const Certificate& cert) const;
+    /// With a shared cache installed the fact lives there instead, keyed on
+    /// the full (CA key, tbs, signature) digest.
+    [[nodiscard]] bool cert_signature_valid(const Certificate& cert,
+                                            CacheProbe& probe) const;
 
     Config config_;
     mutable std::unordered_set<std::uint64_t> verified_cert_serials_;
     Bytes group_key_;
+    mutable Bytes group_key_digest_;
     std::unordered_map<std::uint32_t, Bytes> pairwise_keys_;
     std::optional<Credential> credential_;
     Bytes ca_public_key_;
     RevocationList crl_;
     ReplayGuard replay_guard_{0.5};
     std::uint64_t next_seq_ = 1;
+    VerdictCache* cache_ = nullptr;  ///< Shared, non-owning; may be null.
 };
+
+/// Pre-computes the receiver-independent facts of a *signed* envelope into
+/// `cache` before a delivery fan-out: when both the certificate fact and the
+/// message-signature fact are unknown, the two checks are settled together
+/// by one batch-verification equation (crypto.verify.batched); a single
+/// missing fact is verified individually. Never changes a verdict -- every
+/// receiver reads the same booleans it would have computed itself. Non-
+/// signature envelopes are untouched (the first receiver populates the MAC
+/// fact instead). `scalar_bits` feeds the batch coefficients and is drawn
+/// from only when a batch actually runs.
+void prewarm_signature_verdicts(const Envelope& envelope,
+                                BytesView ca_public_key, VerdictCache& cache,
+                                const ScalarBits& scalar_bits);
 
 }  // namespace platoon::crypto

@@ -29,6 +29,13 @@ struct U256 {
     [[nodiscard]] bool bit(int i) const {
         return (w[static_cast<std::size_t>(i) / 64] >> (i % 64)) & 1u;
     }
+    /// 4-bit window `i` (bits [4i, 4i+4), i in [0, 64)). Windows are aligned
+    /// to nibbles, so they never straddle a 64-bit word boundary.
+    [[nodiscard]] unsigned window4(int i) const {
+        return static_cast<unsigned>(
+                   w[static_cast<std::size_t>(i) / 16] >> ((i % 16) * 4)) &
+               0xFu;
+    }
     /// Index of the highest set bit, or -1 for zero.
     [[nodiscard]] int top_bit() const;
 

@@ -1,0 +1,42 @@
+#include "crypto/verdict_cache.hpp"
+
+#include "base/assert.hpp"
+#include "obs/counters.hpp"
+
+namespace platoon::crypto {
+
+namespace {
+obs::Counter g_cache_hit{"crypto.verdict_cache.hit"};
+obs::Counter g_cache_miss{"crypto.verdict_cache.miss"};
+obs::Counter g_cache_evict{"crypto.verdict_cache.evict"};
+}  // namespace
+
+VerdictCache::VerdictCache(std::size_t capacity) : capacity_(capacity) {
+    PLATOON_EXPECTS(capacity_ > 0);
+}
+
+std::optional<bool> VerdictCache::lookup(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+        g_cache_miss.inc();
+        return std::nullopt;
+    }
+    g_cache_hit.inc();
+    return it->second;
+}
+
+void VerdictCache::store(const Key& key, bool valid) {
+    const auto [it, inserted] = map_.try_emplace(key, valid);
+    if (!inserted) {
+        it->second = valid;
+        return;
+    }
+    fifo_.push_back(key);
+    if (map_.size() > capacity_) {
+        map_.erase(fifo_.front());
+        fifo_.pop_front();
+        g_cache_evict.inc();
+    }
+}
+
+}  // namespace platoon::crypto

@@ -1,0 +1,64 @@
+// Shared-verdict memoization for receiver-independent crypto facts.
+//
+// A signature (or group-MAC) check over (key material, authenticated bytes,
+// tag) does not depend on which receiver performs it, so N receivers of one
+// broadcast envelope can share a single verification. The cache stores those
+// *facts* -- "this cert's CA signature is valid", "this tag verifies under
+// this key" -- keyed by a 32-byte digest that binds all inputs, never a
+// combined VerifyResult: per-receiver checks (cert time window, CRL, replay
+// freshness, pairwise-MAC, decryption) are evaluated fresh on every call, so
+// heterogeneous receivers and time-dependent verdicts stay exact.
+//
+// The cache is bounded (FIFO eviction) and fully deterministic: one instance
+// is shared by all receivers of a Scenario, lookups never iterate the map,
+// and eviction order depends only on insertion order.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+namespace platoon::crypto {
+
+class VerdictCache {
+public:
+    /// 32-byte fact key (a domain-separated SHA-256 digest, or a packed
+    /// header for the trivial-accept fact; see secured_message.cpp).
+    using Key = std::array<std::uint8_t, 32>;
+
+    explicit VerdictCache(std::size_t capacity = 4096);
+
+    /// The cached truth value of a fact, or nullopt when unknown.
+    [[nodiscard]] std::optional<bool> lookup(const Key& key);
+
+    /// Records a fact, evicting the oldest entry when full. Re-storing an
+    /// existing key updates the value without changing eviction order.
+    void store(const Key& key, bool valid);
+
+    [[nodiscard]] std::size_t size() const { return map_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const {
+            // Keys are digests (or include one); the first 8 bytes are
+            // already uniformly distributed.
+            std::uint64_t h = 0;
+            for (int i = 0; i < 8; ++i)
+                h |= static_cast<std::uint64_t>(k[static_cast<std::size_t>(i)])
+                     << (8 * i);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    std::size_t capacity_;
+    // Lookup only -- never iterated, so unordered storage cannot leak
+    // nondeterminism into verdicts or counters.
+    std::unordered_map<Key, bool, KeyHash> map_;
+    std::deque<Key> fifo_;  ///< Insertion order, drives eviction.
+};
+
+}  // namespace platoon::crypto

@@ -28,7 +28,8 @@ Network::Network(sim::Scheduler& scheduler, Params params, std::uint64_t seed)
     : scheduler_(scheduler),
       params_(params),
       channel_(params.channel, seed),
-      rng_(seed, "network.mac") {}
+      rng_(seed, "network.mac"),
+      batch_rng_(seed, "network.batchverify") {}
 
 void Network::register_node(sim::NodeId id, PositionFn position,
                             ReceiveHandler on_receive) {
@@ -198,6 +199,15 @@ void Network::finish_transmission(std::size_t tx_index) {
         if (id != tx.from) receivers.push_back(id);
     }
     std::sort(receivers.begin(), receivers.end());  // deterministic order
+
+    // Settle receiver-independent signature facts once, before the fan-out,
+    // so each receiver below hits the shared verdict cache. Gated on the
+    // envelope mode here (cheaply) as well as inside the hook: unsigned
+    // traffic must not touch batch_rng_.
+    if (verify_prewarm_ && receivers.size() > 1 &&
+        tx.frame.envelope.mode == crypto::AuthMode::kSignature) {
+        verify_prewarm_(tx.frame.envelope, batch_rng_);
+    }
 
     for (const sim::NodeId rx : receivers) {
         const auto it = nodes_.find(rx);

@@ -56,6 +56,13 @@ public:
     /// Installs this RSU's signing credential (issued by the TA).
     void set_credential(crypto::Credential credential);
 
+    /// Scenario-shared cache of receiver-independent verification facts;
+    /// non-owning, may be null. RSUs verify the same broadcast envelopes the
+    /// platoon does, so they share the fan-out's cached verdicts.
+    void set_verdict_cache(crypto::VerdictCache* cache) {
+        protection_.set_verdict_cache(cache);
+    }
+
 private:
     void on_frame(const net::Frame& frame, const net::RxInfo& info);
     void handle_beacon(const net::Beacon& beacon, std::uint32_t envelope_sender);

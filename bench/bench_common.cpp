@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
 #include <iostream>
 
 #include "core/experiment.hpp"
@@ -34,6 +35,36 @@ void write_bench_json(const char* bench, const char* scenario,
     } else {
         std::cerr << bench << ": FAILED to write " << path << "\n";
     }
+}
+
+std::string scenario_dir() {
+    if (const char* env = std::getenv("PLATOON_SCENARIO_DIR");
+        env != nullptr && *env != '\0')
+        return env;
+    return PLATOON_SCENARIO_DIR;
+}
+
+scen::Compiled load_scenario(const char* name) {
+    const std::string path = scenario_dir() + "/" + name + ".json";
+    std::string error;
+    std::optional<scen::Compiled> compiled =
+        scen::compile_file(path, &error);
+    if (!compiled) {
+        std::cerr << "bench: scenario description rejected: " << error
+                  << "\n";
+        std::exit(2);
+    }
+    return std::move(*compiled);
+}
+
+std::vector<EvalCell> to_eval_cells(
+    const std::vector<scen::CompiledCell>& cells) {
+    std::vector<EvalCell> out;
+    out.reserve(cells.size());
+    for (const scen::CompiledCell& cell : cells)
+        out.push_back({cell.config, cell.attack, cell.with_attack,
+                       cell.seeds});
+    return out;
 }
 
 }  // namespace platoon::bench

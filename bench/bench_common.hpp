@@ -9,6 +9,7 @@
 
 #include "core/report.hpp"
 #include "eval/harness.hpp"
+#include "scen/schema.hpp"
 #include "security/attacks/dos.hpp"
 #include "security/attacks/eavesdrop.hpp"
 #include "security/attacks/fake_maneuver.hpp"
@@ -60,5 +61,20 @@ void obs_init();
 /// machine-dependent totals into the counter section.
 void write_bench_json(const char* bench, const char* scenario,
                       std::uint64_t seed);
+
+/// Directory holding the committed scenario descriptions:
+/// $PLATOON_SCENARIO_DIR when set, else the source tree's scenarios/.
+[[nodiscard]] std::string scenario_dir();
+
+/// Loads and compiles scenarios/<name>.json. A committed description that
+/// no longer validates is a build defect, not a recoverable condition: the
+/// compiler diagnostic goes to stderr and the bench exits 2.
+[[nodiscard]] scen::Compiled load_scenario(const char* name);
+
+/// Lowers compiled scenario cells onto the eval grid. Cell order (and thus
+/// the fold order run_eval_grid pins) is the description's enumeration
+/// order, so tables printed from the result stay byte-identical.
+[[nodiscard]] std::vector<EvalCell> to_eval_cells(
+    const std::vector<scen::CompiledCell>& cells);
 
 }  // namespace platoon::bench

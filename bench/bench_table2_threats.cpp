@@ -18,8 +18,6 @@ namespace pc = platoon::core;
 
 namespace {
 
-constexpr std::size_t kSeeds = 3;
-
 struct Row {
     pc::AttackKind kind;
     pb::MetricMap clean;
@@ -89,17 +87,14 @@ void print_table2(const std::vector<Row>& rows) {
 }
 
 std::vector<Row> run_all() {
-    // One (clean, attacked) cell pair per attack; run_eval_grid fans the
-    // whole grid out at (cell x seed) granularity over PLATOON_JOBS workers
-    // and returns seed-order-folded means, so the printed table is
-    // byte-identical at any job count.
-    std::vector<pb::EvalCell> cells;
-    for (int k = 0; k < static_cast<int>(pc::AttackKind::kCount_); ++k) {
-        const auto kind = static_cast<pc::AttackKind>(k);
-        cells.push_back({pb::eval_config(), kind, false, kSeeds});
-        cells.push_back({pb::eval_config(), kind, true, kSeeds});
-    }
-    const auto results = pb::run_eval_grid(cells, pb::jobs());
+    // The grid is compiled from scenarios/table2_threats.json: one
+    // (clean, attacked) cell pair per attack in catalogue order, 3 seeds
+    // each. run_eval_grid fans the whole grid out at (cell x seed)
+    // granularity over PLATOON_JOBS workers and returns seed-order-folded
+    // means, so the printed table is byte-identical at any job count.
+    const auto compiled = pb::load_scenario("table2_threats");
+    const auto results =
+        pb::run_eval_grid(pb::to_eval_cells(compiled.cells), pb::jobs());
 
     std::vector<Row> rows;
     for (int k = 0; k < static_cast<int>(pc::AttackKind::kCount_); ++k) {

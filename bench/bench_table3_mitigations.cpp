@@ -14,8 +14,6 @@ namespace pc = platoon::core;
 
 namespace {
 
-constexpr std::size_t kSeeds = 2;
-
 struct Cell {
     std::string verdict;
     double defended_headline = 0.0;
@@ -26,26 +24,16 @@ void run_and_print() {
     const int n_attacks = static_cast<int>(pc::AttackKind::kCount_);
     const int n_defenses = static_cast<int>(pc::DefenseKind::kCount_);
 
-    // One grid for the whole table: per-attack baselines (clean +
-    // undefended-attacked) followed by every (defense, attack) cell.
-    // run_eval_grid fans the grid out at (cell x seed) granularity over
-    // PLATOON_JOBS workers; results come back in cell order, so the printed
-    // matrix is byte-identical at any job count.
-    std::vector<pb::EvalCell> grid;
-    for (int a = 0; a < n_attacks; ++a) {
-        const auto kind = static_cast<pc::AttackKind>(a);
-        grid.push_back({pb::eval_config(), kind, false, kSeeds});
-        grid.push_back({pb::eval_config(), kind, true, kSeeds});
-    }
-    for (int d = 0; d < n_defenses; ++d) {
-        for (int a = 0; a < n_attacks; ++a) {
-            auto config = pb::eval_config();
-            pb::apply_defense(config, static_cast<pc::DefenseKind>(d));
-            grid.push_back(
-                {config, static_cast<pc::AttackKind>(a), true, kSeeds});
-        }
-    }
-    const auto results = pb::run_eval_grid(grid, pb::jobs());
+    // The whole table is one grid compiled from
+    // scenarios/table3_mitigations.json: per-attack baselines (clean +
+    // undefended-attacked) followed by every (defense, attack) cell, in the
+    // description's documented enumeration order. run_eval_grid fans the
+    // grid out at (cell x seed) granularity over PLATOON_JOBS workers;
+    // results come back in cell order, so the printed matrix is
+    // byte-identical at any job count.
+    const auto compiled = pb::load_scenario("table3_mitigations");
+    const auto results =
+        pb::run_eval_grid(pb::to_eval_cells(compiled.cells), pb::jobs());
 
     std::vector<pb::MetricMap> clean(static_cast<std::size_t>(n_attacks));
     std::vector<pb::MetricMap> attacked(static_cast<std::size_t>(n_attacks));

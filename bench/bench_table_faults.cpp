@@ -21,73 +21,27 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "crypto/secured_message.hpp"
 #include "detect/harness.hpp"
-#include "fault/plan.hpp"
 
 namespace pb = platoon::bench;
 namespace pc = platoon::core;
 namespace pd = platoon::detect;
-namespace pf = platoon::fault;
+namespace ps = platoon::scen;
 
 namespace {
-
-constexpr std::size_t kSeeds = 2;
 
 std::string opt_num(double v, bool defined, int precision = 3) {
     return defined ? pc::Table::num(v, precision) : std::string("-");
 }
 
-/// One Table V row: a benign fault plan and the Table II attack it mimics.
-struct FaultRow {
-    const char* fault;            ///< Row label for the fault cell.
-    pc::ScenarioConfig config;    ///< detection_config + the fault plan.
-    pc::AttackKind matched;       ///< The attack twin.
-    pc::ScenarioConfig attack_config;  ///< Config for the attack cell.
-};
-
-std::vector<FaultRow> fault_rows() {
-    // All faults open at/after the Table II attack-start anchor (t=20 s of
-    // a 70 s run) so the faulted window and the attacked window line up.
-    std::vector<FaultRow> rows;
-
-    {  // Rain fade / deep shadowing on the V2V band vs a deliberate jammer.
-        FaultRow row{"burst-loss", pd::detection_config(),
-                     pc::AttackKind::kJamming, pd::detection_config()};
-        pf::BurstLossParams burst;
-        burst.start_s = pd::kAttackStartTime;
-        burst.end_s = pb::kEvalDuration;
-        burst.mean_good_s = 1.0;
-        burst.mean_bad_s = 0.4;
-        burst.loss_bad = 0.95;
-        row.config.faults.burst_loss.push_back(burst);
-        rows.push_back(std::move(row));
-    }
-    {  // OBU reboot mid-run vs a DoS attack flooding the same channel.
-        FaultRow row{"node-crash", pd::detection_config(),
-                     pc::AttackKind::kDenialOfService, pd::detection_config()};
-        row.config.faults.crashes.push_back({3, 25.0, 20.0});
-        rows.push_back(std::move(row));
-    }
-    {  // GPS/radar outage (stale CACC input) vs deliberate sensor spoofing.
-        FaultRow row{"sensor-dropout", pd::detection_config(),
-                     pc::AttackKind::kSensorSpoofing, pd::detection_config()};
-        row.config.faults.sensor_dropouts.push_back({2, 25.0, 20.0});
-        rows.push_back(std::move(row));
-    }
-    {  // Clock drift past the freshness window vs an actual replay. The
-        // fault cell is normalized to a signed deployment (drift only
-        // matters where timestamps are checked); the attack cell keeps the
-        // open-channel detection config so the detector bank -- not the
-        // replay guard -- is what catches the replay, matching Table IV.
-        FaultRow row{"clock-drift", pd::detection_config(),
-                     pc::AttackKind::kReplay, pd::detection_config()};
-        row.config.security.auth_mode = platoon::crypto::AuthMode::kSignature;
-        row.config.faults.clock_drifts.push_back({2, 20.0, 0.3, 0.01});
-        rows.push_back(std::move(row));
-    }
-    return rows;
-}
+// The Table V matrix is compiled from scenarios/table_faults.json: a clean
+// baseline grid, then per fault class a fault cell (with_attack = false, so
+// every detector flag is a false alarm by construction) beside its matched
+// Table II attack cell. Fault timing anchors to the attack-start time
+// (t=20 s of a 70 s run) inside the description; the clock-drift cell is
+// normalized to a signed deployment there via a grid override, so the
+// incompatible-combination validator (drift without timestamp checks)
+// accepts it for the same reason the old hand-built config did.
 
 void add_stability_row(pc::Table& table, const std::string& cell,
                        const pc::MetricMap& m) {
@@ -101,19 +55,17 @@ void add_stability_row(pc::Table& table, const std::string& cell,
 }
 
 void run_and_print() {
-    const auto rows = fault_rows();
+    const auto compiled = pb::load_scenario("table_faults");
+    const std::vector<ps::CompiledCell>& cells = compiled.cells;
+    // cells[0] is the clean baseline; cells[1 + 2r] / cells[2 + 2r] are row
+    // r's fault and matched-attack cells, in description grid order.
+    const std::size_t n_rows = (cells.size() - 1) / 2;
 
     // ------------------------------------------------------------------
     // Grid A: platoon stability. Clean baseline, then for each row the
     // fault cell (no attack) and the matched attack cell.
-    std::vector<pb::EvalCell> stability;
-    stability.push_back(
-        {pd::detection_config(), pc::AttackKind::kReplay, false, kSeeds});
-    for (const FaultRow& row : rows) {
-        stability.push_back({row.config, row.matched, false, kSeeds});
-        stability.push_back({row.attack_config, row.matched, true, kSeeds});
-    }
-    const auto metrics = pb::run_eval_grid(stability, pb::jobs());
+    const auto metrics =
+        pb::run_eval_grid(pb::to_eval_cells(cells), pb::jobs());
 
     pc::print_banner(
         std::cout,
@@ -122,12 +74,13 @@ void run_and_print() {
     pc::Table table({"cell", "spacing_rms_m", "min_gap_m", "cacc_avail",
                      "pdr", "revoked"});
     add_stability_row(table, "(clean)", metrics[0]);
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-        add_stability_row(table, std::string("fault:") + rows[r].fault,
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        add_stability_row(table,
+                          std::string("fault:") + cells[1 + 2 * r].fault,
                           metrics[1 + 2 * r]);
         add_stability_row(
             table,
-            std::string("attack:") + pc::to_string(rows[r].matched),
+            std::string("attack:") + pc::to_string(cells[2 + 2 * r].attack),
             metrics[2 + 2 * r]);
     }
     table.print(std::cout);
@@ -136,12 +89,9 @@ void run_and_print() {
     // Grid B: the detector bank's view. Fault cells carry with_attack =
     // false, so every flagged row is by construction a false alarm.
     std::vector<pd::DetectionCell> detection;
-    detection.push_back(
-        {pd::detection_config(), pc::AttackKind::kReplay, false, kSeeds, {}});
-    for (const FaultRow& row : rows) {
-        detection.push_back({row.config, row.matched, false, kSeeds, {}});
-        detection.push_back({row.attack_config, row.matched, true, kSeeds, {}});
-    }
+    for (const ps::CompiledCell& cell : cells)
+        detection.push_back(
+            {cell.config, cell.attack, cell.with_attack, cell.seeds, {}});
     const auto verdicts = pd::run_detection_grid(detection, pb::jobs());
 
     pc::print_banner(
@@ -161,11 +111,12 @@ void run_and_print() {
         }
     };
     add_bank_rows("(clean)", verdicts[0], false);
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-        add_bank_rows(std::string("fault:") + rows[r].fault,
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        add_bank_rows(std::string("fault:") + cells[1 + 2 * r].fault,
                       verdicts[1 + 2 * r], false);
-        add_bank_rows(std::string("attack:") + pc::to_string(rows[r].matched),
-                      verdicts[2 + 2 * r], true);
+        add_bank_rows(
+            std::string("attack:") + pc::to_string(cells[2 + 2 * r].attack),
+            verdicts[2 + 2 * r], true);
     }
     bank.print(std::cout);
 
@@ -177,7 +128,7 @@ void run_and_print() {
                      "revocations per benign fault");
     pc::Table headline({"fault", "max_fa_per_h", "worst_detector", "revoked",
                         "matched_attack", "attack_max_recall"});
-    for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t r = 0; r < n_rows; ++r) {
         double max_fa = 0.0;
         std::string worst = "(none)";
         for (const pd::DetectorSummary& s : verdicts[1 + 2 * r]) {
@@ -190,23 +141,26 @@ void run_and_print() {
         for (const pd::DetectorSummary& s : verdicts[2 + 2 * r])
             max_recall = std::max(max_recall, s.recall);
         headline.add_row(
-            {rows[r].fault, pc::Table::num(max_fa, 1), worst,
+            {cells[1 + 2 * r].fault, pc::Table::num(max_fa, 1), worst,
              pc::Table::num(
                  pb::metric(metrics[1 + 2 * r], "revoked_credentials", 0.0), 0),
-             pc::to_string(rows[r].matched),
+             pc::to_string(cells[2 + 2 * r].attack),
              pc::Table::num(max_recall, 3)});
     }
     headline.print(std::cout);
 }
 
 void BM_FaultedScenario(benchmark::State& state) {
-    const auto rows = fault_rows();
-    const auto& row = rows[static_cast<std::size_t>(state.range(0))];
+    // Loaded lazily: the benchmark phase runs after write_bench_json, so
+    // nothing here can leak into the counter artifact.
+    static const auto compiled = pb::load_scenario("table_faults");
+    const ps::CompiledCell& cell =
+        compiled.cells[1 + 2 * static_cast<std::size_t>(state.range(0))];
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            pb::run_eval_once(row.config, row.matched, false));
+            pb::run_eval_once(cell.config, cell.attack, false));
     }
-    state.SetLabel(row.fault);
+    state.SetLabel(cell.fault);
 }
 BENCHMARK(BM_FaultedScenario)
     ->Arg(0)  // burst-loss

@@ -6,6 +6,7 @@
 #include "core/experiment.hpp"
 #include "eval/harness.hpp"
 #include "obs/counters.hpp"
+#include "scen/registry.hpp"
 
 namespace platoon::detect {
 
@@ -46,12 +47,9 @@ void normalize_config(core::ScenarioConfig& config, AttackKind kind) {
 }  // namespace
 
 core::ScenarioConfig detection_config(std::uint64_t seed) {
-    core::ScenarioConfig config = eval::eval_config(seed);
-    config.security.vpd_ada = true;
-    config.security.trust_management = true;
-    config.security.report_misbehavior = true;
-    config.rsu_count = 4;
-    return config;
+    // The canonical profile lives in the scen registry so the scenario
+    // compiler ("profile": "detection") and this harness agree forever.
+    return *scen::base_profile("detection", seed);
 }
 
 DetectionHarness::DetectionHarness(const BankTuning& tuning)

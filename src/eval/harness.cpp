@@ -6,6 +6,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/timer.hpp"
+#include "scen/registry.hpp"
 #include "security/attacks/dos.hpp"
 #include "security/attacks/eavesdrop.hpp"
 #include "security/attacks/fake_maneuver.hpp"
@@ -43,10 +44,9 @@ core::PlatoonVehicle& add_legit_joiner(core::Scenario& scenario) {
 }  // namespace
 
 core::ScenarioConfig eval_config(std::uint64_t seed) {
-    core::ScenarioConfig config;
-    config.seed = seed;
-    config.platoon_size = 6;
-    return config;
+    // The canonical profile lives in the scen registry so the scenario
+    // compiler and this harness can never drift apart.
+    return *scen::base_profile("eval", seed);
 }
 
 std::unique_ptr<security::Attack> make_attack(AttackKind kind) {
@@ -99,33 +99,9 @@ Headline headline_for(AttackKind kind) {
 }
 
 void apply_defense(core::ScenarioConfig& config, DefenseKind defense) {
-    using crypto::AuthMode;
-    switch (defense) {
-        case DefenseKind::kSecretPublicKeys:
-            config.security.auth_mode = AuthMode::kSignature;
-            config.security.encrypt_payloads = true;
-            break;
-        case DefenseKind::kRoadsideUnits:
-            // The RSU mechanism presumes the PKI it distributes and feeds.
-            config.security.auth_mode = AuthMode::kSignature;
-            config.security.report_misbehavior = true;
-            config.security.vpd_ada = true;  // plausibility checks feed reports
-            config.rsu_count = 4;
-            break;
-        case DefenseKind::kControlAlgorithms:
-            config.security.vpd_ada = true;
-            break;
-        case DefenseKind::kHybridCommunications:
-            config.security.hybrid_comms = true;
-            break;
-        case DefenseKind::kOnboardSecurity:
-            config.security.sensor_fusion = true;
-            config.security.firewall = true;
-            config.security.antivirus = true;
-            break;
-        default:
-            break;
-    }
+    // Delegates to the shared registry (scen/registry.*): the scenario
+    // compiler and the benches apply the exact same mechanism switches.
+    scen::apply_defense(config, defense);
 }
 
 MetricMap run_eval_once(core::ScenarioConfig config, AttackKind kind,

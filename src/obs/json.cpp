@@ -180,8 +180,14 @@ std::string Json::dump(int indent) const {
 namespace {
 
 struct Parser {
+    /// Containers may nest this deep before the parser refuses: recursion
+    /// is bounded so hostile input (or a miswritten artifact) cannot blow
+    /// the stack. Our own artifacts nest < 10 levels.
+    static constexpr int kMaxDepth = 96;
+
     std::string_view text;
     std::size_t pos = 0;
+    int depth = 0;
 
     void skip_ws() {
         while (pos < text.size() &&
@@ -263,12 +269,19 @@ struct Parser {
         const char c = text[pos];
         if (c == '{') {
             ++pos;
+            if (++depth > kMaxDepth) return std::nullopt;
             Json obj = Json::object();
             skip_ws();
-            if (eat('}')) return obj;
+            if (eat('}')) {
+                --depth;
+                return obj;
+            }
             for (;;) {
                 auto key = parse_string();
                 if (!key) return std::nullopt;
+                // A duplicate key would silently drop one of the two
+                // values into the std::map; reject it instead.
+                if (obj.as_object().count(*key) != 0) return std::nullopt;
                 if (!eat(':')) return std::nullopt;
                 auto value = parse_value();
                 if (!value) return std::nullopt;
@@ -277,21 +290,31 @@ struct Parser {
                     skip_ws();
                     continue;
                 }
-                if (eat('}')) return obj;
+                if (eat('}')) {
+                    --depth;
+                    return obj;
+                }
                 return std::nullopt;
             }
         }
         if (c == '[') {
             ++pos;
+            if (++depth > kMaxDepth) return std::nullopt;
             Json arr = Json::array();
             skip_ws();
-            if (eat(']')) return arr;
+            if (eat(']')) {
+                --depth;
+                return arr;
+            }
             for (;;) {
                 auto value = parse_value();
                 if (!value) return std::nullopt;
                 arr.as_array().push_back(std::move(*value));
                 if (eat(',')) continue;
-                if (eat(']')) return arr;
+                if (eat(']')) {
+                    --depth;
+                    return arr;
+                }
                 return std::nullopt;
             }
         }

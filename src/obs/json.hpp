@@ -63,7 +63,9 @@ public:
     [[nodiscard]] std::string dump(int indent = 2) const;
 
     /// Strict-enough parser for our own artifacts (objects, arrays,
-    /// strings with escapes, numbers, bools, null). Rejects trailing junk.
+    /// strings with escapes, numbers, bools, null). Rejects trailing junk,
+    /// duplicate object keys (a std::map would silently drop one value),
+    /// and container nesting deeper than 96 levels (bounded recursion).
     [[nodiscard]] static std::optional<Json> parse(std::string_view text);
 
     friend bool operator==(const Json& a, const Json& b);

@@ -1,0 +1,107 @@
+#include "scen/coverage.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "scen/generator.hpp"
+
+namespace platoon::scen {
+
+void Coverage::add_space(const std::vector<CompiledCell>& cells) {
+    for (const std::string& key : coverage_keys(cells)) space_.insert(key);
+}
+
+void Coverage::mark_covered(const std::vector<CompiledCell>& cells) {
+    for (const std::string& key : coverage_keys(cells)) covered_.insert(key);
+}
+
+void Coverage::mark_covered_key(const std::string& key) {
+    covered_.insert(key);
+}
+
+bool Coverage::merge_ledger_file(const std::string& path,
+                                 std::string* error) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return true;  // no ledger yet: empty coverage
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::optional<obs::Json> doc = obs::Json::parse(buffer.str());
+    if (!doc || !doc->is_object() || !doc->at("covered").is_array()) {
+        if (error != nullptr)
+            *error = path + ": malformed coverage ledger (expected "
+                            "{\"covered\": [\"attack|defense|fault\", ...]})";
+        return false;
+    }
+    for (const obs::Json& item : doc->at("covered").as_array()) {
+        if (!item.is_string()) {
+            if (error != nullptr)
+                *error = path + ": malformed coverage ledger entry "
+                                "(expected a string key)";
+            return false;
+        }
+        covered_.insert(item.as_string());
+    }
+    return true;
+}
+
+std::size_t Coverage::covered_in_space() const {
+    std::size_t n = 0;
+    for (const std::string& key : space_) n += covered_.count(key);
+    return n;
+}
+
+std::vector<std::string> Coverage::uncovered() const {
+    std::vector<std::string> out;
+    for (const std::string& key : space_)
+        if (covered_.count(key) == 0) out.push_back(key);
+    return out;
+}
+
+obs::Json Coverage::ledger_json() const {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema_version", obs::Json::integer(1));
+    obs::Json covered = obs::Json::array();
+    for (const std::string& key : covered_)
+        covered.as_array().push_back(obs::Json::string(key));
+    doc.set("covered", std::move(covered));
+    return doc;
+}
+
+obs::Json Coverage::report_json(
+    const std::map<std::string, std::uint64_t>& counters) const {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema_version", obs::Json::integer(1));
+    doc.set("space_cells",
+            obs::Json::integer(static_cast<std::int64_t>(space_.size())));
+    doc.set("covered_cells",
+            obs::Json::integer(static_cast<std::int64_t>(covered_in_space())));
+    obs::Json uncovered_list = obs::Json::array();
+    for (const std::string& key : uncovered())
+        uncovered_list.as_array().push_back(obs::Json::string(key));
+    doc.set("uncovered", std::move(uncovered_list));
+    obs::Json silent = obs::Json::array();
+    for (const auto& [name, value] : counters)
+        if (value == 0) silent.as_array().push_back(obs::Json::string(name));
+    doc.set("counters_never_fired", std::move(silent));
+    return doc;
+}
+
+void Coverage::print_report(
+    std::ostream& os,
+    const std::map<std::string, std::uint64_t>& counters) const {
+    const std::vector<std::string> missing = uncovered();
+    os << "scenario coverage: " << covered_in_space() << "/" << space_.size()
+       << " attack|defense|fault cells covered, " << missing.size()
+       << " uncovered\n";
+    for (const std::string& key : missing) os << "  uncovered: " << key << "\n";
+    std::size_t silent = 0;
+    for (const auto& [name, value] : counters) {
+        (void)name;
+        if (value == 0) ++silent;
+    }
+    os << "counters never fired: " << silent << "\n";
+    for (const auto& [name, value] : counters)
+        if (value == 0) os << "  silent: " << name << "\n";
+}
+
+}  // namespace platoon::scen

@@ -1,0 +1,62 @@
+// Coverage tracking over the attack x defense x fault product space.
+//
+// The universe is whatever a space description compiles to (deduplicated
+// coverage keys); covered cells accumulate from (a) the committed bench
+// descriptions -- everything a table bench runs on every CI pass -- and
+// (b) a persistent JSON ledger that scenfuzz appends each executed cell to.
+// The report answers the two questions the survey's evaluation sections
+// leave open: which combinations has this repo actually executed, and
+// which instrumented code paths (obs counters) have never fired at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "scen/schema.hpp"
+
+namespace platoon::scen {
+
+class Coverage {
+public:
+    /// Declares cells of the universe (deduplicating; clean cells ignored).
+    void add_space(const std::vector<CompiledCell>& cells);
+
+    /// Marks attacked cells of `cells` as covered (e.g. a committed bench
+    /// description: those cells run on every CI pass).
+    void mark_covered(const std::vector<CompiledCell>& cells);
+    void mark_covered_key(const std::string& key);
+
+    /// Merges a ledger previously written by `ledger_json` (missing file is
+    /// not an error -- first run). Returns false and sets `error` on a
+    /// malformed file.
+    bool merge_ledger_file(const std::string& path, std::string* error);
+
+    [[nodiscard]] std::size_t space_size() const { return space_.size(); }
+    [[nodiscard]] std::size_t covered_in_space() const;
+
+    /// Uncovered cells in sorted key order (deterministic report surface).
+    [[nodiscard]] std::vector<std::string> uncovered() const;
+
+    /// Ledger document: {"schema_version": 1, "covered": [keys...]}.
+    [[nodiscard]] obs::Json ledger_json() const;
+
+    /// Full report: space/covered/uncovered plus every registered obs
+    /// counter that never fired during this process ("which instrumented
+    /// paths did the executed scenarios never reach").
+    [[nodiscard]] obs::Json report_json(
+        const std::map<std::string, std::uint64_t>& counters) const;
+    void print_report(std::ostream& os,
+                      const std::map<std::string, std::uint64_t>& counters)
+        const;
+
+private:
+    std::set<std::string> space_;
+    std::set<std::string> covered_;
+};
+
+}  // namespace platoon::scen

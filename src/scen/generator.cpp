@@ -1,0 +1,44 @@
+#include "scen/generator.hpp"
+
+#include <set>
+
+#include "sim/random.hpp"
+
+namespace platoon::scen {
+
+std::vector<CompiledCell> sample_cells(const std::vector<CompiledCell>& space,
+                                       std::size_t n,
+                                       std::uint64_t master_seed) {
+    if (n >= space.size()) return space;
+    // Selection sampling: draw n distinct indices via a partial
+    // Fisher-Yates over the index vector, then emit in enumeration order so
+    // the sampled sweep reads like a sub-table of the full one.
+    sim::RandomStream stream(master_seed, kSampleStream);
+    std::vector<std::size_t> indices(space.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(
+                    stream.uniform_int(indices.size() - i));
+        std::swap(indices[i], indices[j]);
+    }
+    std::set<std::size_t> chosen(indices.begin(),
+                                 indices.begin() + static_cast<std::ptrdiff_t>(n));
+    std::vector<CompiledCell> out;
+    out.reserve(n);
+    for (const std::size_t index : chosen) out.push_back(space[index]);
+    return out;
+}
+
+std::vector<std::string> coverage_keys(const std::vector<CompiledCell>& cells) {
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+    for (const CompiledCell& cell : cells) {
+        if (!cell.with_attack) continue;
+        std::string key = cell.coverage_key();
+        if (seen.insert(key).second) out.push_back(std::move(key));
+    }
+    return out;
+}
+
+}  // namespace platoon::scen

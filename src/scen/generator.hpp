@@ -1,0 +1,34 @@
+// Deterministic generation over a compiled scenario product space.
+//
+// Enumeration is what scen::compile already produces (grid order, then
+// defenses -> faults -> attacks -> attacked); this header adds seeded
+// sampling on top. Samples are drawn from a named sim::RandomStream
+// ("scen.sample") derived from a master seed, so a sampled sweep is
+// reproducible bit-for-bit and -- because the sample is fixed *before* any
+// cell runs -- feeding the result to core::run_grid / eval::run_eval_grid
+// folds bit-identically at any PLATOON_JOBS count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scen/schema.hpp"
+
+namespace platoon::scen {
+
+/// The name of the sampling stream (documented for EXPERIMENTS.md).
+inline constexpr const char* kSampleStream = "scen.sample";
+
+/// Draws `n` cells from `space` without replacement (n >= space.size()
+/// returns the whole space), preserving relative enumeration order of the
+/// chosen cells. Deterministic in (space order, n, master_seed).
+[[nodiscard]] std::vector<CompiledCell> sample_cells(
+    const std::vector<CompiledCell>& space, std::size_t n,
+    std::uint64_t master_seed);
+
+/// Deduplicated coverage keys of `cells` in first-seen order (clean cells
+/// carry no key: an unattacked baseline exercises no attack surface).
+[[nodiscard]] std::vector<std::string> coverage_keys(
+    const std::vector<CompiledCell>& cells);
+
+}  // namespace platoon::scen

@@ -1,0 +1,176 @@
+#include "scen/registry.hpp"
+
+#include <algorithm>
+
+namespace platoon::scen {
+
+namespace {
+
+template <typename Enum>
+std::vector<Enum> enum_range() {
+    std::vector<Enum> out;
+    for (int k = 0; k < static_cast<int>(Enum::kCount_); ++k)
+        out.push_back(static_cast<Enum>(k));
+    return out;
+}
+
+/// Classic dynamic-programming Levenshtein distance; inputs are short
+/// registry names, so the quadratic table is tiny.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+}  // namespace
+
+const std::vector<core::AttackKind>& all_attacks() {
+    static const std::vector<core::AttackKind> kAll =
+        enum_range<core::AttackKind>();
+    return kAll;
+}
+
+const std::vector<core::DefenseKind>& all_defenses() {
+    static const std::vector<core::DefenseKind> kAll =
+        enum_range<core::DefenseKind>();
+    return kAll;
+}
+
+std::optional<core::AttackKind> attack_from_name(std::string_view name) {
+    for (const core::AttackKind kind : all_attacks())
+        if (name == core::to_string(kind)) return kind;
+    return std::nullopt;
+}
+
+std::optional<core::DefenseKind> defense_from_name(std::string_view name) {
+    if (name == "none") return kNoDefense;
+    for (const core::DefenseKind kind : all_defenses())
+        if (name == core::to_string(kind)) return kind;
+    return std::nullopt;
+}
+
+const char* defense_name(core::DefenseKind kind) {
+    return kind == kNoDefense ? "none" : core::to_string(kind);
+}
+
+std::optional<control::ControllerType> controller_from_name(
+    std::string_view name) {
+    using control::ControllerType;
+    for (const ControllerType type :
+         {ControllerType::kSpeed, ControllerType::kAcc,
+          ControllerType::kCaccPath, ControllerType::kCaccPloeg})
+        if (name == control::to_string(type)) return type;
+    return std::nullopt;
+}
+
+std::optional<crypto::AuthMode> auth_mode_from_name(std::string_view name) {
+    using crypto::AuthMode;
+    if (name == "none") return AuthMode::kNone;
+    if (name == "group-mac") return AuthMode::kGroupMac;
+    if (name == "pairwise-mac") return AuthMode::kPairwiseMac;
+    if (name == "signature") return AuthMode::kSignature;
+    return std::nullopt;
+}
+
+std::vector<std::string> attack_names() {
+    std::vector<std::string> out;
+    for (const core::AttackKind kind : all_attacks())
+        out.emplace_back(core::to_string(kind));
+    return out;
+}
+
+std::vector<std::string> defense_names() {
+    std::vector<std::string> out{"none"};
+    for (const core::DefenseKind kind : all_defenses())
+        out.emplace_back(core::to_string(kind));
+    return out;
+}
+
+std::vector<std::string> controller_names() {
+    using control::ControllerType;
+    std::vector<std::string> out;
+    for (const ControllerType type :
+         {ControllerType::kSpeed, ControllerType::kAcc,
+          ControllerType::kCaccPath, ControllerType::kCaccPloeg})
+        out.emplace_back(control::to_string(type));
+    return out;
+}
+
+std::vector<std::string> auth_mode_names() {
+    return {"none", "group-mac", "pairwise-mac", "signature"};
+}
+
+std::string suggest(std::string_view name,
+                    const std::vector<std::string>& candidates) {
+    std::size_t best = 3;  // suggest only within edit distance 2
+    const std::string* pick = nullptr;
+    for (const std::string& candidate : candidates) {
+        const std::size_t d = edit_distance(name, candidate);
+        if (d < best) {
+            best = d;
+            pick = &candidate;
+        }
+    }
+    return pick == nullptr ? std::string()
+                           : " (did you mean '" + *pick + "'?)";
+}
+
+std::optional<core::ScenarioConfig> base_profile(std::string_view profile,
+                                                 std::uint64_t seed) {
+    core::ScenarioConfig config;
+    config.seed = seed;
+    config.platoon_size = 6;
+    if (profile == "eval") return config;
+    if (profile == "detection") {
+        config.security.vpd_ada = true;
+        config.security.trust_management = true;
+        config.security.report_misbehavior = true;
+        config.rsu_count = 4;
+        return config;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string> profile_names() { return {"eval", "detection"}; }
+
+void apply_defense(core::ScenarioConfig& config, core::DefenseKind defense) {
+    using crypto::AuthMode;
+    switch (defense) {
+        case core::DefenseKind::kSecretPublicKeys:
+            config.security.auth_mode = AuthMode::kSignature;
+            config.security.encrypt_payloads = true;
+            break;
+        case core::DefenseKind::kRoadsideUnits:
+            // The RSU mechanism presumes the PKI it distributes and feeds.
+            config.security.auth_mode = AuthMode::kSignature;
+            config.security.report_misbehavior = true;
+            config.security.vpd_ada = true;  // plausibility checks feed reports
+            config.rsu_count = 4;
+            break;
+        case core::DefenseKind::kControlAlgorithms:
+            config.security.vpd_ada = true;
+            break;
+        case core::DefenseKind::kHybridCommunications:
+            config.security.hybrid_comms = true;
+            break;
+        case core::DefenseKind::kOnboardSecurity:
+            config.security.sensor_fusion = true;
+            config.security.firewall = true;
+            config.security.antivirus = true;
+            break;
+        default:
+            break;
+    }
+}
+
+}  // namespace platoon::scen

@@ -1,0 +1,78 @@
+// The shared scenario-component registry: one canonical place mapping the
+// survey's attack/defense taxonomy and the evaluation base profiles to
+// names and to ScenarioConfig builders.
+//
+// Before this registry existed, the Table II/III/IV/V benches each
+// hand-built their ScenarioConfig matrices (and eval/detect duplicated the
+// base profiles), so the attack x defense x fault product space was
+// maintained by copy-paste. The scenario compiler (scen/schema.*) and the
+// eval/detect harnesses now both resolve names and apply defenses through
+// this one table; drift between "what a description says" and "what a bench
+// runs" is structurally impossible.
+//
+// Naming contract: every name is the exact string core::to_string() prints
+// (tables, descriptions and coverage reports all agree), plus "none" for
+// the empty defense/fault slots.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/taxonomy.hpp"
+
+namespace platoon::scen {
+
+/// The "no defense" slot of the defense axis (Table III rows are the five
+/// real mechanisms; the baseline column is kNoDefense). Uses the enum's
+/// kCount_ sentinel so a CompiledCell can carry the axis in one value.
+inline constexpr core::DefenseKind kNoDefense = core::DefenseKind::kCount_;
+
+/// All Table II attacks in enum (= printed-table) order.
+[[nodiscard]] const std::vector<core::AttackKind>& all_attacks();
+
+/// All Table III defenses in enum order (kNoDefense not included).
+[[nodiscard]] const std::vector<core::DefenseKind>& all_defenses();
+
+/// Name lookups (names are core::to_string spellings; see header comment).
+[[nodiscard]] std::optional<core::AttackKind> attack_from_name(
+    std::string_view name);
+/// Accepts "none" -> kNoDefense.
+[[nodiscard]] std::optional<core::DefenseKind> defense_from_name(
+    std::string_view name);
+[[nodiscard]] const char* defense_name(core::DefenseKind kind);  // incl. none
+
+[[nodiscard]] std::optional<control::ControllerType> controller_from_name(
+    std::string_view name);
+[[nodiscard]] std::optional<crypto::AuthMode> auth_mode_from_name(
+    std::string_view name);
+
+/// Every known name of each kind (error messages and "all" expansion).
+[[nodiscard]] std::vector<std::string> attack_names();
+[[nodiscard]] std::vector<std::string> defense_names();  ///< incl. "none"
+[[nodiscard]] std::vector<std::string> controller_names();
+[[nodiscard]] std::vector<std::string> auth_mode_names();
+
+/// "did you mean ...?" suffix for an unknown name, or "" when nothing in
+/// `candidates` is close (edit distance <= 2).
+[[nodiscard]] std::string suggest(std::string_view name,
+                                  const std::vector<std::string>& candidates);
+
+/// The named base profiles the descriptions build on:
+///   "eval"      -- the canonical Table II/III platoon (6 trucks, PATH
+///                  CACC, braking at t=40 s of a 70 s horizon).
+///   "detection" -- "eval" plus the misbehavior ecosystem (VPD-ADA, trust
+///                  management, reporting, 4 RSUs) on an open channel, the
+///                  Table IV/V baseline.
+[[nodiscard]] std::optional<core::ScenarioConfig> base_profile(
+    std::string_view profile, std::uint64_t seed);
+[[nodiscard]] std::vector<std::string> profile_names();
+
+/// Switches one Table III mechanism on (the canonical builder behind
+/// eval::apply_defense). kNoDefense is a no-op.
+void apply_defense(core::ScenarioConfig& config, core::DefenseKind defense);
+
+}  // namespace platoon::scen

@@ -1,0 +1,761 @@
+#include "scen/schema.hpp"
+
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace platoon::scen {
+
+namespace {
+
+/// Joins registry names for an "expected one of ..." error tail.
+std::string join_names(const std::vector<std::string>& names) {
+    std::string out;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += names[i];
+    }
+    return out;
+}
+
+/// Carries the first diagnostic; later checks become no-ops once set.
+struct Diag {
+    std::string message;
+    bool failed = false;
+
+    void fail(const std::string& path, const std::string& what) {
+        if (failed) return;
+        failed = true;
+        message = path + ": " + what;
+    }
+};
+
+/// Rejects document keys outside `allowed` (typo guard for the whole DSL).
+void check_keys(const obs::Json& object, const std::string& path,
+                const std::set<std::string>& allowed, Diag& diag) {
+    for (const auto& [key, value] : object.as_object()) {
+        (void)value;
+        if (allowed.count(key) == 0) {
+            std::vector<std::string> candidates(allowed.begin(),
+                                                allowed.end());
+            diag.fail(path, "unknown key '" + key + "'" +
+                                suggest(key, candidates) +
+                                "; expected one of: " +
+                                join_names(candidates));
+            return;
+        }
+    }
+}
+
+bool want_bool(const obs::Json& v, const std::string& path, Diag& diag,
+               bool* out) {
+    if (v.type() != obs::Json::Type::kBool) {
+        diag.fail(path, "expected true/false");
+        return false;
+    }
+    *out = v.as_bool();
+    return true;
+}
+
+bool want_int(const obs::Json& v, const std::string& path, std::int64_t lo,
+              std::int64_t hi, Diag& diag, std::int64_t* out) {
+    if (!v.is_int()) {
+        diag.fail(path, "expected an integer");
+        return false;
+    }
+    const std::int64_t value = v.as_int();
+    if (value < lo || value > hi) {
+        diag.fail(path, "value " + std::to_string(value) +
+                            " out of range [" + std::to_string(lo) + ", " +
+                            std::to_string(hi) + "]");
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool want_double(const obs::Json& v, const std::string& path, double lo,
+                 double hi, Diag& diag, double* out) {
+    if (!v.is_number()) {
+        diag.fail(path, "expected a number");
+        return false;
+    }
+    const double value = v.as_double();
+    if (value < lo || value > hi) {
+        std::ostringstream os;
+        os << "value " << value << " out of range [" << lo << ", " << hi
+           << "]";
+        diag.fail(path, os.str());
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool want_string(const obs::Json& v, const std::string& path, Diag& diag,
+                 std::string* out) {
+    if (!v.is_string()) {
+        diag.fail(path, "expected a string");
+        return false;
+    }
+    *out = v.as_string();
+    return true;
+}
+
+// -----------------------------------------------------------------------
+// Config overrides.
+
+void apply_security_overrides(const obs::Json& sec, const std::string& path,
+                              security::SecurityPolicy& policy, Diag& diag) {
+    static const std::set<std::string> kKeys = {
+        "auth_mode",       "encrypt_payloads",    "freshness_window_s",
+        "check_replay",    "pseudonym_rotation_s", "vpd_ada",
+        "trust_management", "hybrid_comms",        "sensor_fusion",
+        "firewall",        "antivirus",           "report_misbehavior",
+        "join_rate_limit_s"};
+    if (!sec.is_object()) {
+        diag.fail(path, "expected an object");
+        return;
+    }
+    check_keys(sec, path, kKeys, diag);
+    if (diag.failed) return;
+    for (const auto& [key, value] : sec.as_object()) {
+        const std::string at = path + "." + key;
+        if (key == "auth_mode") {
+            std::string name;
+            if (!want_string(value, at, diag, &name)) return;
+            const auto mode = auth_mode_from_name(name);
+            if (!mode) {
+                diag.fail(at, "unknown auth mode '" + name + "'" +
+                                  suggest(name, auth_mode_names()) +
+                                  "; expected one of: " +
+                                  join_names(auth_mode_names()));
+                return;
+            }
+            policy.auth_mode = *mode;
+        } else if (key == "encrypt_payloads") {
+            if (!want_bool(value, at, diag, &policy.encrypt_payloads)) return;
+        } else if (key == "freshness_window_s") {
+            if (!want_double(value, at, 1e-3, 10.0, diag,
+                             &policy.freshness_window_s))
+                return;
+        } else if (key == "check_replay") {
+            if (!want_bool(value, at, diag, &policy.check_replay)) return;
+        } else if (key == "pseudonym_rotation_s") {
+            if (!want_double(value, at, 0.0, 1e6, diag,
+                             &policy.pseudonym_rotation_s))
+                return;
+        } else if (key == "vpd_ada") {
+            if (!want_bool(value, at, diag, &policy.vpd_ada)) return;
+        } else if (key == "trust_management") {
+            if (!want_bool(value, at, diag, &policy.trust_management)) return;
+        } else if (key == "hybrid_comms") {
+            if (!want_bool(value, at, diag, &policy.hybrid_comms)) return;
+        } else if (key == "sensor_fusion") {
+            if (!want_bool(value, at, diag, &policy.sensor_fusion)) return;
+        } else if (key == "firewall") {
+            if (!want_bool(value, at, diag, &policy.firewall)) return;
+        } else if (key == "antivirus") {
+            if (!want_bool(value, at, diag, &policy.antivirus)) return;
+        } else if (key == "report_misbehavior") {
+            if (!want_bool(value, at, diag, &policy.report_misbehavior))
+                return;
+        } else if (key == "join_rate_limit_s") {
+            if (!want_double(value, at, 0.0, 60.0, diag,
+                             &policy.join_rate_limit_s))
+                return;
+        }
+    }
+}
+
+void apply_overrides(const obs::Json& overrides, const std::string& path,
+                     core::ScenarioConfig& config, Diag& diag) {
+    static const std::set<std::string> kKeys = {
+        "platoon_size",     "controller",       "initial_speed_mps",
+        "initial_gap_m",    "rsu_count",        "control_period_s",
+        "beacon_period_s",  "share_verify_verdicts", "security"};
+    if (!overrides.is_object()) {
+        diag.fail(path, "expected an object");
+        return;
+    }
+    check_keys(overrides, path, kKeys, diag);
+    if (diag.failed) return;
+    for (const auto& [key, value] : overrides.as_object()) {
+        const std::string at = path + "." + key;
+        if (key == "platoon_size") {
+            std::int64_t n = 0;
+            if (!want_int(value, at, 2, 64, diag, &n)) return;
+            config.platoon_size = static_cast<std::size_t>(n);
+        } else if (key == "controller") {
+            std::string name;
+            if (!want_string(value, at, diag, &name)) return;
+            const auto type = controller_from_name(name);
+            if (!type) {
+                diag.fail(at, "unknown controller '" + name + "'" +
+                                  suggest(name, controller_names()) +
+                                  "; expected one of: " +
+                                  join_names(controller_names()));
+                return;
+            }
+            config.controller = *type;
+        } else if (key == "initial_speed_mps") {
+            if (!want_double(value, at, 1.0, 60.0, diag,
+                             &config.initial_speed_mps))
+                return;
+        } else if (key == "initial_gap_m") {
+            if (!want_double(value, at, 0.5, 100.0, diag,
+                             &config.initial_gap_m))
+                return;
+        } else if (key == "rsu_count") {
+            std::int64_t n = 0;
+            if (!want_int(value, at, 0, 32, diag, &n)) return;
+            config.rsu_count = static_cast<std::size_t>(n);
+        } else if (key == "control_period_s") {
+            if (!want_double(value, at, 1e-3, 1.0, diag,
+                             &config.control_period_s))
+                return;
+        } else if (key == "beacon_period_s") {
+            if (!want_double(value, at, 1e-3, 10.0, diag,
+                             &config.beacon_period_s))
+                return;
+        } else if (key == "share_verify_verdicts") {
+            if (!want_bool(value, at, diag, &config.share_verify_verdicts))
+                return;
+        } else if (key == "security") {
+            apply_security_overrides(value, at, config.security, diag);
+            if (diag.failed) return;
+        }
+    }
+}
+
+// -----------------------------------------------------------------------
+// Fault presets.
+
+void parse_burst_loss(const obs::Json& item, const std::string& path,
+                      fault::FaultPlan& plan, Diag& diag) {
+    static const std::set<std::string> kKeys = {
+        "start_s", "end_s",     "mean_good_s", "mean_bad_s",
+        "loss_good", "loss_bad"};
+    check_keys(item, path, kKeys, diag);
+    if (diag.failed) return;
+    fault::BurstLossParams p;
+    const obs::Json& start = item.at("start_s");
+    if (!start.is_null() &&
+        !want_double(start, path + ".start_s", 0.0, 1e6, diag, &p.start_s))
+        return;
+    const obs::Json& end = item.at("end_s");
+    if (!end.is_null() &&
+        !want_double(end, path + ".end_s", 0.0, 1e18, diag, &p.end_s))
+        return;
+    const obs::Json& good = item.at("mean_good_s");
+    if (!good.is_null() && !want_double(good, path + ".mean_good_s", 1e-3,
+                                        1e6, diag, &p.mean_good_s))
+        return;
+    const obs::Json& bad = item.at("mean_bad_s");
+    if (!bad.is_null() && !want_double(bad, path + ".mean_bad_s", 1e-3, 1e6,
+                                       diag, &p.mean_bad_s))
+        return;
+    const obs::Json& lg = item.at("loss_good");
+    if (!lg.is_null() &&
+        !want_double(lg, path + ".loss_good", 0.0, 1.0, diag, &p.loss_good))
+        return;
+    const obs::Json& lb = item.at("loss_bad");
+    if (!lb.is_null() &&
+        !want_double(lb, path + ".loss_bad", 0.0, 1.0, diag, &p.loss_bad))
+        return;
+    if (p.end_s <= p.start_s) {
+        diag.fail(path, "end_s must be greater than start_s");
+        return;
+    }
+    plan.burst_loss.push_back(p);
+}
+
+bool want_vehicle_index(const obs::Json& item, const std::string& path,
+                        Diag& diag, std::size_t* out) {
+    const obs::Json& v = item.at("vehicle_index");
+    if (v.is_null()) {
+        diag.fail(path, "missing required key 'vehicle_index'");
+        return false;
+    }
+    std::int64_t n = 0;
+    if (!want_int(v, path + ".vehicle_index", 0, 63, diag, &n)) return false;
+    *out = static_cast<std::size_t>(n);
+    return true;
+}
+
+void parse_crash(const obs::Json& item, const std::string& path,
+                 fault::FaultPlan& plan, Diag& diag) {
+    static const std::set<std::string> kKeys = {"vehicle_index", "at_s",
+                                                "down_s"};
+    check_keys(item, path, kKeys, diag);
+    if (diag.failed) return;
+    fault::NodeCrashParams p;
+    if (!want_vehicle_index(item, path, diag, &p.vehicle_index)) return;
+    const obs::Json& at = item.at("at_s");
+    if (!at.is_null() &&
+        !want_double(at, path + ".at_s", 0.0, 1e6, diag, &p.at_s))
+        return;
+    const obs::Json& down = item.at("down_s");
+    if (!down.is_null() &&
+        !want_double(down, path + ".down_s", 1e-3, 1e6, diag, &p.down_s))
+        return;
+    plan.crashes.push_back(p);
+}
+
+void parse_sensor_dropout(const obs::Json& item, const std::string& path,
+                          fault::FaultPlan& plan, Diag& diag) {
+    static const std::set<std::string> kKeys = {"vehicle_index", "start_s",
+                                                "duration_s"};
+    check_keys(item, path, kKeys, diag);
+    if (diag.failed) return;
+    fault::SensorDropoutParams p;
+    if (!want_vehicle_index(item, path, diag, &p.vehicle_index)) return;
+    const obs::Json& start = item.at("start_s");
+    if (!start.is_null() &&
+        !want_double(start, path + ".start_s", 0.0, 1e6, diag, &p.start_s))
+        return;
+    const obs::Json& dur = item.at("duration_s");
+    if (!dur.is_null() && !want_double(dur, path + ".duration_s", 1e-3, 1e6,
+                                       diag, &p.duration_s))
+        return;
+    plan.sensor_dropouts.push_back(p);
+}
+
+void parse_clock_drift(const obs::Json& item, const std::string& path,
+                       fault::FaultPlan& plan, Diag& diag) {
+    static const std::set<std::string> kKeys = {"vehicle_index", "start_s",
+                                                "offset_s", "drift_s_per_s"};
+    check_keys(item, path, kKeys, diag);
+    if (diag.failed) return;
+    fault::ClockDriftParams p;
+    if (!want_vehicle_index(item, path, diag, &p.vehicle_index)) return;
+    const obs::Json& start = item.at("start_s");
+    if (!start.is_null() &&
+        !want_double(start, path + ".start_s", 0.0, 1e6, diag, &p.start_s))
+        return;
+    const obs::Json& offset = item.at("offset_s");
+    if (!offset.is_null() && !want_double(offset, path + ".offset_s", -60.0,
+                                          60.0, diag, &p.offset_s))
+        return;
+    const obs::Json& drift = item.at("drift_s_per_s");
+    if (!drift.is_null() && !want_double(drift, path + ".drift_s_per_s",
+                                         -1.0, 1.0, diag, &p.drift_s_per_s))
+        return;
+    plan.clock_drifts.push_back(p);
+}
+
+fault::FaultPlan parse_fault_plan(const obs::Json& doc,
+                                  const std::string& path, Diag& diag) {
+    static const std::set<std::string> kKeys = {
+        "burst_loss", "crashes", "sensor_dropouts", "clock_drifts"};
+    fault::FaultPlan plan;
+    if (!doc.is_object()) {
+        diag.fail(path, "expected an object");
+        return plan;
+    }
+    check_keys(doc, path, kKeys, diag);
+    if (diag.failed) return plan;
+    for (const auto& [key, value] : doc.as_object()) {
+        if (!value.is_array()) {
+            diag.fail(path + "." + key, "expected an array");
+            return plan;
+        }
+        const obs::Json::Array& items = value.as_array();
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            const std::string at =
+                path + "." + key + "[" + std::to_string(i) + "]";
+            if (!items[i].is_object()) {
+                diag.fail(at, "expected an object");
+                return plan;
+            }
+            if (key == "burst_loss") {
+                parse_burst_loss(items[i], at, plan, diag);
+            } else if (key == "crashes") {
+                parse_crash(items[i], at, plan, diag);
+            } else if (key == "sensor_dropouts") {
+                parse_sensor_dropout(items[i], at, plan, diag);
+            } else if (key == "clock_drifts") {
+                parse_clock_drift(items[i], at, plan, diag);
+            }
+            if (diag.failed) return plan;
+        }
+    }
+    if (plan.empty()) {
+        diag.fail(path, "fault preset defines no fault at all");
+        return plan;
+    }
+    return plan;
+}
+
+// -----------------------------------------------------------------------
+// Axes.
+
+/// Parses an axis of names; "all" expands through `expand_all`. Duplicates
+/// (after expansion) are errors: a repeated axis value silently doubles a
+/// table row.
+template <typename T, typename Lookup, typename ExpandAll>
+std::vector<T> parse_name_axis(const obs::Json& axis, const std::string& path,
+                               const std::vector<std::string>& known,
+                               Lookup lookup, ExpandAll expand_all,
+                               Diag& diag) {
+    std::vector<T> out;
+    if (!axis.is_array() || axis.as_array().empty()) {
+        diag.fail(path, "expected a non-empty array of names");
+        return out;
+    }
+    const obs::Json::Array& items = axis.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const std::string at = path + "[" + std::to_string(i) + "]";
+        std::string name;
+        if (!want_string(items[i], at, diag, &name)) return out;
+        if (name == "all") {
+            const std::vector<T> expanded = expand_all();
+            out.insert(out.end(), expanded.begin(), expanded.end());
+            continue;
+        }
+        const std::optional<T> value = lookup(name);
+        if (!value) {
+            diag.fail(at, "unknown name '" + name + "'" +
+                              suggest(name, known) + "; expected one of: " +
+                              join_names(known));
+            return out;
+        }
+        out.push_back(*value);
+    }
+    for (std::size_t i = 0; i < out.size(); ++i)
+        for (std::size_t j = i + 1; j < out.size(); ++j)
+            if (out[i] == out[j]) {
+                diag.fail(path,
+                          "duplicate axis entry (a repeated value would "
+                          "silently duplicate table rows)");
+                return out;
+            }
+    return out;
+}
+
+std::vector<bool> parse_attacked_axis(const obs::Json& axis,
+                                      const std::string& path, Diag& diag) {
+    std::vector<bool> out;
+    if (axis.is_null()) return {true};
+    if (!axis.is_array() || axis.as_array().empty()) {
+        diag.fail(path, "expected a non-empty array of booleans");
+        return out;
+    }
+    const obs::Json::Array& items = axis.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        bool b = false;
+        if (!want_bool(items[i], path + "[" + std::to_string(i) + "]", diag,
+                       &b))
+            return out;
+        out.push_back(b);
+    }
+    if (out.size() > 2 || (out.size() == 2 && out[0] == out[1])) {
+        diag.fail(path, "duplicate axis entry (a repeated value would "
+                        "silently duplicate table rows)");
+        return out;
+    }
+    return out;
+}
+
+// -----------------------------------------------------------------------
+// Per-cell semantic checks: combinations that parse but cannot mean what
+// the author intended.
+
+void check_cell(const CompiledCell& cell, const fault::FaultPlan& plan,
+                const std::string& path, Diag& diag) {
+    const security::SecurityPolicy& sec = cell.config.security;
+    if (sec.encrypt_payloads && sec.auth_mode == crypto::AuthMode::kNone) {
+        diag.fail(path,
+                  "incompatible combination: security.encrypt_payloads with "
+                  "auth_mode 'none' (encrypt-only -- a jammer or replayer "
+                  "passes unauthenticated); set security.auth_mode or use "
+                  "the 'secret-and-public-keys' defense");
+        return;
+    }
+    if (!plan.clock_drifts.empty() &&
+        sec.auth_mode == crypto::AuthMode::kNone) {
+        diag.fail(path,
+                  "incompatible combination: fault '" + cell.fault +
+                      "' injects clock drift, but auth_mode 'none' never "
+                      "checks timestamps, so the fault is a no-op; add "
+                      "overrides.security.auth_mode (e.g. \"signature\")");
+        return;
+    }
+    const auto check_index = [&](std::size_t index, const char* kind) {
+        if (index >= cell.config.platoon_size) {
+            diag.fail(path, "fault '" + cell.fault + "': " + kind +
+                                " vehicle_index " + std::to_string(index) +
+                                " out of range for platoon_size " +
+                                std::to_string(cell.config.platoon_size));
+        }
+    };
+    for (const auto& c : plan.crashes) check_index(c.vehicle_index, "crash");
+    for (const auto& d : plan.sensor_dropouts)
+        check_index(d.vehicle_index, "sensor-dropout");
+    for (const auto& d : plan.clock_drifts)
+        check_index(d.vehicle_index, "clock-drift");
+}
+
+}  // namespace
+
+std::string coverage_key(core::AttackKind attack, core::DefenseKind defense,
+                         std::string_view fault) {
+    std::string key = core::to_string(attack);
+    key += '|';
+    key += defense_name(defense);
+    key += '|';
+    key += fault;
+    return key;
+}
+
+std::string CompiledCell::coverage_key() const {
+    return scen::coverage_key(attack, defense, fault);
+}
+
+std::optional<Compiled> compile(const obs::Json& doc, std::string* error) {
+    Diag diag;
+    Compiled out;
+
+    static const std::set<std::string> kTopKeys = {
+        "name", "title", "profile", "seed", "seeds", "overrides",
+        "fault_presets", "grids"};
+
+    if (!doc.is_object()) {
+        diag.fail("$", "expected a top-level object");
+    } else {
+        check_keys(doc, "$", kTopKeys, diag);
+    }
+
+    if (!diag.failed) {
+        if (!doc.at("name").is_string() || doc.at("name").as_string().empty())
+            diag.fail("name", "required non-empty string");
+        else
+            out.description.name = doc.at("name").as_string();
+    }
+    if (!diag.failed && !doc.at("title").is_null())
+        want_string(doc.at("title"), "title", diag, &out.description.title);
+
+    if (!diag.failed && !doc.at("profile").is_null())
+        want_string(doc.at("profile"), "profile", diag,
+                    &out.description.profile);
+    if (!diag.failed &&
+        !base_profile(out.description.profile, /*seed=*/0)) {
+        diag.fail("profile",
+                  "unknown profile '" + out.description.profile + "'" +
+                      suggest(out.description.profile, profile_names()) +
+                      "; expected one of: " + join_names(profile_names()));
+    }
+
+    std::int64_t base_seed = 42;
+    if (!diag.failed && !doc.at("seed").is_null())
+        want_int(doc.at("seed"), "seed", 0,
+                 std::numeric_limits<std::int64_t>::max(), diag, &base_seed);
+    out.description.seed = static_cast<std::uint64_t>(base_seed);
+
+    std::int64_t default_seeds = 1;
+    if (!diag.failed && !doc.at("seeds").is_null())
+        want_int(doc.at("seeds"), "seeds", 1, 1000, diag, &default_seeds);
+
+    // Named fault presets.
+    std::map<std::string, fault::FaultPlan> presets;
+    if (!diag.failed && !doc.at("fault_presets").is_null()) {
+        const obs::Json& block = doc.at("fault_presets");
+        if (!block.is_object()) {
+            diag.fail("fault_presets", "expected an object");
+        } else {
+            for (const auto& [name, plan_doc] : block.as_object()) {
+                if (name == "none") {
+                    diag.fail("fault_presets",
+                              "'none' is reserved for the fault-free slot");
+                    break;
+                }
+                presets[name] = parse_fault_plan(
+                    plan_doc, "fault_presets." + name, diag);
+                if (diag.failed) break;
+            }
+        }
+    }
+
+    // Grids.
+    const obs::Json& grids = doc.at("grids");
+    if (!diag.failed && (!grids.is_array() || grids.as_array().empty()))
+        diag.fail("grids", "required non-empty array");
+
+    static const std::set<std::string> kGridKeys = {"axes", "seeds",
+                                                    "overrides"};
+    static const std::set<std::string> kAxisKeys = {"attacks", "attacked",
+                                                    "defenses", "faults"};
+
+    std::vector<std::string> fault_names{"none"};
+    for (const auto& [name, plan] : presets) {
+        (void)plan;
+        fault_names.push_back(name);
+    }
+
+    if (!diag.failed) {
+        out.description.grid_count = grids.as_array().size();
+        for (std::size_t g = 0; g < grids.as_array().size(); ++g) {
+            const obs::Json& grid = grids.as_array()[g];
+            const std::string gp = "grids[" + std::to_string(g) + "]";
+            if (!grid.is_object()) {
+                diag.fail(gp, "expected an object");
+                break;
+            }
+            check_keys(grid, gp, kGridKeys, diag);
+            if (diag.failed) break;
+
+            const obs::Json& axes = grid.at("axes");
+            if (!axes.is_object()) {
+                diag.fail(gp + ".axes", "required object");
+                break;
+            }
+            check_keys(axes, gp + ".axes", kAxisKeys, diag);
+            if (diag.failed) break;
+
+            if (axes.at("attacks").is_null()) {
+                diag.fail(gp + ".axes.attacks",
+                          "required (use [\"all\"] for the full Table II "
+                          "catalogue)");
+                break;
+            }
+            const std::vector<core::AttackKind> attacks =
+                parse_name_axis<core::AttackKind>(
+                    axes.at("attacks"), gp + ".axes.attacks", attack_names(),
+                    attack_from_name, [] { return all_attacks(); }, diag);
+            if (diag.failed) break;
+
+            const std::vector<bool> attacked = parse_attacked_axis(
+                axes.at("attacked"), gp + ".axes.attacked", diag);
+            if (diag.failed) break;
+
+            std::vector<core::DefenseKind> defenses{kNoDefense};
+            if (!axes.at("defenses").is_null()) {
+                defenses = parse_name_axis<core::DefenseKind>(
+                    axes.at("defenses"), gp + ".axes.defenses",
+                    defense_names(), defense_from_name,
+                    [] { return all_defenses(); }, diag);
+                if (diag.failed) break;
+            }
+
+            std::vector<std::string> faults{"none"};
+            if (!axes.at("faults").is_null()) {
+                faults = parse_name_axis<std::string>(
+                    axes.at("faults"), gp + ".axes.faults", fault_names,
+                    [&](const std::string& name)
+                        -> std::optional<std::string> {
+                        if (name == "none") return name;
+                        if (presets.count(name) != 0) return name;
+                        return std::nullopt;
+                    },
+                    [&] {
+                        // "all" = every declared preset (not "none").
+                        std::vector<std::string> named;
+                        for (const auto& [name, plan] : presets) {
+                            (void)plan;
+                            named.push_back(name);
+                        }
+                        return named;
+                    },
+                    diag);
+                if (diag.failed) break;
+            }
+
+            std::int64_t grid_seeds = default_seeds;
+            if (!grid.at("seeds").is_null() &&
+                !want_int(grid.at("seeds"), gp + ".seeds", 1, 1000, diag,
+                          &grid_seeds))
+                break;
+
+            // Cell enumeration order (pinned by the table benches):
+            // defenses -> faults -> attacks -> attacked.
+            for (const core::DefenseKind defense : defenses) {
+                for (const std::string& fault_name : faults) {
+                    for (const core::AttackKind attack : attacks) {
+                        for (const bool with_attack : attacked) {
+                            CompiledCell cell;
+                            cell.config = *base_profile(
+                                out.description.profile,
+                                out.description.seed);
+                            if (!doc.at("overrides").is_null()) {
+                                apply_overrides(doc.at("overrides"),
+                                                "overrides", cell.config,
+                                                diag);
+                                if (diag.failed) break;
+                            }
+                            if (!grid.at("overrides").is_null()) {
+                                apply_overrides(grid.at("overrides"),
+                                                gp + ".overrides",
+                                                cell.config, diag);
+                                if (diag.failed) break;
+                            }
+                            scen::apply_defense(cell.config, defense);
+                            fault::FaultPlan plan;
+                            if (fault_name != "none") {
+                                plan = presets.at(fault_name);
+                                cell.config.faults = plan;
+                            }
+                            cell.attack = attack;
+                            cell.with_attack = with_attack;
+                            cell.defense = defense;
+                            cell.fault = fault_name;
+                            cell.seeds = static_cast<std::size_t>(grid_seeds);
+                            cell.grid = g;
+                            check_cell(cell, plan, gp, diag);
+                            if (diag.failed) break;
+                            out.cells.push_back(std::move(cell));
+                        }
+                        if (diag.failed) break;
+                    }
+                    if (diag.failed) break;
+                }
+                if (diag.failed) break;
+            }
+            if (diag.failed) break;
+        }
+    }
+
+    if (diag.failed) {
+        if (error != nullptr) *error = diag.message;
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<Compiled> compile_file(const std::string& path,
+                                     std::string* error) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr) *error = path + ": cannot open file";
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::optional<obs::Json> doc = obs::Json::parse(buffer.str());
+    if (!doc) {
+        if (error != nullptr)
+            *error = path + ": not valid JSON (truncated input, a bad "
+                            "escape, a duplicate key, or nesting beyond the "
+                            "parser's depth limit)";
+        return std::nullopt;
+    }
+    std::string inner;
+    std::optional<Compiled> compiled = compile(*doc, &inner);
+    if (!compiled && error != nullptr) *error = path + ": " + inner;
+    return compiled;
+}
+
+const CompiledCell* find_cell(const std::vector<CompiledCell>& cells,
+                              core::AttackKind attack, bool with_attack,
+                              core::DefenseKind defense,
+                              std::string_view fault) {
+    for (const CompiledCell& cell : cells) {
+        if (cell.attack == attack && cell.with_attack == with_attack &&
+            cell.defense == defense && cell.fault == fault)
+            return &cell;
+    }
+    return nullptr;
+}
+
+}  // namespace platoon::scen

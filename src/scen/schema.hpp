@@ -1,0 +1,118 @@
+// Declarative scenario descriptions: a small JSON DSL (parsed with the
+// obs::Json value type) that composes topology x controller x attack x
+// fault x defense x auth-mode into validated core::ScenarioConfig grids.
+// The Table II/III/V bench matrices are compiled from committed
+// descriptions under scenarios/ instead of being hand-built in C++.
+//
+// Description schema (all names resolve through scen/registry.*):
+//
+//   {
+//     "name": "table2_threats",            // required identifier
+//     "title": "human-readable banner",    // optional
+//     "profile": "eval" | "detection",     // base config, default "eval"
+//     "seed": 42,                          // base master seed, default 42
+//     "seeds": 3,                          // default replications per cell
+//     "overrides": { ... },                // applied to every grid (below)
+//     "fault_presets": {                   // named fault::FaultPlan blocks
+//       "burst-loss": {"burst_loss": [{"start_s": 20.0, ...}]},
+//       ...
+//     },
+//     "grids": [                           // required, concatenated in order
+//       {
+//         "axes": {
+//           "attacks":  ["all"] or ["replay", "sybil", ...],  // required
+//           "attacked": [false, true],     // default [true]
+//           "defenses": ["none", "roadside-units", ...],  // default ["none"]
+//           "faults":   ["none", "burst-loss", ...]       // default ["none"]
+//         },
+//         "seeds": 2,                      // optional, inherits
+//         "overrides": { ... }             // optional, on top of top-level
+//       }
+//     ]
+//   }
+//
+// Config overrides (validated key-by-key; unknown keys are errors):
+//   platoon_size, controller, initial_speed_mps, initial_gap_m, rsu_count,
+//   control_period_s, beacon_period_s, share_verify_verdicts, and a nested
+//   "security" object (auth_mode, encrypt_payloads, freshness_window_s,
+//   check_replay, pseudonym_rotation_s, vpd_ada, trust_management,
+//   hybrid_comms, sensor_fusion, firewall, antivirus, report_misbehavior,
+//   join_rate_limit_s).
+//
+// Cell enumeration order is deterministic and documented: grids in file
+// order; within a grid defenses -> faults -> attacks -> attacked, each axis
+// in its declared order. The Table benches index into this order, and the
+// golden/benchdiff gates pin it.
+//
+// Composition order per cell: base profile, then top-level overrides, then
+// grid overrides, then the defense mechanism (the defense axis wins over a
+// conflicting override), then the fault preset.
+//
+// Validation produces one actionable error with a JSON path: unknown keys,
+// unknown names (with a "did you mean" suggestion), out-of-range values,
+// duplicate axis entries, and incompatible combinations (encrypt-only with
+// no authenticated mode; a clock-drift fault where no receiver checks
+// timestamps; a fault aimed at a vehicle index outside the platoon).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "scen/registry.hpp"
+
+namespace platoon::scen {
+
+/// One fully-composed point of the product space, ready to feed a run grid.
+struct CompiledCell {
+    core::ScenarioConfig config;
+    core::AttackKind attack = core::AttackKind::kReplay;
+    bool with_attack = true;
+    core::DefenseKind defense = kNoDefense;
+    std::string fault = "none";  ///< Fault-preset name ("none" = fault-free).
+    std::size_t seeds = 1;
+    std::size_t grid = 0;  ///< Index of the grid that produced this cell.
+
+    /// The coverage coordinate: "attack|defense|fault" (attacked cells
+    /// only; clean baselines exercise no attack surface).
+    [[nodiscard]] std::string coverage_key() const;
+};
+
+/// Composes a coverage key without a compiled cell (report tooling).
+[[nodiscard]] std::string coverage_key(core::AttackKind attack,
+                                       core::DefenseKind defense,
+                                       std::string_view fault);
+
+struct Description {
+    std::string name;
+    std::string title;
+    std::string profile = "eval";
+    std::uint64_t seed = 42;
+    std::size_t grid_count = 0;
+};
+
+struct Compiled {
+    Description description;
+    std::vector<CompiledCell> cells;
+};
+
+/// Compiles a parsed description document. On failure returns nullopt and,
+/// when `error` is non-null, stores one "json-path: message" diagnostic.
+[[nodiscard]] std::optional<Compiled> compile(const obs::Json& doc,
+                                              std::string* error);
+
+/// Reads, parses and compiles `path`; errors are prefixed with the path.
+[[nodiscard]] std::optional<Compiled> compile_file(const std::string& path,
+                                                   std::string* error);
+
+/// First cell matching the coordinates, or nullptr. The benches use this to
+/// address their matrices by meaning instead of by raw index.
+[[nodiscard]] const CompiledCell* find_cell(
+    const std::vector<CompiledCell>& cells, core::AttackKind attack,
+    bool with_attack, core::DefenseKind defense = kNoDefense,
+    std::string_view fault = "none");
+
+}  // namespace platoon::scen

@@ -1,0 +1,7 @@
+// Fixture: the scenario compiler reaching up into the evaluation harness.
+// scen sits above core but below eval -- a description names attacks and
+// composes configs; running them is eval's job. Never compiled.
+#include "scen/schema.hpp"
+#include "eval/harness.hpp"  // line 5: layering (scen -> eval)
+
+int touch() { return 0; }

@@ -162,6 +162,21 @@ TEST(Platoonlint, FlagsFaultLayeringViolation) {
     EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
 }
 
+TEST(Platoonlint, FlagsScenLayeringViolation) {
+    // The scenario compiler composes configs and names attacks; running
+    // them belongs to eval, one layer up.
+    const RunResult r = run_lint(fixture_args("src/scen/bad_layering.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/scen/bad_layering.cpp:5: error: "
+                            "[layering]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("`scen` must not include `eval`"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
 TEST(Platoonlint, JustifiedSuppressionSilencesFinding) {
     const RunResult r =
         run_lint(fixture_args("src/detect/suppressed_detector.cpp"));
@@ -199,10 +214,11 @@ TEST(Platoonlint, WholeFixtureTreeCountsEverySeededViolation) {
                  std::string(LINT_FIXTURE_DIR));
     EXPECT_EQ(r.exit_code, 1) << r.output;
     // entropy(2) + wallclock(3+1 steady) + unordered(2) + cheating(2: decl
-    // + read) + layering(1) + fault layering(1) + bare_suppression(2: decl
-    // + read) + steady_probe(1) = 15; the justified suppressions in
-    // suppressed_detector.cpp and timer_sanctioned.cpp contribute none.
-    EXPECT_NE(r.output.find("15 finding(s)"), std::string::npos) << r.output;
+    // + read) + layering(1) + fault layering(1) + scen layering(1) +
+    // bare_suppression(2: decl + read) + steady_probe(1) = 16; the
+    // justified suppressions in suppressed_detector.cpp and
+    // timer_sanctioned.cpp contribute none.
+    EXPECT_NE(r.output.find("16 finding(s)"), std::string::npos) << r.output;
 }
 
 TEST(Platoonlint, RealTreeIsClean) {

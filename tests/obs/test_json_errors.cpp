@@ -1,0 +1,86 @@
+// obs::Json parse-error paths: the parser is the trust boundary for every
+// on-disk artifact (bench JSON, coverage ledgers, scenario descriptions),
+// so malformed input must come back as nullopt -- never a partial value, a
+// silently-dropped key, or unbounded recursion.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+
+using platoon::obs::Json;
+
+TEST(JsonParseErrors, TruncatedInputIsRejected) {
+    for (const char* text :
+         {"", "{", "[", "{\"a\"", "{\"a\":", "{\"a\": 1", "[1, 2",
+          "\"unterminated", "{\"a\": \"b", "tru", "nul", "-"}) {
+        EXPECT_FALSE(Json::parse(text).has_value()) << text;
+    }
+}
+
+TEST(JsonParseErrors, TrailingJunkIsRejected) {
+    EXPECT_FALSE(Json::parse("{} {}").has_value());
+    EXPECT_FALSE(Json::parse("1 2").has_value());
+    EXPECT_FALSE(Json::parse("[1] x").has_value());
+}
+
+TEST(JsonParseErrors, BadEscapesAreRejected) {
+    EXPECT_FALSE(Json::parse("\"\\q\"").has_value());     // unknown escape
+    EXPECT_FALSE(Json::parse("\"\\u12\"").has_value());   // short \u
+    EXPECT_FALSE(Json::parse("\"\\u12zx\"").has_value()); // non-hex \u
+    EXPECT_FALSE(Json::parse("\"\\\"").has_value());      // escape then EOF
+    // The well-formed versions parse fine.
+    const auto ok = Json::parse("\"a\\u0041\\n\"");
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->as_string(), "aA\n");
+}
+
+TEST(JsonParseErrors, DuplicateObjectKeysAreRejected) {
+    EXPECT_FALSE(Json::parse(R"({"a": 1, "a": 2})").has_value());
+    EXPECT_FALSE(
+        Json::parse(R"({"a": 1, "b": {"c": 1, "c": 2}})").has_value());
+    // Same key at different depths is legitimate.
+    const auto ok = Json::parse(R"({"a": {"a": 1}})");
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->at("a").at("a").as_int(), 1);
+}
+
+TEST(JsonParseErrors, NestingBeyondTheDepthCapIsRejected) {
+    // 96 levels parse; 97 do not -- and neither smashes the stack.
+    const auto nested = [](int depth) {
+        std::string text;
+        for (int i = 0; i < depth; ++i) text += '[';
+        text += '1';
+        for (int i = 0; i < depth; ++i) text += ']';
+        return text;
+    };
+    EXPECT_TRUE(Json::parse(nested(96)).has_value());
+    EXPECT_FALSE(Json::parse(nested(97)).has_value());
+    EXPECT_FALSE(Json::parse(nested(10000)).has_value());
+
+    std::string objects;
+    for (int i = 0; i < 200; ++i) objects += "{\"k\":";
+    objects += "1";
+    for (int i = 0; i < 200; ++i) objects += '}';
+    EXPECT_FALSE(Json::parse(objects).has_value());
+}
+
+TEST(JsonParseErrors, MalformedNumbersAreRejected) {
+    EXPECT_FALSE(Json::parse("1.2.3").has_value());
+    EXPECT_FALSE(Json::parse("1e").has_value());
+    EXPECT_FALSE(Json::parse("--1").has_value());
+}
+
+TEST(JsonParseErrors, IntAndDoubleStayDistinctThroughRoundTrip) {
+    // The property the byte-identical scenario migration leans on: "0.95"
+    // re-parses as the same double a C++ literal produces, and integers
+    // stay integers.
+    const auto doc = Json::parse(R"({"i": 42, "d": 0.95})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(doc->at("i").is_int());
+    EXPECT_FALSE(doc->at("d").is_int());
+    EXPECT_EQ(doc->at("d").as_double(), 0.95);
+    const auto again = Json::parse(doc->dump());
+    ASSERT_TRUE(again.has_value());
+    EXPECT_TRUE(*again == *doc);
+}

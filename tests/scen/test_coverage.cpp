@@ -1,0 +1,132 @@
+// Coverage-tracker tests: the space/covered bookkeeping, the on-disk
+// ledger round-trip (scenfuzz's persistence), and the report surface the
+// CI coverage job prints.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "scen/coverage.hpp"
+#include "scen/schema.hpp"
+
+namespace ps = platoon::scen;
+using platoon::obs::Json;
+
+namespace {
+
+std::vector<ps::CompiledCell> compile_cells(const char* text) {
+    const std::optional<Json> doc = Json::parse(text);
+    EXPECT_TRUE(doc.has_value());
+    std::string error;
+    const auto compiled = ps::compile(*doc, &error);
+    EXPECT_TRUE(compiled.has_value()) << error;
+    return compiled ? compiled->cells : std::vector<ps::CompiledCell>{};
+}
+
+const char* kSpace = R"({
+  "name": "space",
+  "grids": [{
+    "axes": {
+      "attacks": ["replay", "jamming"],
+      "defenses": ["none", "roadside-units"],
+      "attacked": [true]
+    }
+  }]
+})";
+
+/// A temp path that is removed when the test ends.
+struct TempFile {
+    std::string path;
+    explicit TempFile(const char* name)
+        : path(std::string(::testing::TempDir()) + name) {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(ScenCoverage, UncoveredListsCellsNeverMarked) {
+    ps::Coverage coverage;
+    coverage.add_space(compile_cells(kSpace));
+    EXPECT_EQ(coverage.space_size(), 4u);
+    EXPECT_EQ(coverage.covered_in_space(), 0u);
+
+    coverage.mark_covered(compile_cells(R"({
+      "name": "bench",
+      "grids": [{"axes": {"attacks": ["replay"], "attacked": [true]}}]
+    })"));
+    EXPECT_EQ(coverage.covered_in_space(), 1u);
+    const auto uncovered = coverage.uncovered();
+    ASSERT_EQ(uncovered.size(), 3u);
+    // Sorted key order: the report surface is deterministic.
+    EXPECT_EQ(uncovered[0], "jamming|none|none");
+    EXPECT_EQ(uncovered[1], "jamming|roadside-units|none");
+    EXPECT_EQ(uncovered[2], "replay|roadside-units|none");
+}
+
+TEST(ScenCoverage, CoveredKeysOutsideTheSpaceDoNotCount) {
+    ps::Coverage coverage;
+    coverage.add_space(compile_cells(kSpace));
+    coverage.mark_covered_key("malware|none|none");  // not in this space
+    EXPECT_EQ(coverage.covered_in_space(), 0u);
+    EXPECT_EQ(coverage.uncovered().size(), 4u);
+}
+
+TEST(ScenCoverage, LedgerRoundTripsThroughDisk) {
+    TempFile ledger("scen_coverage_ledger.json");
+    {
+        ps::Coverage coverage;
+        coverage.mark_covered_key("replay|none|none");
+        coverage.mark_covered_key("jamming|roadside-units|none");
+        std::ofstream out(ledger.path, std::ios::binary);
+        out << coverage.ledger_json().dump();
+    }
+    ps::Coverage merged;
+    merged.add_space(compile_cells(kSpace));
+    std::string error;
+    ASSERT_TRUE(merged.merge_ledger_file(ledger.path, &error)) << error;
+    EXPECT_EQ(merged.covered_in_space(), 2u);
+}
+
+TEST(ScenCoverage, MissingLedgerIsFirstRunNotAnError) {
+    ps::Coverage coverage;
+    std::string error;
+    EXPECT_TRUE(coverage.merge_ledger_file(
+        std::string(::testing::TempDir()) + "no_such_ledger.json", &error));
+}
+
+TEST(ScenCoverage, MalformedLedgerIsAnError) {
+    TempFile ledger("scen_coverage_bad_ledger.json");
+    std::ofstream(ledger.path, std::ios::binary) << "{\"covered\": 7}";
+    ps::Coverage coverage;
+    std::string error;
+    EXPECT_FALSE(coverage.merge_ledger_file(ledger.path, &error));
+    EXPECT_NE(error.find("malformed coverage ledger"), std::string::npos)
+        << error;
+}
+
+TEST(ScenCoverage, ReportCountsSilentCounters) {
+    ps::Coverage coverage;
+    coverage.add_space(compile_cells(kSpace));
+    coverage.mark_covered_key("replay|none|none");
+    const std::map<std::string, std::uint64_t> counters{
+        {"net.sent", 120}, {"fault.clock.skews", 0}};
+    const Json report = coverage.report_json(counters);
+    EXPECT_EQ(report.at("space_cells").as_int(), 4);
+    EXPECT_EQ(report.at("covered_cells").as_int(), 1);
+    ASSERT_EQ(report.at("uncovered").as_array().size(), 3u);
+    ASSERT_EQ(report.at("counters_never_fired").as_array().size(), 1u);
+    EXPECT_EQ(report.at("counters_never_fired").as_array()[0].as_string(),
+              "fault.clock.skews");
+
+    std::ostringstream os;
+    coverage.print_report(os, counters);
+    EXPECT_NE(os.str().find("1/4 attack|defense|fault cells covered"),
+              std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("silent: fault.clock.skews"), std::string::npos)
+        << os.str();
+}

@@ -110,15 +110,21 @@ const std::map<std::string, std::set<std::string>>& layer_allow() {
         {"core",
          {"core", "control", "crypto", "defense", "fault", "net", "phys",
           "rsu", "sim", "obs", "base"}},
+        // scen compiles declarative descriptions into ScenarioConfigs: it
+        // sits directly above core but below security/eval -- a description
+        // names attacks, it never instantiates or runs them.
+        {"scen",
+         {"scen", "core", "control", "crypto", "defense", "fault", "net",
+          "phys", "rsu", "sim", "obs", "base"}},
         {"security",
          {"security", "core", "control", "crypto", "defense", "fault", "net",
           "phys", "rsu", "sim", "obs", "base"}},
         {"eval",
-         {"eval", "security", "core", "control", "crypto", "defense", "fault",
-          "net", "phys", "rsu", "sim", "obs", "base"}},
-        {"detect",
-         {"detect", "eval", "security", "core", "control", "crypto", "defense",
+         {"eval", "scen", "security", "core", "control", "crypto", "defense",
           "fault", "net", "phys", "rsu", "sim", "obs", "base"}},
+        {"detect",
+         {"detect", "eval", "scen", "security", "core", "control", "crypto",
+          "defense", "fault", "net", "phys", "rsu", "sim", "obs", "base"}},
     };
     return allow;
 }

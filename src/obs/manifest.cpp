@@ -53,6 +53,7 @@ Manifest make_manifest(std::string bench, std::string scenario,
 Json manifest_json(const Manifest& manifest) {
     Json j = Json::object();
     j.set("bench", Json::string(manifest.bench));
+    // platoonlint: allow(stream-registry) JSON key, not a RandomStream name
     j.set("scenario", Json::string(manifest.scenario));
     j.set("seed", Json::integer(static_cast<std::int64_t>(manifest.seed)));
     j.set("jobs", Json::integer(static_cast<std::int64_t>(manifest.jobs)));

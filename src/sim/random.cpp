@@ -10,7 +10,30 @@ namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
 }
+
+constexpr StreamDecl kStreamManifest[] = {
+#define PLATOON_STREAM(name, owner, doc) {name, owner, false},
+#define PLATOON_STREAM_PREFIX(prefix, owner, doc) {prefix, owner, true},
+#include "sim/streams.def"
+#undef PLATOON_STREAM
+#undef PLATOON_STREAM_PREFIX
+};
 }  // namespace
+
+std::span<const StreamDecl> declared_streams() { return kStreamManifest; }
+
+bool stream_declared(std::string_view name) {
+    for (const StreamDecl& d : kStreamManifest) {
+        if (!d.is_prefix) {
+            if (name == d.name) return true;
+            continue;
+        }
+        if (name.substr(0, d.name.size()) == d.name) return true;
+        // "vehicle" is the prefix family "vehicle." minus the dot.
+        if (name == d.name.substr(0, d.name.size() - 1)) return true;
+    }
+    return false;
+}
 
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
     SplitMix64 sm(seed);

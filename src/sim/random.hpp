@@ -9,9 +9,27 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 namespace platoon::sim {
+
+/// One entry of the stream manifest (src/sim/streams.def). Stream names are
+/// cross-TU contracts: the seed derivation hashes the name, so a rename
+/// re-rolls every draw the stream feeds. The manifest pins the names and
+/// platoonlint's stream-registry rule enforces it lexically.
+struct StreamDecl {
+    std::string_view name;   ///< exact name, or dotted prefix ending in '.'
+    std::string_view owner;  ///< the one file allowed to spell the name
+    bool is_prefix;          ///< true for PLATOON_STREAM_PREFIX entries
+};
+
+/// The declared stream set, in manifest order.
+[[nodiscard]] std::span<const StreamDecl> declared_streams();
+
+/// True when `name` is declared: an exact entry, a prefix entry that
+/// `name` extends, or a prefix entry minus its trailing dot.
+[[nodiscard]] bool stream_declared(std::string_view name);
 
 /// SplitMix64: used for seeding / stream derivation (public-domain algorithm
 /// by Sebastiano Vigna).

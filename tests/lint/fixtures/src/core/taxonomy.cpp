@@ -1,0 +1,23 @@
+// Fixture: a miniature scen registry -- the scenario-names rule resolves
+// scenario JSON against the names spelled in these switch bodies. Never
+// compiled.
+enum class AttackKind { kSybil, kReplay };
+enum class DefenseKind { kControlAlgorithms };
+
+const char* to_string(AttackKind k) {
+    switch (k) {
+        case AttackKind::kSybil:
+            return "sybil";
+        case AttackKind::kReplay:
+            return "replay";
+    }
+    return "?";
+}
+
+const char* to_string(DefenseKind k) {
+    switch (k) {
+        case DefenseKind::kControlAlgorithms:
+            return "control-algorithms";
+    }
+    return "?";
+}

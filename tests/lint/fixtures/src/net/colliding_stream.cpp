@@ -1,0 +1,14 @@
+// Fixture: spells a stream name owned by src/sim/stream_owner.cpp -- two
+// subsystems drawing from one stream share its draw sequence, so the
+// stream-registry rule must flag the collision. Never compiled.
+namespace sim {
+struct RandomStream {
+    RandomStream(unsigned long, const char*) {}
+    double uniform() { return 0.5; }
+};
+}  // namespace sim
+
+double draw_stolen(unsigned long seed) {
+    sim::RandomStream stream(seed, "fixture.owned");
+    return stream.uniform();
+}

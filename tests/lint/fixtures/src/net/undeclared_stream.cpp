@@ -1,0 +1,13 @@
+// Fixture: names a stream absent from src/sim/streams.def -- every named
+// stream must be declared in the manifest before use. Never compiled.
+namespace sim {
+struct RandomStream {
+    RandomStream(unsigned long, const char*) {}
+    double uniform() { return 0.5; }
+};
+}  // namespace sim
+
+double draw_rogue(unsigned long seed) {
+    sim::RandomStream stream(seed, "fixture.rogue");
+    return stream.uniform();
+}

@@ -1,0 +1,14 @@
+// Fixture: a counter name that breaks the dotted-lowercase convention --
+// baselines key on these strings, so style drift fragments the namespace.
+// Never compiled.
+namespace obs {
+struct Counter {
+    explicit Counter(const char*) {}
+    void add(long) {}
+};
+}  // namespace obs
+
+void count_bad() {
+    static obs::Counter bad("FixtureCamelCase");
+    bad.add(1);
+}

@@ -1,0 +1,14 @@
+// Fixture: two translation units exporting the same counter name -- the
+// counter-contract rule must flag BOTH sites (a merged count is silently
+// wrong in whichever baseline reads it). Never compiled.
+namespace obs {
+struct Counter {
+    explicit Counter(const char*) {}
+    void add(long) {}
+};
+}  // namespace obs
+
+void count_drops_a() {
+    static obs::Counter dropped("fixture.dup");
+    dropped.add(1);
+}

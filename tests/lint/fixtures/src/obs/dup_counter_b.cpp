@@ -1,0 +1,13 @@
+// Fixture: second definition of "fixture.dup" (see dup_counter_a.cpp).
+// Never compiled.
+namespace obs {
+struct Counter {
+    explicit Counter(const char*) {}
+    void add(long) {}
+};
+}  // namespace obs
+
+void count_drops_b() {
+    static obs::Counter dropped("fixture.dup");
+    dropped.add(1);
+}

@@ -1,0 +1,12 @@
+// Fixture: suppressions that match nothing. One names a rule that never
+// fires at this site (stale), one names a rule that does not exist; the
+// stale-suppression rule must flag both. Never compiled.
+int add(int a, int b) {
+    // platoonlint: allow(no-wallclock) fixture: nothing below reads a clock
+    return a + b;
+}
+
+int mul(int a, int b) {
+    // platoonlint: allow(not-a-rule) fixture: misspelled rule id
+    return a * b;
+}

@@ -1,0 +1,13 @@
+// Fixture: the legitimate owner of "fixture.owned" -- this file must stay
+// clean under the stream-registry rule. Never compiled.
+namespace sim {
+struct RandomStream {
+    RandomStream(unsigned long, const char*) {}
+    double uniform() { return 0.5; }
+};
+}  // namespace sim
+
+double draw_owned(unsigned long seed) {
+    sim::RandomStream stream(seed, "fixture.owned");
+    return stream.uniform();
+}

@@ -6,7 +6,10 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <sys/wait.h>
 
@@ -215,10 +218,232 @@ TEST(Platoonlint, WholeFixtureTreeCountsEverySeededViolation) {
     EXPECT_EQ(r.exit_code, 1) << r.output;
     // entropy(2) + wallclock(3+1 steady) + unordered(2) + cheating(2: decl
     // + read) + layering(1) + fault layering(1) + scen layering(1) +
-    // bare_suppression(2: decl + read) + steady_probe(1) = 16; the
+    // bare_suppression(2: decl + read) + steady_probe(1) = 16 per-file,
+    // plus the cross-TU set: dup counter(2 sites) + counter style(1) +
+    // baseline ghost(1) + stream collision(1) + undeclared stream(1) +
+    // unused manifest entry(1) + unknown scenario attack(1) + stale
+    // suppression(1) + unknown-rule suppression(1) = 10, total 26. The
     // justified suppressions in suppressed_detector.cpp and
     // timer_sanctioned.cpp contribute none.
-    EXPECT_NE(r.output.find("16 finding(s)"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("26 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, FlagsDuplicateCounterAtBothSites) {
+    // Linting ONE file still surfaces the cross-TU duplicate: the name
+    // index always covers the full tree, scope only filters the report.
+    const RunResult r = run_lint(fixture_args("src/obs/dup_counter_a.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/obs/dup_counter_a.cpp:12: error: "
+                            "[counter-contract]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("also at src/obs/dup_counter_b.cpp:11"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, FlagsCounterStyleDrift) {
+    const RunResult r =
+        run_lint(fixture_args("src/obs/bad_counter_style.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/obs/bad_counter_style.cpp:12: error: "
+                            "[counter-contract]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("not dotted-lowercase"), std::string::npos)
+        << r.output;
+}
+
+TEST(Platoonlint, FlagsBaselineCounterWithNoDefinition) {
+    const RunResult r =
+        run_lint(fixture_args("bench/baselines/BENCH_fixture.json"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(
+        r.output.find("bench/baselines/BENCH_fixture.json:5: error: "
+                      "[counter-contract]"),
+        std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("'fixture.ghost' has no obs::Counter"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(Platoonlint, FlagsStreamNameCollisionFromSingleFile) {
+    // The collision is cross-TU (owner lives in src/sim/) but must be
+    // reported even when only the colliding file is linted.
+    const RunResult r =
+        run_lint(fixture_args("src/net/colliding_stream.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/net/colliding_stream.cpp:12: error: "
+                            "[stream-registry]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("owned by src/sim/stream_owner.cpp"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, FlagsUndeclaredStreamName) {
+    const RunResult r =
+        run_lint(fixture_args("src/net/undeclared_stream.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/net/undeclared_stream.cpp:11: error: "
+                            "[stream-registry]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(
+        r.output.find("'fixture.rogue' is not declared in "
+                      "src/sim/streams.def"),
+        std::string::npos)
+        << r.output;
+}
+
+TEST(Platoonlint, FlagsDeclaredButUnusedManifestEntry) {
+    const RunResult r = run_lint(fixture_args("src/sim/streams.def"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/sim/streams.def:7: error: "
+                            "[stream-registry]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("'fixture.unused' is declared but spelled "
+                            "nowhere"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(Platoonlint, FlagsUnknownScenarioName) {
+    const RunResult r =
+        run_lint(fixture_args("scenarios/unknown_attack.json"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("scenarios/unknown_attack.json:4: error: "
+                            "[scenario-names]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("unknown attack 'time-travel'"),
+              std::string::npos)
+        << r.output;
+    // The resolvable vocabulary comes from the fixture registry switch.
+    EXPECT_NE(r.output.find("replay, sybil"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, FlagsStaleAndUnknownRuleSuppressions) {
+    const RunResult r = run_lint(fixture_args("src/obs/stale_allow.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("src/obs/stale_allow.cpp:5: error: "
+                            "[stale-suppression]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("rule 'no-wallclock' no longer fires here"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/obs/stale_allow.cpp:10: error: "
+                            "[stale-suppression]"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("unknown rule 'not-a-rule'"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("2 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, RulesFlagRestrictsReportedRules) {
+    const RunResult r = run_lint("--rules no-wallclock " +
+                                 fixture_args("src/core/wallclock.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // The steady_clock read at :20 is a different rule and must be muted.
+    EXPECT_EQ(r.output.find("no-steady-clock"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("3 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, UnknownRuleIdExitsTwo) {
+    const RunResult r = run_lint("--rules definitely-not-a-rule --root " +
+                                 std::string(LINT_FIXTURE_DIR));
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(Platoonlint, SarifOutputHasSchemaShape) {
+    const std::string sarif_path =
+        ::testing::TempDir() + "platoonlint_test.sarif";
+    const RunResult r = run_lint("--sarif " + sarif_path + " " +
+                                 fixture_args("src/core/bad_layering.cpp"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    std::ifstream in(sarif_path);
+    ASSERT_TRUE(in.good()) << sarif_path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string sarif = buf.str();
+    EXPECT_NE(sarif.find("\"$schema\""), std::string::npos);
+    EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"platoonlint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"layering\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"uri\": \"src/core/bad_layering.cpp\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+    // Every rule is documented in the driver block, findings or not.
+    EXPECT_NE(sarif.find("\"id\": \"stream-registry\""), std::string::npos);
+    std::remove(sarif_path.c_str());
+}
+
+namespace {
+
+// Error lines mentioning any of `files`, in report order.
+std::vector<std::string> error_lines_for(const std::string& output,
+                                         const std::vector<std::string>& files) {
+    std::vector<std::string> out;
+    std::istringstream in(output);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find(": error: ") == std::string::npos) continue;
+        for (const std::string& f : files)
+            if (line.compare(0, f.size(), f) == 0) {
+                out.push_back(line);
+                break;
+            }
+    }
+    return out;
+}
+
+}  // namespace
+
+TEST(Platoonlint, FileListModeMatchesWholeTreeOnSameFiles) {
+    // The contract behind --diff-base: linting a subset of files reports
+    // exactly the findings the whole-tree run attributes to those files,
+    // cross-TU rules included.
+    const std::vector<std::string> files = {
+        "src/net/colliding_stream.cpp", "src/net/undeclared_stream.cpp"};
+    const RunResult whole =
+        run_lint("--root " + std::string(LINT_FIXTURE_DIR) + " " +
+                 std::string(LINT_FIXTURE_DIR));
+    const RunResult subset =
+        run_lint("--root " + std::string(LINT_FIXTURE_DIR) + " " +
+                 fixture(files[0]) + " " + fixture(files[1]));
+    EXPECT_EQ(whole.exit_code, 1) << whole.output;
+    EXPECT_EQ(subset.exit_code, 1) << subset.output;
+    const std::vector<std::string> expect =
+        error_lines_for(whole.output, files);
+    const std::vector<std::string> got =
+        error_lines_for(subset.output, files);
+    EXPECT_EQ(expect, got) << subset.output;
+    EXPECT_FALSE(got.empty());
+}
+
+TEST(Platoonlint, DiffBaseUnknownRefExitsTwo) {
+    const RunResult r =
+        run_lint("--root " + std::string(REPO_SOURCE_DIR) +
+                 " --diff-base definitely-not-a-git-ref");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(Platoonlint, DiffBaseHeadRunsTheDiffMachinery) {
+    // The diff may be empty (clean checkout) or carry in-flight edits;
+    // either way the run must succeed, not die in the git plumbing.
+    const RunResult r = run_lint("--root " +
+                                 std::string(REPO_SOURCE_DIR) +
+                                 " --diff-base HEAD");
+    EXPECT_TRUE(r.exit_code == 0 || r.exit_code == 1) << r.output;
 }
 
 TEST(Platoonlint, RealTreeIsClean) {
@@ -233,12 +458,14 @@ TEST(Platoonlint, BadPathExitsTwo) {
     EXPECT_EQ(r.exit_code, 2) << r.output;
 }
 
-TEST(Platoonlint, ListRulesDocumentsAllSix) {
+TEST(Platoonlint, ListRulesDocumentsAllTen) {
     const RunResult r = run_lint("--list-rules");
     EXPECT_EQ(r.exit_code, 0) << r.output;
     for (const char* rule :
          {"no-unseeded-random", "no-wallclock", "no-steady-clock",
-          "no-unordered-iteration", "oracle-isolation", "layering"}) {
+          "no-unordered-iteration", "oracle-isolation", "layering",
+          "counter-contract", "stream-registry", "scenario-names",
+          "stale-suppression"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
     }
 }

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <string_view>
 
 #include "sim/random.hpp"
 #include "sim/trace.hpp"
@@ -27,6 +29,39 @@ TEST(Random, DifferentSeedsDiffer) {
     RandomStream a(1, "s");
     RandomStream b(2, "s");
     EXPECT_NE(a.bits(), b.bits());
+}
+
+TEST(StreamManifest, DeclaredStreamsAreUniqueAndWellFormed) {
+    const auto decls = platoon::sim::declared_streams();
+    ASSERT_FALSE(decls.empty());
+    std::set<std::string_view> names;
+    for (const auto& d : decls) {
+        EXPECT_TRUE(names.insert(d.name).second)
+            << "duplicate manifest entry: " << d.name;
+        EXPECT_FALSE(d.owner.empty()) << d.name;
+        // Names are dotted-lowercase; prefixes must end in '.' so an
+        // extension can never collide with a sibling exact name.
+        for (char c : d.name)
+            EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '.' || c == '_')
+                << d.name;
+        if (d.is_prefix) EXPECT_EQ(d.name.back(), '.') << d.name;
+    }
+}
+
+TEST(StreamManifest, StreamDeclaredResolvesExactPrefixAndBareForms) {
+    using platoon::sim::stream_declared;
+    EXPECT_TRUE(stream_declared("channel.fading"));
+    EXPECT_TRUE(stream_declared("scenario"));
+    // Prefix family: any extension, the prefix itself, and the bare form.
+    EXPECT_TRUE(stream_declared("vehicle.7"));
+    EXPECT_TRUE(stream_declared("vehicle."));
+    EXPECT_TRUE(stream_declared("vehicle"));
+    EXPECT_TRUE(stream_declared("fault.burstloss.0"));
+    EXPECT_FALSE(stream_declared("fixture.rogue"));
+    EXPECT_FALSE(stream_declared("channel"));
+    EXPECT_FALSE(stream_declared("channel.fading.extra"));
+    EXPECT_FALSE(stream_declared(""));
 }
 
 TEST(Random, UniformInUnitInterval) {

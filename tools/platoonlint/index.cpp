@@ -1,0 +1,359 @@
+#include "index.hpp"
+
+#include <algorithm>
+
+namespace platoonlint {
+
+namespace {
+
+bool in_src(const std::string& rel) { return starts_with(rel, "src/"); }
+
+/// After a type token like `Counter` or `RandomStream`, scans through the
+/// declarator chatter (template close, refs, variable name, whitespace)
+/// to the construction bracket. Returns npos when the token is not a
+/// construction site (parameter declaration, member without initializer,
+/// qualified definition, ...).
+std::size_t find_ctor_bracket(const std::string& text, std::size_t after) {
+    for (std::size_t i = after; i < text.size() && i < after + 96; ++i) {
+        const char c = text[i];
+        if (c == '(' || c == '{') return i;
+        if (is_ident(c) || c == '&' || c == '*' || c == '>' || c == ':' ||
+            c == ' ' || c == '\t' || c == '\n')
+            continue;
+        return std::string::npos;
+    }
+    return std::string::npos;
+}
+
+/// Matching close bracket for the one at `open`, or npos.
+std::size_t match_bracket(const std::string& text, std::size_t open) {
+    const char oc = text[open];
+    const char cc = oc == '(' ? ')' : '}';
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == oc) ++depth;
+        else if (text[i] == cc && --depth == 0) return i;
+    }
+    return std::string::npos;
+}
+
+/// First literal inside the bracket pair at `open`, but only before the
+/// next ';' -- that keeps `class Counter { ... };` bodies from donating a
+/// stray literal to the index.
+const StringLiteral* first_ctor_literal(const SourceFile& src,
+                                        std::size_t open) {
+    const std::size_t close = match_bracket(src.stripped, open);
+    if (close == std::string::npos) return nullptr;
+    std::size_t semi = src.stripped.find(';', open);
+    if (semi == std::string::npos) semi = src.stripped.size();
+    const std::size_t end = std::min(close, semi);
+    const auto lits = src.literals_in(open, end);
+    return lits.empty() ? nullptr : lits.front();
+}
+
+void index_counters(const SourceFile& src, NameIndex& index) {
+    struct TypeToken {
+        const char* token;
+        bool is_timer;
+    };
+    constexpr TypeToken kTypes[] = {{"Counter", false}, {"ScopedTimer", true}};
+    const std::string& text = src.stripped;
+    for (const TypeToken& t : kTypes) {
+        const std::string token = t.token;
+        std::size_t pos = 0;
+        while ((pos = text.find(token, pos)) != std::string::npos) {
+            const std::size_t hit = pos;
+            pos += token.size();
+            if (!word_at(text, hit, token)) continue;
+            const std::size_t open =
+                find_ctor_bracket(text, hit + token.size());
+            if (open == std::string::npos) continue;
+            const StringLiteral* lit = first_ctor_literal(src, open);
+            if (lit == nullptr) continue;
+            index.counters.push_back(
+                {lit->value, {src.rel, src.line_of(lit->offset)}, t.is_timer});
+        }
+    }
+}
+
+void index_stream_uses(const SourceFile& src, NameIndex& index) {
+    const std::string& text = src.stripped;
+    const auto record = [&](std::size_t open) {
+        const StringLiteral* lit = first_ctor_literal(src, open);
+        if (lit != nullptr)
+            index.stream_uses.push_back(
+                {lit->value, {src.rel, src.line_of(lit->offset)}});
+    };
+
+    // `RandomStream name(...)`, `RandomStream(...)`,
+    // `make_unique<...RandomStream>(...)`.
+    std::size_t pos = 0;
+    while ((pos = text.find("RandomStream", pos)) != std::string::npos) {
+        const std::size_t hit = pos;
+        pos += 12;
+        if (!word_at(text, hit, "RandomStream")) continue;
+        const std::size_t open = find_ctor_bracket(text, hit + 12);
+        if (open != std::string::npos) record(open);
+    }
+
+    // Member-init style: an identifier ending in `rng`/`rng_` followed by
+    // a bracket with a literal among its arguments (`rng_(seed, "name")`).
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (!is_ident(text[i])) continue;
+        const std::size_t begin = i;
+        while (i < text.size() && is_ident(text[i])) ++i;
+        const std::string id = text.substr(begin, i - begin);
+        const bool rng_name = id.size() >= 3 &&
+                              (id.compare(id.size() - 3, 3, "rng") == 0 ||
+                               (id.size() >= 4 &&
+                                id.compare(id.size() - 4, 4, "rng_") == 0));
+        if (!rng_name) continue;
+        const std::size_t after = skip_spaces(text, i);
+        if (after < text.size() &&
+            (text[after] == '(' || text[after] == '{'))
+            record(after);
+    }
+}
+
+// -----------------------------------------------------------------------
+// Registry extraction: to_string switch bodies and the scen name lists.
+
+/// When `pos` is the start of a function definition's parameter list and
+/// the function has a body, returns the body's '{'. Declarations (`;`
+/// before any '{') return npos.
+std::size_t body_after_params(const std::string& text, std::size_t open) {
+    const std::size_t close = match_bracket(text, open);
+    if (close == std::string::npos) return std::string::npos;
+    const std::size_t brace = skip_spaces(text, close + 1);
+    if (brace < text.size() && text[brace] == '{') return brace;
+    return std::string::npos;
+}
+
+/// Collects every literal in the body of `outer(inner ...)` definitions
+/// (e.g. to_string(AttackKind k) { ... }), excluding the "?" fallback.
+void body_literals(const SourceFile& src, const std::string& outer,
+                   const std::string& inner, std::set<std::string>& out) {
+    const std::string& text = src.stripped;
+    std::size_t pos = 0;
+    while ((pos = text.find(outer, pos)) != std::string::npos) {
+        const std::size_t hit = pos;
+        pos += outer.size();
+        if (!word_at(text, hit, outer)) continue;
+        std::size_t i = skip_spaces(text, hit + outer.size());
+        if (i >= text.size() || text[i] != '(') continue;
+        if (!inner.empty()) {
+            const std::size_t arg = skip_spaces(text, i + 1);
+            if (!word_at(text, arg, inner)) continue;
+        }
+        const std::size_t brace = body_after_params(text, i);
+        if (brace == std::string::npos) continue;
+        const std::size_t end = match_bracket(text, brace);
+        if (end == std::string::npos) continue;
+        for (const StringLiteral* lit : src.literals_in(brace, end))
+            if (lit->value != "?") out.insert(lit->value);
+    }
+}
+
+void index_registry(const SourceFile& src, RegistryNames& reg) {
+    body_literals(src, "to_string", "AttackKind", reg.attacks);
+    body_literals(src, "to_string", "DefenseKind", reg.defenses);
+    body_literals(src, "to_string", "ControllerType", reg.controllers);
+    body_literals(src, "auth_mode_names", "", reg.auth_modes);
+    body_literals(src, "profile_names", "", reg.profiles);
+}
+
+// -----------------------------------------------------------------------
+// Data files: stream manifest, bench baselines, scenario descriptions.
+
+void index_manifest(const fs::path& root, NameIndex& index) {
+    const fs::path path = root / "src" / "sim" / "streams.def";
+    if (!fs::exists(path)) return;
+    const auto src = load_source(path, "src/sim/streams.def");
+    if (!src) return;
+    index.manifest_found = true;
+    index.manifest_rel = src->rel;
+    struct Marker {
+        const char* token;
+        bool is_prefix;
+    };
+    // Order matters: PLATOON_STREAM is a prefix of PLATOON_STREAM_PREFIX,
+    // so the longer marker is matched first via word_at's boundary check.
+    constexpr Marker kMarkers[] = {{"PLATOON_STREAM_PREFIX", true},
+                                   {"PLATOON_STREAM", false}};
+    const std::string& text = src->stripped;
+    for (const Marker& m : kMarkers) {
+        const std::string token = m.token;
+        std::size_t pos = 0;
+        while ((pos = text.find(token, pos)) != std::string::npos) {
+            const std::size_t hit = pos;
+            pos += token.size();
+            if (!word_at(text, hit, token)) continue;
+            const std::size_t open = skip_spaces(text, hit + token.size());
+            if (open >= text.size() || text[open] != '(') continue;
+            const std::size_t close = match_bracket(text, open);
+            if (close == std::string::npos) continue;
+            const auto lits = src->literals_in(open, close);
+            if (lits.size() < 2) continue;
+            index.stream_decls.push_back({lits[0]->value, lits[1]->value,
+                                          m.is_prefix,
+                                          src->line_of(lits[0]->offset)});
+        }
+    }
+    std::sort(index.stream_decls.begin(), index.stream_decls.end(),
+              [](const StreamDecl& a, const StreamDecl& b) {
+                  return a.line < b.line;
+              });
+}
+
+void index_baselines(const fs::path& root, NameIndex& index) {
+    const fs::path dir = root / "bench" / "baselines";
+    if (!fs::is_directory(dir)) return;
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+        if (ec) break;
+        if (it->path().extension() == ".json") files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& path : files) {
+        const std::string rel = relative_to_root(path, root);
+        const auto src = load_source(path, rel);
+        if (!src) continue;
+        const auto doc = parse_json(src->raw);
+        if (!doc || !doc->is_object()) {
+            index.malformed_baselines.push_back(rel);
+            continue;
+        }
+        const JsonNode* counters = doc->find("counters");
+        if (counters == nullptr || !counters->is_object()) continue;
+        for (const auto& [key, value] : counters->members)
+            index.baseline_keys.push_back({key, {rel, value.line}});
+    }
+}
+
+/// Walks a scenario document for registry-name uses. `presets` holds the
+/// file's fault_presets keys (collected before grids are visited --
+/// fault_presets is a top-level key, so one pre-pass suffices).
+void scenario_walk(const JsonNode& node, const std::string& rel,
+                   const std::vector<std::string>& fault_candidates,
+                   NameIndex& index) {
+    if (node.is_object()) {
+        for (const auto& [key, value] : node.members) {
+            if (key == "controller" && value.is_string()) {
+                index.scenario_uses.push_back(
+                    {"controller", value.text, {rel, value.line}, {}});
+            } else if (key == "auth_mode" && value.is_string()) {
+                index.scenario_uses.push_back(
+                    {"auth-mode", value.text, {rel, value.line}, {}});
+            } else if (key == "axes" && value.is_object()) {
+                struct Axis {
+                    const char* key;
+                    const char* kind;
+                };
+                constexpr Axis kAxes[] = {{"attacks", "attack"},
+                                          {"defenses", "defense"},
+                                          {"faults", "fault"}};
+                for (const Axis& axis : kAxes) {
+                    const JsonNode* arr = value.find(axis.key);
+                    if (arr == nullptr || !arr->is_array()) continue;
+                    for (const JsonNode& item : arr->items) {
+                        if (!item.is_string()) continue;
+                        ScenarioNameUse use{axis.kind, item.text,
+                                            {rel, item.line},
+                                            {}};
+                        if (use.kind == "fault")
+                            use.candidates = fault_candidates;
+                        index.scenario_uses.push_back(std::move(use));
+                    }
+                }
+            }
+            scenario_walk(value, rel, fault_candidates, index);
+        }
+    } else if (node.is_array()) {
+        for (const JsonNode& item : node.items)
+            scenario_walk(item, rel, fault_candidates, index);
+    }
+}
+
+void index_scenarios(const fs::path& root, NameIndex& index) {
+    const fs::path dir = root / "scenarios";
+    if (!fs::is_directory(dir)) return;
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+        if (ec) break;
+        if (it->path().extension() == ".json") files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& path : files) {
+        const std::string rel = relative_to_root(path, root);
+        const auto src = load_source(path, rel);
+        if (!src) continue;
+        const auto doc = parse_json(src->raw);
+        if (!doc || !doc->is_object()) {
+            index.scenario_uses.push_back({"malformed", "", {rel, 1}, {}});
+            continue;
+        }
+        const JsonNode* profile = doc->find("profile");
+        if (profile != nullptr && profile->is_string())
+            index.scenario_uses.push_back(
+                {"profile", profile->text, {rel, profile->line}, {}});
+        // Fault axis candidates: this file's preset names plus the
+        // schema's sentinels ("none" always; "all" = every preset).
+        std::vector<std::string> fault_candidates{"none", "all"};
+        const JsonNode* presets = doc->find("fault_presets");
+        if (presets != nullptr && presets->is_object())
+            for (const auto& [key, value] : presets->members) {
+                (void)value;
+                fault_candidates.push_back(key);
+            }
+        scenario_walk(*doc, rel, fault_candidates, index);
+    }
+}
+
+/// Literals on preprocessor lines (#include paths, mostly) are not names
+/// the contracts care about and must not trip the collision scan.
+bool preprocessor_literal(const SourceFile& src, std::size_t offset) {
+    const int line = src.line_of(offset);
+    if (line < 1 || line > static_cast<int>(src.line_starts.size()))
+        return false;
+    const std::size_t begin =
+        src.line_starts[static_cast<std::size_t>(line) - 1];
+    const std::size_t i = skip_spaces(src.raw, begin);
+    return i < src.raw.size() && src.raw[i] == '#';
+}
+
+}  // namespace
+
+bool NameIndex::stream_declared(const std::string& name) const {
+    for (const StreamDecl& d : stream_decls) {
+        if (!d.is_prefix) {
+            if (name == d.name) return true;
+        } else if (starts_with(name, d.name) ||
+                   name + "." == d.name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void index_source(const SourceFile& src, NameIndex& index) {
+    if (!in_src(src.rel)) return;
+    index_counters(src, index);
+    index_stream_uses(src, index);
+    index_registry(src, index.registry);
+    for (const StringLiteral& lit : src.literals)
+        if (!preprocessor_literal(src, lit.offset))
+            index.src_literals.push_back(
+                {lit.value, {src.rel, src.line_of(lit.offset)}});
+}
+
+void index_data_files(const fs::path& root, NameIndex& index) {
+    index_manifest(root, index);
+    index_baselines(root, index);
+    index_scenarios(root, index);
+}
+
+}  // namespace platoonlint

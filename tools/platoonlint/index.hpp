@@ -1,0 +1,123 @@
+// platoonlint name index: the cross-TU pass.
+//
+// The simulator's reproducibility hangs on three string-keyed contracts
+// that no compiler checks: obs::Counter dotted names pinned by the bench
+// baselines, sim::RandomStream names whose FNV-1a hash seeds every
+// stochastic component (a silent collision makes two subsystems draw from
+// one stream), and the scen registry names that scenarios/*.json compile
+// against. This unit scans the whole tree once and records every such
+// name with its site, so the rules in rules.cpp can check the contracts
+// globally -- even when only a subset of files is being linted.
+//
+// Everything here is lexical, like the per-file rules: literals come from
+// the scanner's stripped-text pass, registry names are pulled out of the
+// to_string switch bodies, and the stream manifest (src/sim/streams.def)
+// and JSON data files are parsed with the scanner's own readers.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scanner.hpp"
+
+namespace platoonlint {
+
+struct NameSite {
+    std::string file;  ///< Root-relative path.
+    int line = 0;
+};
+
+/// An obs::Counter or obs::ScopedTimer construction with a literal name.
+struct CounterDef {
+    std::string name;
+    NameSite site;
+    bool is_timer = false;
+};
+
+/// A sim::RandomStream construction (or *_rng member init) whose name
+/// argument is a string literal at the site.
+struct StreamUse {
+    std::string name;
+    NameSite site;
+};
+
+/// Any string literal in a src/ translation unit. The collision half of
+/// the stream-registry rule scans these: a literal that spells a declared
+/// stream name outside its owner file is exactly the silent-collision
+/// hazard the manifest exists to prevent.
+struct SrcLiteral {
+    std::string value;
+    NameSite site;
+};
+
+/// One entry of src/sim/streams.def. `is_prefix` entries end in '.' and
+/// cover a family ("vehicle." covers "vehicle.0", and "vehicle" itself --
+/// the prefix minus its trailing dot -- for id-suffixed builders).
+struct StreamDecl {
+    std::string name;
+    std::string owner;  ///< Root-relative file allowed to spell the name.
+    bool is_prefix = false;
+    int line = 0;  ///< Line in the manifest.
+};
+
+/// A counter key read from a bench/baselines/*.json "counters" object.
+struct BaselineKey {
+    std::string name;
+    NameSite site;
+};
+
+/// A registry-resolved name used by a scenarios/*.json description.
+/// `kind` is one of: profile, attack, defense, fault, controller,
+/// auth-mode, malformed. Fault candidates are per-file (the preset names
+/// declared beside the use), so they ride along in `candidates`.
+struct ScenarioNameUse {
+    std::string kind;
+    std::string value;
+    NameSite site;
+    std::vector<std::string> candidates;  ///< Fault kind only.
+};
+
+/// Registry name sets extracted from to_string switch bodies and the
+/// scen registry name-list functions. Empty sets disable the matching
+/// scenario-names check (a partial tree cannot prove a name wrong).
+struct RegistryNames {
+    std::set<std::string> attacks;
+    std::set<std::string> defenses;
+    std::set<std::string> controllers;
+    std::set<std::string> auth_modes;
+    std::set<std::string> profiles;
+};
+
+struct NameIndex {
+    std::vector<CounterDef> counters;  ///< Counters and timers, file order.
+    std::vector<StreamUse> stream_uses;
+    std::vector<SrcLiteral> src_literals;
+
+    bool manifest_found = false;
+    std::string manifest_rel;  ///< "src/sim/streams.def" when found.
+    std::vector<StreamDecl> stream_decls;
+
+    std::vector<BaselineKey> baseline_keys;
+    std::vector<std::string> malformed_baselines;  ///< Root-relative paths.
+
+    std::vector<ScenarioNameUse> scenario_uses;
+
+    RegistryNames registry;
+
+    /// True when `name` matches a manifest entry: equal to an exact name,
+    /// carrying a declared prefix, or equal to a prefix minus its dot.
+    [[nodiscard]] bool stream_declared(const std::string& name) const;
+};
+
+/// Scans one loaded translation unit into the index. Only files whose
+/// root-relative path starts with "src/" contribute (the contracts live
+/// in library code; benches and tests may spell any name they like).
+void index_source(const SourceFile& src, NameIndex& index);
+
+/// Loads src/sim/streams.def (when present), bench/baselines/*.json and
+/// scenarios/*.json under `root` into the index. Scenario uses are
+/// resolved against the registry sets, so call after every index_source.
+void index_data_files(const fs::path& root, NameIndex& index);
+
+}  // namespace platoonlint

@@ -7,32 +7,35 @@
 //      across reruns, so ambient entropy (C rand, std::random_device) and
 //      wall-clock reads are forbidden outside the seeding whitelist, and
 //      aggregation / scoring / report-emitting code must never iterate a
-//      hash-ordered container (iteration order is ABI folklore, not a
-//      contract -- it silently breaks byte-identical output).
+//      hash-ordered container.
 //   2. Oracle isolation. Detectors score against attack ground-truth labels
 //      that ride along with every frame; a detector that *reads* the label
 //      is cheating. Only the harness, the scorer and the dataset exporter
 //      may touch oracle state.
 //   3. Layering. The module DAG (base < sim < ... < core < security/eval <
-//      detect) is enforced from the include graph, so refactors cannot
-//      quietly re-tangle e.g. core with the attack library.
+//      detect) is enforced from the include graph.
+//   4. Name contracts. obs::Counter names pinned by bench baselines,
+//      sim::RandomStream names declared in src/sim/streams.def, and the
+//      scen registry names that scenarios/*.json compile against are all
+//      string-keyed cross-TU contracts; the name index (index.cpp) checks
+//      them globally, and an allow() that matches nothing is itself a
+//      finding (stale-suppression).
 //
-// Purely lexical by design: it parses no C++, it scans comment- and
-// string-stripped source text. That keeps it dependency-free, fast enough
-// to run on every build, and byte-deterministic itself (findings are
-// sorted; directory walks are sorted). The cost is that it sees only
-// in-file declarations -- the rules are scoped to the directories where
-// the invariants live, and genuine exceptions carry inline suppressions:
-//
-//     // platoonlint: allow(<rule-id>) <reason>
-//
-// on the finding line or the line above. A suppression without a reason
+// Purely lexical by design (see scanner.cpp): no C++ parsing, stripped
+// source text, sorted walks, sorted findings -- the tool is itself
+// byte-deterministic. Genuine exceptions carry inline suppressions --
+// an allow(<rule-id>) <reason> comment directive (prefixed with the tool
+// name) on the finding line or the line above. A suppression without a reason
 // does not suppress.
+//
+// The name index is always built from the FULL default tree under --root,
+// regardless of which files are being linted: cross-TU findings for a file
+// are identical whether it is linted alone, via --diff-base, or as part of
+// the whole tree. Scoping only filters which findings are *reported*.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -41,108 +44,14 @@
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
+#include "index.hpp"
+#include "report.hpp"
+#include "rules.hpp"
+#include "scanner.hpp"
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Rule identifiers.
-
-constexpr const char* kRuleRandom = "no-unseeded-random";
-constexpr const char* kRuleWallclock = "no-wallclock";
-constexpr const char* kRuleSteadyClock = "no-steady-clock";
-constexpr const char* kRuleUnorderedIter = "no-unordered-iteration";
-constexpr const char* kRuleOracle = "oracle-isolation";
-constexpr const char* kRuleLayering = "layering";
-
-struct RuleDoc {
-    const char* id;
-    const char* doc;
-};
-
-constexpr RuleDoc kRules[] = {
-    {kRuleRandom,
-     "ambient entropy (C rand/srand, std::random_device) outside the seeding "
-     "whitelist (src/sim/random.*) breaks run-to-run reproducibility"},
-    {kRuleWallclock,
-     "wall-clock reads (system_clock, C time APIs, __DATE__/__TIME__) make "
-     "output depend on when it ran; use the simulation clock"},
-    {kRuleSteadyClock,
-     "steady_clock inside src/ leaks host timing into library code; perf "
-     "timing goes through obs::ScopedTimer (src/obs/timer.cpp is the one "
-     "sanctioned reader). bench/tests/examples/tools may read it freely"},
-    {kRuleUnorderedIter,
-     "iterating std::unordered_map/set in aggregation, scoring or "
-     "report-emitting code emits hash-order bytes; extract+sort the keys or "
-     "use std::map"},
-    {kRuleOracle,
-     "detectors and defenses must not read attack ground-truth (GroundTruth "
-     "/ *.truth / oracle_*); only detect/harness, detect/score and "
-     "detect/dataset consume labels"},
-    {kRuleLayering,
-     "include crosses the module DAG (e.g. core must not include "
-     "security/detect/eval, net must not include detect, crypto must not "
-     "include sim)"},
-};
-
-// ---------------------------------------------------------------------------
-// Module layering allowlist. Key: module directory under src/. Value: the
-// modules its files may include (transitively closed, checked per edge).
-
-const std::map<std::string, std::set<std::string>>& layer_allow() {
-    // obs sits directly above base: it must stay includable from every
-    // instrumented module without dragging anything else along.
-    static const std::map<std::string, std::set<std::string>> allow = {
-        {"base", {"base"}},
-        {"obs", {"obs", "base"}},
-        {"sim", {"sim", "obs", "base"}},
-        {"phys", {"phys", "sim", "obs", "base"}},
-        {"crypto", {"crypto", "obs", "base"}},
-        {"net", {"net", "crypto", "sim", "obs", "base"}},
-        // fault sits beside the attack suite but below core: it may shape
-        // the network and schedule, never reach into vehicles/defenses
-        // directly (core hands it opaque hooks instead).
-        {"fault", {"fault", "net", "crypto", "sim", "obs", "base"}},
-        {"control", {"control", "net", "sim", "obs", "base"}},
-        {"rsu", {"rsu", "crypto", "net", "sim", "obs", "base"}},
-        {"defense",
-         {"defense", "crypto", "net", "phys", "sim", "obs", "base"}},
-        {"core",
-         {"core", "control", "crypto", "defense", "fault", "net", "phys",
-          "rsu", "sim", "obs", "base"}},
-        // scen compiles declarative descriptions into ScenarioConfigs: it
-        // sits directly above core but below security/eval -- a description
-        // names attacks, it never instantiates or runs them.
-        {"scen",
-         {"scen", "core", "control", "crypto", "defense", "fault", "net",
-          "phys", "rsu", "sim", "obs", "base"}},
-        {"security",
-         {"security", "core", "control", "crypto", "defense", "fault", "net",
-          "phys", "rsu", "sim", "obs", "base"}},
-        {"eval",
-         {"eval", "scen", "security", "core", "control", "crypto", "defense",
-          "fault", "net", "phys", "rsu", "sim", "obs", "base"}},
-        {"detect",
-         {"detect", "eval", "scen", "security", "core", "control", "crypto",
-          "defense", "fault", "net", "phys", "rsu", "sim", "obs", "base"}},
-    };
-    return allow;
-}
-
-// ---------------------------------------------------------------------------
-// Findings.
-
-struct Finding {
-    std::string file;  ///< Root-relative path.
-    int line = 0;
-    std::string rule;
-    std::string message;
-
-    friend bool operator<(const Finding& a, const Finding& b) {
-        return std::tie(a.file, a.line, a.rule, a.message) <
-               std::tie(b.file, b.line, b.rule, b.message);
-    }
-};
+using namespace platoonlint;
 
 struct Options {
     fs::path root = ".";
@@ -150,606 +59,63 @@ struct Options {
     bool json = false;
     bool fix_order_hints = false;
     std::string dump_graph;  ///< Non-empty: write include graph here.
+    std::string sarif;       ///< Non-empty: write SARIF 2.1.0 here.
+    std::string rules_csv;   ///< Non-empty: report only these rule ids.
+    std::string diff_base;   ///< Non-empty: lint files changed since ref.
 };
 
-// ---------------------------------------------------------------------------
-// Small string helpers.
+/// Which findings get reported. The index and the raw-finding pass always
+/// cover the full tree; this is a pure output filter, which is what makes
+/// file-list mode agree with whole-tree mode on shared files.
+struct Scope {
+    bool all = false;
+    std::set<std::string> files;          ///< Exact root-relative paths.
+    std::vector<std::string> dir_prefixes;  ///< "src/", "" = everything.
 
-bool is_ident(char c) {
-    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-           (c >= '0' && c <= '9') || c == '_';
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-    return s.rfind(prefix, 0) == 0;
-}
-
-/// True when text[pos..pos+word) is `word` with identifier boundaries.
-bool word_at(const std::string& text, std::size_t pos,
-             const std::string& word) {
-    if (text.compare(pos, word.size(), word) != 0) return false;
-    if (pos > 0 && is_ident(text[pos - 1])) return false;
-    const std::size_t end = pos + word.size();
-    return end >= text.size() || !is_ident(text[end]);
-}
-
-/// First non-space position at or after `pos`.
-std::size_t skip_spaces(const std::string& text, std::size_t pos) {
-    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t'))
-        ++pos;
-    return pos;
-}
-
-std::string json_escape(const std::string& s) {
-    std::string out;
-    for (const char c : s) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\t': out += "\\t"; break;
-            default: out += c;
-        }
-    }
-    return out;
-}
-
-// ---------------------------------------------------------------------------
-// Source model: raw text (for suppressions) + stripped text (comments,
-// string literals and char literals blanked out, newlines preserved).
-
-struct SourceFile {
-    std::string rel;     ///< Root-relative path with forward slashes.
-    std::string raw;
-    std::string stripped;
-    std::vector<std::size_t> line_starts;  ///< Offset of each line in text.
-
-    [[nodiscard]] int line_of(std::size_t offset) const {
-        const auto it = std::upper_bound(line_starts.begin(),
-                                         line_starts.end(), offset);
-        return static_cast<int>(it - line_starts.begin());
-    }
-
-    [[nodiscard]] std::string raw_line(int line) const {
-        if (line < 1 || line > static_cast<int>(line_starts.size()))
-            return {};
-        const std::size_t begin = line_starts[static_cast<std::size_t>(line) - 1];
-        std::size_t end = raw.find('\n', begin);
-        if (end == std::string::npos) end = raw.size();
-        return raw.substr(begin, end - begin);
+    [[nodiscard]] bool contains(const std::string& rel) const {
+        if (all || files.count(rel) != 0) return true;
+        for (const std::string& prefix : dir_prefixes)
+            if (starts_with(rel, prefix)) return true;
+        return false;
     }
 };
-
-/// Blanks comments and string/char literals, preserving layout so offsets
-/// and line numbers stay aligned with the raw text. Handles raw strings.
-std::string strip_comments_and_strings(const std::string& text) {
-    std::string out = text;
-    enum class State { kCode, kLine, kBlock, kString, kChar, kRawString };
-    State state = State::kCode;
-    std::string raw_delim;  // )delim" terminator for raw strings
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        switch (state) {
-            case State::kCode:
-                if (c == '/' && next == '/') {
-                    state = State::kLine;
-                    out[i] = ' ';
-                } else if (c == '/' && next == '*') {
-                    state = State::kBlock;
-                    out[i] = ' ';
-                } else if (c == 'R' && next == '"' &&
-                           (i == 0 || !is_ident(text[i - 1]))) {
-                    const std::size_t open = text.find('(', i + 2);
-                    if (open != std::string::npos) {
-                        raw_delim = ")" + text.substr(i + 2, open - i - 2) + "\"";
-                        state = State::kRawString;
-                        for (std::size_t k = i; k <= open && k < text.size(); ++k)
-                            if (out[k] != '\n') out[k] = ' ';
-                        i = open;
-                    }
-                } else if (c == '"') {
-                    state = State::kString;
-                    out[i] = ' ';
-                } else if (c == '\'' && !(i > 0 && is_ident(text[i - 1]))) {
-                    // Identifier-adjacent quotes are digit separators (1'000).
-                    state = State::kChar;
-                    out[i] = ' ';
-                }
-                break;
-            case State::kLine:
-                if (c == '\n') state = State::kCode;
-                else out[i] = ' ';
-                break;
-            case State::kBlock:
-                if (c == '*' && next == '/') {
-                    out[i] = ' ';
-                    out[i + 1] = ' ';
-                    ++i;
-                    state = State::kCode;
-                } else if (c != '\n') {
-                    out[i] = ' ';
-                }
-                break;
-            case State::kString:
-                if (c == '\\') {
-                    out[i] = ' ';
-                    if (next != '\n' && i + 1 < text.size()) out[i + 1] = ' ';
-                    ++i;
-                } else if (c == '"') {
-                    out[i] = ' ';
-                    state = State::kCode;
-                } else if (c != '\n') {
-                    out[i] = ' ';
-                }
-                break;
-            case State::kChar:
-                if (c == '\\') {
-                    out[i] = ' ';
-                    if (next != '\n' && i + 1 < text.size()) out[i + 1] = ' ';
-                    ++i;
-                } else if (c == '\'') {
-                    out[i] = ' ';
-                    state = State::kCode;
-                } else if (c != '\n') {
-                    out[i] = ' ';
-                }
-                break;
-            case State::kRawString:
-                if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-                    for (std::size_t k = 0; k < raw_delim.size(); ++k)
-                        out[i + k] = ' ';
-                    i += raw_delim.size() - 1;
-                    state = State::kCode;
-                } else if (c != '\n') {
-                    out[i] = ' ';
-                }
-                break;
-        }
-    }
-    return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions: "platoonlint: allow(<rule>) reason" in a comment on the
-// finding line or the line immediately above.
-
-struct Suppression {
-    std::string rule;
-    bool has_reason = false;
-};
-
-std::map<int, std::vector<Suppression>> collect_suppressions(
-    const SourceFile& src) {
-    std::map<int, std::vector<Suppression>> out;
-    const std::string marker = "platoonlint: allow(";
-    std::size_t pos = 0;
-    while ((pos = src.raw.find(marker, pos)) != std::string::npos) {
-        const std::size_t open = pos + marker.size();
-        const std::size_t close = src.raw.find(')', open);
-        if (close == std::string::npos) break;
-        Suppression s;
-        s.rule = src.raw.substr(open, close - open);
-        std::size_t after = close + 1;
-        while (after < src.raw.size() && src.raw[after] != '\n') {
-            if (!std::isspace(static_cast<unsigned char>(src.raw[after]))) {
-                s.has_reason = true;
-                break;
-            }
-            ++after;
-        }
-        out[src.line_of(pos)].push_back(std::move(s));
-        pos = close;
-    }
-    return out;
-}
-
-bool suppressed(const std::map<int, std::vector<Suppression>>& sups,
-                int line, const std::string& rule, bool* bare_seen) {
-    for (const int l : {line, line - 1}) {
-        const auto it = sups.find(l);
-        if (it == sups.end()) continue;
-        for (const Suppression& s : it->second) {
-            if (s.rule != rule && s.rule != "all") continue;
-            if (s.has_reason) return true;
-            if (bare_seen != nullptr) *bare_seen = true;
-        }
-    }
-    return false;
-}
-
-// ---------------------------------------------------------------------------
-// Path scoping.
-
-bool randomness_whitelisted(const std::string& rel) {
-    // The seeding module: the one place allowed to talk about entropy
-    // sources (it derives all streams from the scenario master seed).
-    return starts_with(rel, "src/sim/random.");
-}
-
-bool unordered_iter_scoped(const std::string& rel) {
-    static const char* kPrefixes[] = {
-        "src/core/metrics", "src/core/report",  "src/core/experiment",
-        "src/detect/score", "src/detect/bank",  "src/detect/dataset",
-        "src/eval/",        "src/obs/",         "bench/",
-    };
-    for (const char* p : kPrefixes)
-        if (starts_with(rel, p)) return true;
-    return false;
-}
-
-bool oracle_scoped(const std::string& rel) {
-    if (starts_with(rel, "src/defense/") ||
-        starts_with(rel, "src/security/defense/"))
-        return true;
-    if (!starts_with(rel, "src/detect/")) return false;
-    // Whitelisted oracle consumers: the harness stamps labels onto rows,
-    // the scorer compares verdicts against them, the dataset serializes
-    // them. Everything else in detect/ is a detector and must stay blind.
-    static const char* kConsumers[] = {
-        "src/detect/harness.", "src/detect/score.", "src/detect/dataset.",
-    };
-    for (const char* p : kConsumers)
-        if (starts_with(rel, p)) return false;
-    return true;
-}
-
-// ---------------------------------------------------------------------------
-// Determinism rules: forbidden tokens.
-
-struct TokenRule {
-    const char* token;
-    bool needs_call;  ///< Token must be followed by '(' to count.
-    const char* rule;
-    const char* what;
-};
-
-constexpr TokenRule kTokenRules[] = {
-    {"rand", true, kRuleRandom, "C rand() is ambient global entropy"},
-    {"srand", true, kRuleRandom, "C srand() reseeds global entropy"},
-    {"rand_r", true, kRuleRandom, "rand_r() is unseeded C entropy"},
-    {"random_device", false, kRuleRandom,
-     "std::random_device draws nondeterministic entropy"},
-    {"system_clock", false, kRuleWallclock,
-     "system_clock reads the wall clock"},
-    {"time", true, kRuleWallclock, "C time() reads the wall clock"},
-    {"clock", true, kRuleWallclock, "C clock() reads process time"},
-    {"gettimeofday", true, kRuleWallclock,
-     "gettimeofday() reads the wall clock"},
-    {"clock_gettime", true, kRuleWallclock,
-     "clock_gettime() reads a system clock"},
-    {"localtime", true, kRuleWallclock, "localtime() reads the wall clock"},
-    {"gmtime", true, kRuleWallclock, "gmtime() reads the wall clock"},
-    {"__DATE__", false, kRuleWallclock, "__DATE__ bakes build time in"},
-    {"__TIME__", false, kRuleWallclock, "__TIME__ bakes build time in"},
-    {"__TIMESTAMP__", false, kRuleWallclock,
-     "__TIMESTAMP__ bakes build time in"},
-    {"steady_clock", false, kRuleSteadyClock,
-     "steady_clock reads host time inside library code"},
-};
-
-void check_tokens(const SourceFile& src, std::vector<Finding>& findings) {
-    const bool whitelisted = randomness_whitelisted(src.rel);
-    // The steady-clock ban covers library code only: benches, tests and
-    // tools time things on purpose. Inside src/, the single sanctioned
-    // reader (src/obs/timer.cpp) carries an inline reasoned allow.
-    const bool library_tu = starts_with(src.rel, "src/");
-    const std::string& text = src.stripped;
-    for (const TokenRule& tr : kTokenRules) {
-        if (whitelisted && std::string(tr.rule) == kRuleRandom) continue;
-        if (!library_tu && std::string(tr.rule) == kRuleSteadyClock) continue;
-        const std::string token = tr.token;
-        std::size_t pos = 0;
-        while ((pos = text.find(token, pos)) != std::string::npos) {
-            const std::size_t hit = pos;
-            pos += token.size();
-            if (!word_at(text, hit, token)) continue;
-            if (tr.needs_call) {
-                const std::size_t after = skip_spaces(text, hit + token.size());
-                if (after >= text.size() || text[after] != '(') continue;
-            }
-            findings.push_back({src.rel, src.line_of(hit), tr.rule,
-                                std::string(tr.what) +
-                                    "; derive everything from the scenario "
-                                    "seed (sim::RandomStream) or the "
-                                    "simulation clock"});
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Unordered-iteration rule.
-
-/// Collects names declared in this file with an unordered container type
-/// (members, locals, params -- anything spelled `std::unordered_xxx<...>
-/// name`). Purely lexical: nested template args are matched by depth.
-std::set<std::string> unordered_decl_names(const std::string& text) {
-    std::set<std::string> names;
-    for (const std::string intro : {"unordered_map", "unordered_set",
-                                    "unordered_multimap",
-                                    "unordered_multiset"}) {
-        std::size_t pos = 0;
-        while ((pos = text.find(intro, pos)) != std::string::npos) {
-            const std::size_t hit = pos;
-            pos += intro.size();
-            if (!word_at(text, hit, intro)) continue;
-            std::size_t i = skip_spaces(text, hit + intro.size());
-            if (i >= text.size() || text[i] != '<') continue;
-            int depth = 0;
-            for (; i < text.size(); ++i) {
-                if (text[i] == '<') ++depth;
-                else if (text[i] == '>' && --depth == 0) { ++i; break; }
-            }
-            // Skip refs/pointers/cv/whitespace, then read the identifier.
-            while (i < text.size() &&
-                   (text[i] == '&' || text[i] == '*' || text[i] == ' ' ||
-                    text[i] == '\t' || text[i] == '\n'))
-                ++i;
-            std::string name;
-            while (i < text.size() && is_ident(text[i])) name += text[i++];
-            if (!name.empty() && !(name[0] >= '0' && name[0] <= '9'))
-                names.insert(name);
-        }
-    }
-    return names;
-}
-
-std::vector<std::string> identifiers_in(const std::string& expr) {
-    std::vector<std::string> out;
-    std::string cur;
-    for (const char c : expr) {
-        if (is_ident(c)) {
-            cur += c;
-        } else if (!cur.empty()) {
-            out.push_back(cur);
-            cur.clear();
-        }
-    }
-    if (!cur.empty()) out.push_back(cur);
-    return out;
-}
-
-void check_unordered_iteration(const SourceFile& src,
-                               std::vector<Finding>& findings) {
-    if (!unordered_iter_scoped(src.rel)) return;
-    const std::string& text = src.stripped;
-    const std::set<std::string> names = unordered_decl_names(text);
-
-    const auto report = [&](std::size_t offset, const std::string& what) {
-        findings.push_back(
-            {src.rel, src.line_of(offset), kRuleUnorderedIter,
-             what + " iterates in hash order, which is not stable across "
-                    "standard libraries or table sizes and silently breaks "
-                    "byte-identical output"});
-    };
-
-    // Range-for whose range expression names an unordered container (or
-    // spells one inline).
-    std::size_t pos = 0;
-    while ((pos = text.find("for", pos)) != std::string::npos) {
-        const std::size_t hit = pos;
-        pos += 3;
-        if (!word_at(text, hit, "for")) continue;
-        std::size_t open = skip_spaces(text, hit + 3);
-        if (open >= text.size() || text[open] != '(') continue;
-        int depth = 0;
-        std::size_t colon = std::string::npos, close = open;
-        for (std::size_t i = open; i < text.size(); ++i) {
-            if (text[i] == '(') ++depth;
-            else if (text[i] == ')' && --depth == 0) { close = i; break; }
-            else if (text[i] == ':' && depth == 1 &&
-                     colon == std::string::npos) {
-                const bool dbl = (i > 0 && text[i - 1] == ':') ||
-                                 (i + 1 < text.size() && text[i + 1] == ':');
-                if (!dbl) colon = i;
-            }
-        }
-        if (colon == std::string::npos || close <= colon) continue;
-        const std::string range = text.substr(colon + 1, close - colon - 1);
-        bool bad = range.find("unordered_") != std::string::npos;
-        std::string culprit;
-        for (const std::string& id : identifiers_in(range)) {
-            if (names.count(id) != 0) {
-                bad = true;
-                culprit = id;
-                break;
-            }
-        }
-        if (bad) {
-            report(hit, "range-for over unordered container" +
-                            (culprit.empty() ? std::string()
-                                             : " `" + culprit + "`"));
-        }
-    }
-
-    // Iterator-style access: name.begin() / name.cbegin() / std::begin(name).
-    for (const std::string& name : names) {
-        for (const std::string method : {".begin", ".cbegin"}) {
-            const std::string pattern = name + method;
-            std::size_t p = 0;
-            while ((p = text.find(pattern, p)) != std::string::npos) {
-                const std::size_t hit = p;
-                p += pattern.size();
-                if (hit > 0 && is_ident(text[hit - 1])) continue;
-                const std::size_t after =
-                    skip_spaces(text, hit + pattern.size());
-                if (after >= text.size() || text[after] != '(') continue;
-                report(hit, "iterator over unordered container `" + name + "`");
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Oracle-isolation rule.
-
-void check_oracle(const SourceFile& src, std::vector<Finding>& findings) {
-    if (!oracle_scoped(src.rel)) return;
-    const std::string& text = src.stripped;
-    struct OracleToken {
-        const char* token;
-        const char* what;
-    };
-    constexpr OracleToken kOracleTokens[] = {
-        {"GroundTruth", "names the oracle label type"},
-        {"truth", "reads the attack ground-truth label"},
-        {"truth_label", "serializes the oracle label"},
-    };
-    for (const OracleToken& ot : kOracleTokens) {
-        const std::string token = ot.token;
-        std::size_t pos = 0;
-        while ((pos = text.find(token, pos)) != std::string::npos) {
-            const std::size_t hit = pos;
-            pos += token.size();
-            if (!word_at(text, hit, token)) continue;
-            findings.push_back(
-                {src.rel, src.line_of(hit), kRuleOracle,
-                 "`" + token + "` " + ot.what +
-                     "; detectors/defenses must stay blind to the oracle "
-                     "(only detect/harness, detect/score, detect/dataset "
-                     "may consume it)"});
-        }
-    }
-    // oracle_* identifiers (prefix match).
-    std::size_t pos = 0;
-    while ((pos = text.find("oracle_", pos)) != std::string::npos) {
-        const std::size_t hit = pos;
-        pos += 7;
-        if (hit > 0 && is_ident(text[hit - 1])) continue;
-        findings.push_back({src.rel, src.line_of(hit), kRuleOracle,
-                            "`oracle_*` identifier touches oracle state; "
-                            "detectors/defenses must stay blind to it"});
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Layering rule (include graph).
-
-struct IncludeEdge {
-    std::string path;  ///< Quoted include path as written.
-    int line = 0;
-};
-
-std::vector<IncludeEdge> collect_includes(const SourceFile& src) {
-    std::vector<IncludeEdge> out;
-    std::istringstream is(src.raw);
-    std::string line;
-    int lineno = 0;
-    while (std::getline(is, line)) {
-        ++lineno;
-        std::size_t i = skip_spaces(line, 0);
-        if (i >= line.size() || line[i] != '#') continue;
-        i = skip_spaces(line, i + 1);
-        if (line.compare(i, 7, "include") != 0) continue;
-        i = skip_spaces(line, i + 7);
-        if (i >= line.size() || line[i] != '"') continue;
-        const std::size_t close = line.find('"', i + 1);
-        if (close == std::string::npos) continue;
-        out.push_back({line.substr(i + 1, close - i - 1), lineno});
-    }
-    return out;
-}
-
-std::string module_of_rel(const std::string& rel) {
-    if (!starts_with(rel, "src/")) return {};
-    const std::size_t slash = rel.find('/', 4);
-    if (slash == std::string::npos) return {};
-    return rel.substr(4, slash - 4);
-}
-
-std::string module_of_include(const std::string& path) {
-    const std::size_t slash = path.find('/');
-    if (slash == std::string::npos) return {};
-    const std::string mod = path.substr(0, slash);
-    return layer_allow().count(mod) != 0 ? mod : std::string();
-}
-
-void check_layering(const SourceFile& src,
-                    const std::vector<IncludeEdge>& includes,
-                    std::vector<Finding>& findings) {
-    const std::string mod = module_of_rel(src.rel);
-    if (mod.empty()) return;  // bench/tests/examples/tools may include anything
-    const auto allow_it = layer_allow().find(mod);
-    if (allow_it == layer_allow().end()) return;  // unknown module: skip
-    for (const IncludeEdge& inc : includes) {
-        const std::string target = module_of_include(inc.path);
-        if (target.empty() || allow_it->second.count(target) != 0) continue;
-        findings.push_back(
-            {src.rel, inc.line, kRuleLayering,
-             "module `" + mod + "` must not include `" + target + "` (\"" +
-                 inc.path + "\"); allowed from `" + mod + "`: everything at "
-                 "or below its layer in the module DAG"});
-    }
-    // Oracle headers by name are off limits wherever the oracle rule
-    // applies, independent of layer.
-    if (oracle_scoped(src.rel)) {
-        for (const IncludeEdge& inc : includes) {
-            if (inc.path.find("oracle") != std::string::npos) {
-                findings.push_back({src.rel, inc.line, kRuleOracle,
-                                    "includes oracle header \"" + inc.path +
-                                        "\""});
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// File collection.
-
-bool lintable(const fs::path& p) {
-    const std::string ext = p.extension().string();
-    return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
-           ext == ".cxx" || ext == ".hh";
-}
-
-bool skip_dir(const std::string& name) {
-    return name == "CMakeFiles" || name == ".git" || name == "Testing" ||
-           starts_with(name, "build") || starts_with(name, "cmake-build");
-}
-
-void walk(const fs::path& dir, const fs::path& root, bool exclude_fixtures,
-          std::vector<fs::path>& out) {
-    std::vector<fs::path> entries;
-    std::error_code ec;
-    for (fs::directory_iterator it(dir, ec), end; it != end;
-         it.increment(ec)) {
-        if (ec) break;
-        entries.push_back(it->path());
-    }
-    std::sort(entries.begin(), entries.end());
-    for (const fs::path& p : entries) {
-        if (fs::is_directory(p)) {
-            if (skip_dir(p.filename().string())) continue;
-            if (exclude_fixtures &&
-                fs::equivalent(p, root / "tests" / "lint" / "fixtures", ec))
-                continue;
-            walk(p, root, exclude_fixtures, out);
-        } else if (lintable(p)) {
-            out.push_back(p);
-        }
-    }
-}
-
-std::string relative_to_root(const fs::path& p, const fs::path& root) {
-    std::error_code ec;
-    fs::path rel = fs::relative(p, root, ec);
-    if (ec || rel.empty() || *rel.begin() == "..") rel = p;
-    return rel.generic_string();
-}
-
-// ---------------------------------------------------------------------------
-// Driver.
 
 int usage(const char* argv0) {
     std::cerr
         << "usage: " << argv0
         << " [--root <dir>] [--format=text|json] [--fix-order]\n"
-           "       [--dump-graph <file>] [--list-rules] [paths...]\n\n"
-           "Lints the platoon codebase for determinism, oracle-isolation\n"
-           "and layering invariants. With no paths, scans src/ bench/\n"
-           "examples/ tests/ tools/ under --root (default: cwd),\n"
-           "excluding tests/lint/fixtures.\n";
+           "       [--dump-graph <file>] [--sarif <file>] [--rules <csv>]\n"
+           "       [--diff-base <ref>] [--list-rules] [paths...]\n\n"
+           "Lints the platoon codebase for determinism, oracle-isolation,\n"
+           "layering and name-contract invariants. With no paths, scans\n"
+           "src/ bench/ examples/ tests/ tools/ under --root (default:\n"
+           "cwd), excluding tests/lint/fixtures, plus the stream manifest\n"
+           "(src/sim/streams.def), bench/baselines/*.json and\n"
+           "scenarios/*.json. --diff-base lints only files git reports\n"
+           "changed since <ref>; cross-TU context still comes from the\n"
+           "whole tree.\n";
     return 2;
+}
+
+/// `git -C root diff --name-only base --`, one path per line. Returns
+/// false when git fails (bad ref, not a repository).
+bool git_changed_files(const fs::path& root, const std::string& base,
+                       std::vector<std::string>& out) {
+    const std::string cmd = "git -C '" + root.string() +
+                            "' diff --name-only '" + base + "' -- 2>/dev/null";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return false;
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) text.append(buf, n);
+    const int status = pclose(pipe);
+    if (status != 0) return false;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty()) out.push_back(line);
+    return true;
 }
 
 }  // namespace
@@ -769,6 +135,12 @@ int main(int argc, char** argv) {
             opt.fix_order_hints = true;
         } else if (arg == "--dump-graph" && i + 1 < argc) {
             opt.dump_graph = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            opt.sarif = argv[++i];
+        } else if (arg == "--rules" && i + 1 < argc) {
+            opt.rules_csv = argv[++i];
+        } else if (arg == "--diff-base" && i + 1 < argc) {
+            opt.diff_base = argv[++i];
         } else if (arg == "--list-rules") {
             list_rules = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -782,9 +154,24 @@ int main(int argc, char** argv) {
     }
 
     if (list_rules) {
-        for (const RuleDoc& r : kRules)
+        for (const RuleDoc& r : all_rules())
             std::cout << r.id << "\n    " << r.doc << "\n";
         return 0;
+    }
+
+    std::set<std::string> rule_filter;
+    if (!opt.rules_csv.empty()) {
+        std::istringstream is(opt.rules_csv);
+        std::string id;
+        while (std::getline(is, id, ',')) {
+            if (id.empty()) continue;
+            if (!known_rule(id)) {
+                std::cerr << "platoonlint: unknown rule in --rules: " << id
+                          << "\n";
+                return 2;
+            }
+            rule_filter.insert(id);
+        }
     }
 
     std::error_code ec;
@@ -794,64 +181,130 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    std::vector<fs::path> files;
-    if (opt.paths.empty()) {
-        for (const char* dir : {"src", "bench", "examples", "tests", "tools"}) {
-            const fs::path d = root / dir;
-            if (fs::is_directory(d)) walk(d, root, /*exclude_fixtures=*/true, files);
+    // The index tree: every lintable file in the default directories.
+    std::vector<fs::path> tree_files;
+    for (const char* dir : {"src", "bench", "examples", "tests", "tools"}) {
+        const fs::path d = root / dir;
+        if (fs::is_directory(d))
+            walk(d, root, /*exclude_fixtures=*/true, tree_files);
+    }
+
+    // Report scope, plus any scoped lintable files living outside the
+    // default tree (fixture runs pass such files explicitly).
+    Scope scope;
+    std::vector<fs::path> extra_files;
+    std::set<std::string> scoped_lintable;
+    if (opt.paths.empty() && opt.diff_base.empty()) {
+        scope.all = true;
+        for (const fs::path& p : tree_files)
+            scoped_lintable.insert(relative_to_root(p, root));
+    }
+    for (const fs::path& p : opt.paths) {
+        if (fs::is_directory(p)) {
+            std::string rel = relative_to_root(p, root);
+            scope.dir_prefixes.push_back(rel == "." ? "" : rel + "/");
+            std::vector<fs::path> walked;
+            walk(p, root, /*exclude_fixtures=*/false, walked);
+            for (const fs::path& f : walked) {
+                const std::string frel = relative_to_root(f, root);
+                scoped_lintable.insert(frel);
+                extra_files.push_back(f);
+            }
+        } else if (fs::exists(p)) {
+            const std::string rel = relative_to_root(p, root);
+            scope.files.insert(rel);
+            if (lintable(p)) {
+                scoped_lintable.insert(rel);
+                extra_files.push_back(p);
+            }
+        } else {
+            std::cerr << "platoonlint: no such path: " << p << "\n";
+            return 2;
         }
-    } else {
-        for (const fs::path& p : opt.paths) {
-            if (fs::is_directory(p)) {
-                walk(p, root, /*exclude_fixtures=*/false, files);
-            } else if (fs::exists(p)) {
-                files.push_back(p);
-            } else {
-                std::cerr << "platoonlint: no such path: " << p << "\n";
-                return 2;
+    }
+    if (!opt.diff_base.empty()) {
+        std::vector<std::string> changed;
+        if (!git_changed_files(root, opt.diff_base, changed)) {
+            std::cerr << "platoonlint: git diff --name-only "
+                      << opt.diff_base << " failed under " << root << "\n";
+            return 2;
+        }
+        for (const std::string& rel : changed) {
+            const fs::path p = root / rel;
+            if (!fs::exists(p)) continue;  // deleted since ref
+            scope.files.insert(rel);
+            if (lintable(p)) {
+                scoped_lintable.insert(rel);
+                extra_files.push_back(p);
             }
         }
     }
 
-    std::vector<Finding> findings;
-    std::vector<Finding> notes;  ///< Bare suppressions (reported, non-fatal).
-    std::ostringstream graph;
-    for (const fs::path& path : files) {
-        SourceFile src;
-        src.rel = relative_to_root(path, root);
-        std::ifstream in(path, std::ios::binary);
-        if (!in) {
+    // Load every source once: the full index tree plus scoped extras.
+    std::map<std::string, SourceFile> sources;
+    std::map<std::string, std::map<int, std::vector<Suppression>>> sups;
+    std::map<std::string, std::vector<IncludeEdge>> includes;
+    const auto load = [&](const fs::path& path) -> bool {
+        const std::string rel = relative_to_root(path, root);
+        if (sources.count(rel) != 0) return true;
+        auto src = load_source(path, rel);
+        if (!src) {
             std::cerr << "platoonlint: cannot read " << path << "\n";
-            return 2;
+            return false;
         }
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        src.raw = buf.str();
-        src.line_starts.push_back(0);
-        for (std::size_t i = 0; i < src.raw.size(); ++i)
-            if (src.raw[i] == '\n') src.line_starts.push_back(i + 1);
-        src.stripped = strip_comments_and_strings(src.raw);
+        sups[rel] = collect_suppressions(*src);
+        includes[rel] = collect_includes(*src);
+        sources.emplace(rel, std::move(*src));
+        return true;
+    };
+    for (const fs::path& p : tree_files)
+        if (!load(p)) return 2;
+    for (const fs::path& p : extra_files)
+        if (!load(p)) return 2;
 
-        const auto sups = collect_suppressions(src);
-        const std::vector<IncludeEdge> includes = collect_includes(src);
-        for (const IncludeEdge& inc : includes)
-            graph << src.rel << " -> " << inc.path << "\n";
+    // First pass: the cross-TU name index over everything loaded.
+    NameIndex index;
+    for (const auto& [rel, src] : sources) index_source(src, index);
+    index_data_files(root, index);
 
-        std::vector<Finding> local;
-        check_tokens(src, local);
-        check_unordered_iteration(src, local);
-        check_oracle(src, local);
-        check_layering(src, includes, local);
+    // Second pass: raw findings for the WHOLE tree (scoping is applied at
+    // report time; the suppression `used` marks need global findings).
+    std::vector<Finding> raw;
+    std::vector<Finding> notes;
+    for (const auto& [rel, src] : sources)
+        check_file(src, includes.at(rel), raw);
+    check_counter_contract(index, raw, notes);
+    check_stream_registry(index, root, raw);
+    check_scenario_names(index, raw);
 
-        for (Finding& f : local) {
+    std::vector<Finding> findings;
+    for (Finding& f : raw) {
+        const auto sup_it = sups.find(f.file);
+        if (sup_it != sups.end()) {
             bool bare = false;
-            if (suppressed(sups, f.line, f.rule, &bare)) continue;
+            if (suppressed(sup_it->second, f.line, f.rule, &bare)) continue;
             if (bare)
                 notes.push_back({f.file, f.line, f.rule,
                                  "suppression ignored: missing reason"});
-            findings.push_back(std::move(f));
         }
+        findings.push_back(std::move(f));
     }
+
+    // Third pass: every suppression the raw findings never matched is
+    // stale (or names a rule that does not exist). Not suppressible.
+    for (const auto& [rel, file_sups] : sups)
+        check_stale_suppressions(rel, file_sups, findings);
+
+    // Report-time filters: scope, then --rules.
+    const auto out_of_scope = [&](const Finding& f) {
+        if (!scope.contains(f.file)) return true;
+        return !rule_filter.empty() && rule_filter.count(f.rule) == 0;
+    };
+    findings.erase(
+        std::remove_if(findings.begin(), findings.end(), out_of_scope),
+        findings.end());
+    notes.erase(std::remove_if(notes.begin(), notes.end(), out_of_scope),
+                notes.end());
 
     std::sort(findings.begin(), findings.end());
     findings.erase(std::unique(findings.begin(), findings.end(),
@@ -860,54 +313,37 @@ int main(int argc, char** argv) {
                                }),
                    findings.end());
     std::sort(notes.begin(), notes.end());
+    notes.erase(std::unique(notes.begin(), notes.end(),
+                            [](const Finding& a, const Finding& b) {
+                                return !(a < b) && !(b < a);
+                            }),
+                notes.end());
 
     if (!opt.dump_graph.empty()) {
+        std::ostringstream graph;
+        for (const std::string& rel : scoped_lintable)
+            for (const IncludeEdge& inc : includes.at(rel))
+                graph << rel << " -> " << inc.path << "\n";
         std::ofstream out(opt.dump_graph);
         out << graph.str();
         if (!out) {
-            std::cerr << "platoonlint: cannot write " << opt.dump_graph << "\n";
+            std::cerr << "platoonlint: cannot write " << opt.dump_graph
+                      << "\n";
             return 2;
         }
     }
 
+    if (!opt.sarif.empty() &&
+        !write_sarif(opt.sarif, findings, notes)) {
+        std::cerr << "platoonlint: cannot write " << opt.sarif << "\n";
+        return 2;
+    }
+
     if (opt.json) {
-        std::cout << "{\n  \"findings\": [\n";
-        for (std::size_t i = 0; i < findings.size(); ++i) {
-            const Finding& f = findings[i];
-            std::cout << "    {\"file\": \"" << json_escape(f.file)
-                      << "\", \"line\": " << f.line << ", \"rule\": \""
-                      << f.rule << "\", \"message\": \""
-                      << json_escape(f.message) << "\"}"
-                      << (i + 1 < findings.size() ? "," : "") << "\n";
-        }
-        std::cout << "  ],\n  \"count\": " << findings.size() << "\n}\n";
+        print_json(findings);
     } else {
-        for (const Finding& f : notes)
-            std::cout << f.file << ":" << f.line << ": note: [" << f.rule
-                      << "] " << f.message << "\n";
-        for (const Finding& f : findings) {
-            std::cout << f.file << ":" << f.line << ": error: [" << f.rule
-                      << "] " << f.message << "\n";
-            if (opt.fix_order_hints && f.rule == kRuleUnorderedIter) {
-                std::cout
-                    << "    hint: extract the keys, sort, then visit:\n"
-                       "        std::vector<Key> keys;\n"
-                       "        keys.reserve(m.size());\n"
-                       "        for (const auto& kv : m) "
-                       "keys.push_back(kv.first);\n"
-                       "        std::sort(keys.begin(), keys.end());\n"
-                       "        for (const Key& k : keys) use(m.at(k));\n"
-                       "    (or store the data in std::map / a sorted "
-                       "vector to begin with)\n";
-            }
-        }
-        if (findings.empty()) {
-            std::cout << "platoonlint: " << files.size()
-                      << " files clean\n";
-        } else {
-            std::cout << "platoonlint: " << findings.size()
-                      << " finding(s) in " << files.size() << " files\n";
-        }
+        print_text(findings, notes, scoped_lintable.size(),
+                   opt.fix_order_hints);
     }
     return findings.empty() ? 0 : 1;
 }

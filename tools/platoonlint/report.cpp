@@ -1,0 +1,117 @@
+#include "report.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "scanner.hpp"
+
+namespace platoonlint {
+
+void print_text(const std::vector<Finding>& findings,
+                const std::vector<Finding>& notes, std::size_t files_scanned,
+                bool fix_order_hints) {
+    for (const Finding& f : notes)
+        std::cout << f.file << ":" << f.line << ": note: [" << f.rule << "] "
+                  << f.message << "\n";
+    for (const Finding& f : findings) {
+        std::cout << f.file << ":" << f.line << ": error: [" << f.rule
+                  << "] " << f.message << "\n";
+        if (fix_order_hints && f.rule == kRuleUnorderedIter) {
+            std::cout
+                << "    hint: extract the keys, sort, then visit:\n"
+                   "        std::vector<Key> keys;\n"
+                   "        keys.reserve(m.size());\n"
+                   "        for (const auto& kv : m) "
+                   "keys.push_back(kv.first);\n"
+                   "        std::sort(keys.begin(), keys.end());\n"
+                   "        for (const Key& k : keys) use(m.at(k));\n"
+                   "    (or store the data in std::map / a sorted "
+                   "vector to begin with)\n";
+        }
+    }
+    if (findings.empty()) {
+        std::cout << "platoonlint: " << files_scanned << " files clean\n";
+    } else {
+        std::cout << "platoonlint: " << findings.size() << " finding(s) in "
+                  << files_scanned << " files\n";
+    }
+}
+
+void print_json(const std::vector<Finding>& findings) {
+    std::cout << "{\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        std::cout << "    {\"file\": \"" << json_escape(f.file)
+                  << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+                  << "\", \"message\": \"" << json_escape(f.message) << "\"}"
+                  << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ],\n  \"count\": " << findings.size() << "\n}\n";
+}
+
+namespace {
+
+void sarif_result(std::ostringstream& out, const Finding& f,
+                  const char* level, bool last) {
+    out << "      {\n"
+        << "        \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+        << "        \"level\": \"" << level << "\",\n"
+        << "        \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"},\n"
+        << "        \"locations\": [{\"physicalLocation\": {\n"
+        << "          \"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"},\n"
+        << "          \"region\": {\"startLine\": "
+        << (f.line > 0 ? f.line : 1) << "}\n"
+        << "        }}]\n"
+        << "      }" << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+std::string sarif_document(const std::vector<Finding>& findings,
+                           const std::vector<Finding>& notes) {
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+           "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [{\n"
+        << "    \"tool\": {\"driver\": {\n"
+        << "      \"name\": \"platoonlint\",\n"
+        << "      \"informationUri\": "
+           "\"https://example.invalid/tools/platoonlint\",\n"
+        << "      \"version\": \"2.0.0\",\n"
+        << "      \"rules\": [\n";
+    const std::vector<RuleDoc>& rules = all_rules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out << "        {\"id\": \"" << rules[i].id
+            << "\", \"shortDescription\": {\"text\": \""
+            << json_escape(rules[i].doc) << "\"}}"
+            << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n"
+        << "    }},\n"
+        << "    \"results\": [\n";
+    const std::size_t total = findings.size() + notes.size();
+    std::size_t emitted = 0;
+    for (const Finding& f : findings)
+        sarif_result(out, f, "error", ++emitted == total);
+    for (const Finding& f : notes)
+        sarif_result(out, f, "note", ++emitted == total);
+    out << "    ]\n"
+        << "  }]\n"
+        << "}\n";
+    return out.str();
+}
+
+bool write_sarif(const std::string& path,
+                 const std::vector<Finding>& findings,
+                 const std::vector<Finding>& notes) {
+    std::ofstream out(path);
+    out << sarif_document(findings, notes);
+    return static_cast<bool>(out);
+}
+
+}  // namespace platoonlint

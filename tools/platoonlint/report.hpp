@@ -1,0 +1,41 @@
+// platoonlint report: the three output surfaces.
+//
+//   text  -- the developer-facing default (file:line: error: [rule] msg)
+//   json  -- machine-readable findings for scripts
+//   sarif -- SARIF 2.1.0 for github/codeql-action/upload-sarif, so CI
+//            findings annotate the PR diff instead of hiding in a log
+//
+// All three consume the same sorted finding list, so every surface is
+// byte-deterministic for a given tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace platoonlint {
+
+/// Default surface. `notes` (bare suppressions, untracked counters) print
+/// first and are non-fatal. `files_scanned` feeds the trailing summary
+/// line; `fix_order_hints` appends the sorted-keys recipe after
+/// no-unordered-iteration findings.
+void print_text(const std::vector<Finding>& findings,
+                const std::vector<Finding>& notes, std::size_t files_scanned,
+                bool fix_order_hints);
+
+void print_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 document: one run, the full rule catalogue under
+/// tool.driver.rules, findings as level "error" and notes as level
+/// "note". Paths are emitted as-is (root-relative), which is what the
+/// upload action expects when it runs from the checkout root.
+std::string sarif_document(const std::vector<Finding>& findings,
+                           const std::vector<Finding>& notes);
+
+/// Writes sarif_document() to `path`; false on I/O failure.
+bool write_sarif(const std::string& path,
+                 const std::vector<Finding>& findings,
+                 const std::vector<Finding>& notes);
+
+}  // namespace platoonlint

@@ -1,0 +1,482 @@
+#include "scanner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace platoonlint {
+
+// ---------------------------------------------------------------------------
+// Small string helpers.
+
+bool is_ident(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool word_at(const std::string& text, std::size_t pos,
+             const std::string& word) {
+    if (text.compare(pos, word.size(), word) != 0) return false;
+    if (pos > 0 && is_ident(text[pos - 1])) return false;
+    const std::size_t end = pos + word.size();
+    return end >= text.size() || !is_ident(text[end]);
+}
+
+std::size_t skip_spaces(const std::string& text, std::size_t pos) {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t'))
+        ++pos;
+    return pos;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Source model.
+
+int SourceFile::line_of(std::size_t offset) const {
+    const auto it =
+        std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<int>(it - line_starts.begin());
+}
+
+std::vector<const StringLiteral*> SourceFile::literals_in(
+    std::size_t begin, std::size_t end) const {
+    std::vector<const StringLiteral*> out;
+    for (const StringLiteral& lit : literals) {
+        if (lit.offset >= begin && lit.offset < end) out.push_back(&lit);
+        if (lit.offset >= end) break;
+    }
+    return out;
+}
+
+std::string strip_comments_and_strings(const std::string& text,
+                                       std::vector<StringLiteral>* literals) {
+    std::string out = text;
+    enum class State { kCode, kLine, kBlock, kString, kChar, kRawString };
+    State state = State::kCode;
+    std::string raw_delim;  // )delim" terminator for raw strings
+    StringLiteral current;  // literal being accumulated
+    const auto open_literal = [&](std::size_t at) {
+        current.value.clear();
+        current.offset = at;
+    };
+    const auto close_literal = [&] {
+        if (literals != nullptr) literals->push_back(current);
+    };
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLine;
+                    out[i] = ' ';
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlock;
+                    out[i] = ' ';
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || !is_ident(text[i - 1]))) {
+                    const std::size_t open = text.find('(', i + 2);
+                    if (open != std::string::npos) {
+                        raw_delim = ")";
+                        raw_delim += text.substr(i + 2, open - i - 2);
+                        raw_delim += '"';
+                        state = State::kRawString;
+                        open_literal(i);
+                        for (std::size_t k = i; k <= open && k < text.size(); ++k)
+                            if (out[k] != '\n') out[k] = ' ';
+                        i = open;
+                    }
+                } else if (c == '"') {
+                    state = State::kString;
+                    open_literal(i);
+                    out[i] = ' ';
+                } else if (c == '\'' && !(i > 0 && is_ident(text[i - 1]))) {
+                    // Identifier-adjacent quotes are digit separators (1'000).
+                    state = State::kChar;
+                    out[i] = ' ';
+                }
+                break;
+            case State::kLine:
+                if (c == '\n') state = State::kCode;
+                else out[i] = ' ';
+                break;
+            case State::kBlock:
+                if (c == '*' && next == '/') {
+                    out[i] = ' ';
+                    out[i + 1] = ' ';
+                    ++i;
+                    state = State::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case State::kString:
+                if (c == '\\') {
+                    out[i] = ' ';
+                    if (next != '\n' && i + 1 < text.size()) {
+                        out[i + 1] = ' ';
+                        // Resolve the escapes that can occur in names;
+                        // anything else keeps the raw escaped char.
+                        current.value += next == 'n'   ? '\n'
+                                         : next == 't' ? '\t'
+                                                       : next;
+                    }
+                    ++i;
+                } else if (c == '"') {
+                    out[i] = ' ';
+                    close_literal();
+                    state = State::kCode;
+                } else {
+                    if (c != '\n') out[i] = ' ';
+                    current.value += c;
+                }
+                break;
+            case State::kChar:
+                if (c == '\\') {
+                    out[i] = ' ';
+                    if (next != '\n' && i + 1 < text.size()) out[i + 1] = ' ';
+                    ++i;
+                } else if (c == '\'') {
+                    out[i] = ' ';
+                    state = State::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case State::kRawString:
+                if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+                    for (std::size_t k = 0; k < raw_delim.size(); ++k)
+                        out[i + k] = ' ';
+                    i += raw_delim.size() - 1;
+                    close_literal();
+                    state = State::kCode;
+                } else {
+                    if (c != '\n') out[i] = ' ';
+                    current.value += c;
+                }
+                break;
+        }
+    }
+    return out;
+}
+
+std::optional<SourceFile> load_source(const fs::path& path,
+                                      const std::string& rel) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    SourceFile src;
+    src.rel = rel;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    src.raw = buf.str();
+    src.line_starts.push_back(0);
+    for (std::size_t i = 0; i < src.raw.size(); ++i)
+        if (src.raw[i] == '\n') src.line_starts.push_back(i + 1);
+    src.stripped = strip_comments_and_strings(src.raw, &src.literals);
+    return src;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+
+std::map<int, std::vector<Suppression>> collect_suppressions(
+    const SourceFile& src) {
+    std::map<int, std::vector<Suppression>> out;
+    const std::string marker = "platoonlint: allow(";
+    std::size_t pos = 0;
+    while ((pos = src.raw.find(marker, pos)) != std::string::npos) {
+        // Only honor the marker inside a // comment: the phrase also shows
+        // up in strings (this file, usage text) where it is not a directive.
+        std::size_t bol = src.raw.rfind('\n', pos);
+        bol = (bol == std::string::npos) ? 0 : bol + 1;
+        if (src.raw.substr(bol, pos - bol).find("//") == std::string::npos) {
+            pos += marker.size();
+            continue;
+        }
+        const std::size_t open = pos + marker.size();
+        const std::size_t close = src.raw.find(')', open);
+        if (close == std::string::npos) break;
+        Suppression s;
+        s.rule = src.raw.substr(open, close - open);
+        s.line = src.line_of(pos);
+        std::size_t after = close + 1;
+        while (after < src.raw.size() && src.raw[after] != '\n') {
+            if (!std::isspace(static_cast<unsigned char>(src.raw[after]))) {
+                s.has_reason = true;
+                break;
+            }
+            ++after;
+        }
+        out[s.line].push_back(std::move(s));
+        pos = close;
+    }
+    return out;
+}
+
+bool suppressed(std::map<int, std::vector<Suppression>>& sups, int line,
+                const std::string& rule, bool* bare_seen) {
+    bool hit = false;
+    for (const int l : {line, line - 1}) {
+        const auto it = sups.find(l);
+        if (it == sups.end()) continue;
+        for (Suppression& s : it->second) {
+            if (s.rule != rule && s.rule != "all") continue;
+            s.used = true;
+            if (s.has_reason) hit = true;
+            else if (bare_seen != nullptr) *bare_seen = true;
+        }
+    }
+    return hit;
+}
+
+// ---------------------------------------------------------------------------
+// Includes.
+
+std::vector<IncludeEdge> collect_includes(const SourceFile& src) {
+    std::vector<IncludeEdge> out;
+    std::istringstream is(src.raw);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::size_t i = skip_spaces(line, 0);
+        if (i >= line.size() || line[i] != '#') continue;
+        i = skip_spaces(line, i + 1);
+        if (line.compare(i, 7, "include") != 0) continue;
+        i = skip_spaces(line, i + 7);
+        if (i >= line.size() || line[i] != '"') continue;
+        const std::size_t close = line.find('"', i + 1);
+        if (close == std::string::npos) continue;
+        out.push_back({line.substr(i + 1, close - i - 1), lineno});
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// File collection.
+
+bool lintable(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
+           ext == ".cxx" || ext == ".hh";
+}
+
+namespace {
+bool skip_dir(const std::string& name) {
+    return name == "CMakeFiles" || name == ".git" || name == "Testing" ||
+           starts_with(name, "build") || starts_with(name, "cmake-build");
+}
+}  // namespace
+
+void walk(const fs::path& dir, const fs::path& root, bool exclude_fixtures,
+          std::vector<fs::path>& out) {
+    std::vector<fs::path> entries;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+        if (ec) break;
+        entries.push_back(it->path());
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path& p : entries) {
+        if (fs::is_directory(p)) {
+            if (skip_dir(p.filename().string())) continue;
+            if (exclude_fixtures &&
+                fs::equivalent(p, root / "tests" / "lint" / "fixtures", ec))
+                continue;
+            walk(p, root, exclude_fixtures, out);
+        } else if (lintable(p)) {
+            out.push_back(p);
+        }
+    }
+}
+
+std::string relative_to_root(const fs::path& p, const fs::path& root) {
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    if (ec || rel.empty() || *rel.begin() == "..") rel = p;
+    return rel.generic_string();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader.
+
+const JsonNode* JsonNode::find(const std::string& key) const {
+    for (const auto& [k, v] : members)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+namespace {
+
+struct JsonParser {
+    const std::string& text;
+    std::size_t pos = 0;
+    int line = 1;
+    bool ok = true;
+
+    explicit JsonParser(const std::string& t) : text(t) {}
+
+    void skip_ws() {
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '\n') ++line;
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') ++pos;
+            else break;
+        }
+    }
+
+    bool expect(char c) {
+        skip_ws();
+        if (pos >= text.size() || text[pos] != c) {
+            ok = false;
+            return false;
+        }
+        ++pos;
+        return true;
+    }
+
+    bool parse_string(std::string* out) {
+        if (!expect('"')) return false;
+        out->clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"') return true;
+            if (c == '\n') ++line;  // technically invalid; stay aligned
+            if (c == '\\' && pos < text.size()) {
+                const char e = text[pos++];
+                switch (e) {
+                    case 'n': *out += '\n'; break;
+                    case 't': *out += '\t'; break;
+                    case 'u':
+                        *out += '?';  // names never need surrogates
+                        pos = std::min(pos + 4, text.size());
+                        break;
+                    default: *out += e;
+                }
+            } else {
+                *out += c;
+            }
+        }
+        ok = false;
+        return false;
+    }
+
+    JsonNode parse_value(int depth) {
+        JsonNode node;
+        if (!ok || depth > 64) {
+            ok = false;
+            return node;
+        }
+        skip_ws();
+        node.line = line;
+        if (pos >= text.size()) {
+            ok = false;
+            return node;
+        }
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            node.type = JsonNode::Type::kObject;
+            skip_ws();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return node;
+            }
+            for (;;) {
+                std::string key;
+                if (!parse_string(&key)) return node;
+                if (!expect(':')) return node;
+                node.members.emplace_back(std::move(key), parse_value(depth + 1));
+                if (!ok) return node;
+                skip_ws();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    skip_ws();
+                    continue;
+                }
+                expect('}');
+                return node;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            node.type = JsonNode::Type::kArray;
+            skip_ws();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return node;
+            }
+            for (;;) {
+                node.items.push_back(parse_value(depth + 1));
+                if (!ok) return node;
+                skip_ws();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return node;
+            }
+        }
+        if (c == '"') {
+            node.type = JsonNode::Type::kString;
+            parse_string(&node.text);
+            return node;
+        }
+        if (word_at(text, pos, "true") || word_at(text, pos, "false")) {
+            node.type = JsonNode::Type::kBool;
+            node.boolean = c == 't';
+            pos += node.boolean ? 4 : 5;
+            return node;
+        }
+        if (word_at(text, pos, "null")) {
+            pos += 4;
+            return node;
+        }
+        // Number: store the spelling, no arithmetic needed.
+        node.type = JsonNode::Type::kNumber;
+        const std::size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+                text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+                text[pos] == 'e' || text[pos] == 'E'))
+            ++pos;
+        if (pos == start) {
+            ok = false;
+            return node;
+        }
+        node.text = text.substr(start, pos - start);
+        return node;
+    }
+};
+
+}  // namespace
+
+std::optional<JsonNode> parse_json(const std::string& text) {
+    JsonParser p(text);
+    JsonNode root = p.parse_value(0);
+    p.skip_ws();
+    if (!p.ok || p.pos != text.size()) return std::nullopt;
+    return root;
+}
+
+}  // namespace platoonlint

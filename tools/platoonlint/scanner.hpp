@@ -1,0 +1,146 @@
+// platoonlint scanner: the lexical source model every rule consumes.
+//
+// One SourceFile per translation unit: the raw bytes (suppression comments
+// live there), a comment/string-stripped shadow copy with identical layout
+// (token rules scan it without tripping over prose), the string literals
+// that stripping blanked out (the name index is built from them), and the
+// line table that maps offsets back to 1-based lines.
+//
+// Also here: the quoted-include scanner, the suppression collector, the
+// sorted directory walker, and a minimal line-tracking JSON reader used for
+// bench baselines and scenario descriptions. All deliberately std-only --
+// platoonlint must build everywhere the simulator builds, with no
+// dependency on the simulator itself.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace platoonlint {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Small string helpers.
+
+bool is_ident(char c);
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// True when text[pos..pos+word) is `word` with identifier boundaries.
+bool word_at(const std::string& text, std::size_t pos,
+             const std::string& word);
+
+/// First non-space position at or after `pos`.
+std::size_t skip_spaces(const std::string& text, std::size_t pos);
+
+std::string json_escape(const std::string& s);
+
+// ---------------------------------------------------------------------------
+// Source model.
+
+/// A string literal as written in the raw text (quotes excluded, simple
+/// escapes resolved). `offset` points at the opening quote, so
+/// SourceFile::line_of(offset) is the literal's line.
+struct StringLiteral {
+    std::string value;
+    std::size_t offset = 0;
+};
+
+struct SourceFile {
+    std::string rel;  ///< Root-relative path with forward slashes.
+    std::string raw;
+    std::string stripped;  ///< Comments/strings blanked, layout preserved.
+    std::vector<StringLiteral> literals;   ///< In file order.
+    std::vector<std::size_t> line_starts;  ///< Offset of each line.
+
+    [[nodiscard]] int line_of(std::size_t offset) const;
+
+    /// Literals whose offset lies in [begin, end), in file order.
+    [[nodiscard]] std::vector<const StringLiteral*> literals_in(
+        std::size_t begin, std::size_t end) const;
+};
+
+/// Reads `path` and builds the full source model. Returns std::nullopt on
+/// I/O failure.
+std::optional<SourceFile> load_source(const fs::path& path,
+                                      const std::string& rel);
+
+/// Blanks comments and string/char literals, preserving layout so offsets
+/// and line numbers stay aligned with the raw text. Handles raw strings.
+/// When `literals` is non-null, every blanked string literal is appended.
+std::string strip_comments_and_strings(const std::string& text,
+                                       std::vector<StringLiteral>* literals);
+
+// ---------------------------------------------------------------------------
+// Suppressions: an "allow(<rule>) reason" directive in a comment on the
+// finding line or the line immediately above. `used` is set by the driver
+// when a raw finding matches -- the stale-suppression rule reports the
+// ones that never match anything.
+
+struct Suppression {
+    std::string rule;
+    int line = 0;
+    bool has_reason = false;
+    bool used = false;
+};
+
+/// Keyed by line for matching; values are in file order.
+std::map<int, std::vector<Suppression>> collect_suppressions(
+    const SourceFile& src);
+
+/// True when a reasoned suppression for `rule` (or "all") sits on `line` or
+/// the line above. Marks every matching suppression used, reasoned or not;
+/// a matching reason-less suppression sets *bare_seen instead of
+/// suppressing.
+bool suppressed(std::map<int, std::vector<Suppression>>& sups, int line,
+                const std::string& rule, bool* bare_seen);
+
+// ---------------------------------------------------------------------------
+// Includes.
+
+struct IncludeEdge {
+    std::string path;  ///< Quoted include path as written.
+    int line = 0;
+};
+
+std::vector<IncludeEdge> collect_includes(const SourceFile& src);
+
+// ---------------------------------------------------------------------------
+// File collection.
+
+bool lintable(const fs::path& p);
+
+/// Sorted recursive walk collecting lintable files; skips build/VCS
+/// directories and (when `exclude_fixtures`) root/tests/lint/fixtures.
+void walk(const fs::path& dir, const fs::path& root, bool exclude_fixtures,
+          std::vector<fs::path>& out);
+
+std::string relative_to_root(const fs::path& p, const fs::path& root);
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader with line numbers (for bench baselines and scenario
+// descriptions). Tolerant on numbers (stored as text); strict enough to
+// walk well-formed committed files and fail cleanly on anything else.
+
+struct JsonNode {
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+    Type type = Type::kNull;
+    bool boolean = false;
+    std::string text;  ///< Number spelling or string value.
+    std::vector<JsonNode> items;
+    std::vector<std::pair<std::string, JsonNode>> members;  ///< File order.
+    int line = 0;  ///< 1-based line of the value token.
+
+    [[nodiscard]] const JsonNode* find(const std::string& key) const;
+    [[nodiscard]] bool is_string() const { return type == Type::kString; }
+    [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+    [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+};
+
+/// Parses `text`; returns std::nullopt on malformed input.
+std::optional<JsonNode> parse_json(const std::string& text);
+
+}  // namespace platoonlint

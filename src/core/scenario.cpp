@@ -80,6 +80,18 @@ Scenario::Scenario(ScenarioConfig config)
         establish_pairwise_keys();
     }
 
+    // --- extra corridor platoons -------------------------------------------
+    // Built after the primary platoon and its key establishment so a config
+    // with no extra_platoons consumes randomness in exactly the historical
+    // order (bit-identical to the single-platoon codebase).
+    platoon_spans_.emplace_back(0, config_.platoon_size);
+    build_extra_platoons();
+    // Corridor scale makes the peer table hold every node in radio range;
+    // switch topology derivation onto the same-platoon peer index. Gated on
+    // the corridor so single-platoon scenarios keep the exact legacy scan.
+    if (!config_.extra_platoons.empty())
+        for (auto& vehicle : vehicles_) vehicle->enable_peer_index();
+
     // --- RSUs ----------------------------------------------------------------
     for (std::size_t i = 0; i < config_.rsu_count; ++i) {
         const sim::NodeId rsu_id{1000u + static_cast<std::uint32_t>(i)};
@@ -109,9 +121,12 @@ Scenario::Scenario(ScenarioConfig config)
     }
 
     // --- start everything ----------------------------------------------------
-    for (auto& v : vehicles_) {
-        v->start();
-        watched.push_back(v.get());
+    // Metrics watch the primary platoon only: golden Table II/III numbers
+    // stay comparable across corridor densities, and the extra platoons act
+    // as channel load + maneuver traffic, not as scored subjects.
+    for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+        vehicles_[i]->start();
+        if (i < config_.platoon_size) watched.push_back(vehicles_[i].get());
     }
     metrics_.watch(std::move(watched));
 
@@ -147,10 +162,137 @@ Scenario::Scenario(ScenarioConfig config)
         });
     }
 
+    // Corridor events (merge / split / cut-in / RSU handoff).
+    for (const CorridorEvent& event : config_.corridor) {
+        PLATOON_EXPECTS(event.platoon < platoon_spans_.size());
+        if (event.kind == CorridorEvent::Kind::kSplit ||
+            event.kind == CorridorEvent::Kind::kCutIn) {
+            PLATOON_EXPECTS(event.index < platoon_spans_[event.platoon].second);
+        }
+        scheduler_.schedule_at(
+            event.at, [this, event] { apply_corridor_event(event); });
+    }
+
     // Metrics sampling.
     scheduler_.schedule_every(config_.metrics.sample_period_s,
                               config_.metrics.sample_period_s,
                               [this] { metrics_.sample(scheduler_.now()); });
+}
+
+void Scenario::build_extra_platoons() {
+    const double length = phys::truck_params().length_m;
+    for (std::size_t p = 0; p < config_.extra_platoons.size(); ++p) {
+        const PlatoonSpec& spec = config_.extra_platoons[p];
+        PLATOON_EXPECTS(spec.size >= 2 && spec.size < 100);
+        const std::size_t platoon = p + 1;
+        const std::uint32_t pid =
+            platoon_id() + static_cast<std::uint32_t>(platoon);
+        const double speed = config_.initial_speed_mps + spec.speed_delta_mps;
+        platoon_spans_.emplace_back(vehicles_.size(), spec.size);
+
+        for (std::size_t i = 0; i < spec.size; ++i) {
+            VehicleConfig vc;
+            vc.id = corridor_node(platoon, i);
+            vc.role = i == 0 ? control::Role::kLeader : control::Role::kMember;
+            vc.platoon_id = pid;
+            vc.leader_hint = corridor_node(platoon, 0);
+            vc.lane = spec.lane;
+            vc.initial_state.position_m =
+                config_.leader_start_m + spec.start_offset_m -
+                static_cast<double>(i) * (config_.initial_gap_m + length);
+            vc.initial_state.speed_mps = speed;
+            vc.cacc_type = config_.controller;
+            vc.desired_speed_mps = speed;
+            vc.control_period_s = config_.control_period_s;
+            vc.beacon_period_s = config_.beacon_period_s;
+            vc.security = config_.security;
+            vc.admission = config_.admission;
+
+            auto vehicle = std::make_unique<PlatoonVehicle>(
+                vc, scheduler_, *network_, config_.seed);
+            provision(*vehicle, vc.security);
+            // Fading-channel key agreement is modelled for the primary
+            // platoon only; extra platoons are assumed to have completed
+            // theirs before the simulated window (no probe randomness).
+            if (!group_key_.empty()) vehicle->provision_group_key(group_key_);
+            install_radar_resolver(*vehicle);
+            vehicles_.push_back(std::move(vehicle));
+        }
+
+        const std::size_t base = platoon_spans_.back().first;
+        if (auto* membership = vehicles_[base]->membership()) {
+            for (std::size_t i = 1; i < spec.size; ++i)
+                membership->append(corridor_node(platoon, i));
+        }
+
+        // The extra leader follows the same disturbance profile, shifted by
+        // its speed delta, so the whole corridor brakes and re-accelerates.
+        PlatoonVehicle* extra_leader = vehicles_[base].get();
+        for (const SpeedStep& step : config_.speed_profile) {
+            scheduler_.schedule_at(
+                step.at,
+                [extra_leader, speed = step.speed_mps + spec.speed_delta_mps] {
+                    extra_leader->set_desired_speed(speed);
+                });
+        }
+    }
+}
+
+void Scenario::apply_corridor_event(const CorridorEvent& event) {
+    const auto [base, size] = platoon_spans_[event.platoon];
+    switch (event.kind) {
+        case CorridorEvent::Kind::kMerge: {
+            // The platoon joins the primary platoon's id, lane and leader;
+            // CACC topology re-derives from the next beacons, and the
+            // primary leader's membership absorbs the merged vehicles.
+            if (event.platoon == 0) break;  // primary cannot merge into itself
+            auto* membership = vehicles_.front()->membership();
+            for (std::size_t i = 0; i < size; ++i) {
+                PlatoonVehicle& v = *vehicles_[base + i];
+                v.adopt_platoon(platoon_id(), platoon_node(0));
+                v.set_lane(0);
+                if (membership) membership->append(v.id());
+            }
+            radar_cache_.built_at = -1e18;  // lanes changed: resnapshot
+            break;
+        }
+        case CorridorEvent::Kind::kSplit: {
+            // Real on-wire maneuver: the platoon's leader broadcasts a
+            // kSplitRequest; everyone at or behind the subject detaches.
+            net::ManeuverMsg msg;
+            msg.type = net::ManeuverType::kSplitRequest;
+            msg.platoon_id = vehicles_[base]->platoon_id();
+            msg.sender = vehicles_[base]->wire_id();
+            msg.subject = vehicles_[base + event.index]->wire_id();
+            vehicles_[base]->send_maneuver(msg);
+            break;
+        }
+        case CorridorEvent::Kind::kCutIn: {
+            vehicles_[base + event.index]->set_lane(0);
+            radar_cache_.built_at = -1e18;
+            break;
+        }
+        case CorridorEvent::Kind::kRsuHandoff: {
+            if (event.index >= rsus_.size()) break;  // no such RSU built
+            const sim::NodeId rsu = rsus_[event.index]->id();
+            for (std::size_t i = 0; i < size; ++i)
+                vehicles_[base + i]->set_rsu_hint(rsu);
+            break;
+        }
+    }
+}
+
+std::size_t Scenario::platoon_size(std::size_t platoon) const {
+    PLATOON_EXPECTS(platoon < platoon_spans_.size());
+    return platoon_spans_[platoon].second;
+}
+
+PlatoonVehicle& Scenario::corridor_vehicle(std::size_t platoon,
+                                           std::size_t index) {
+    PLATOON_EXPECTS(platoon < platoon_spans_.size());
+    const auto [base, size] = platoon_spans_[platoon];
+    PLATOON_EXPECTS(index < size);
+    return *vehicles_[base + index];
 }
 
 Scenario::~Scenario() {
@@ -265,6 +407,16 @@ void Scenario::establish_pairwise_keys() {
 }
 
 void Scenario::install_radar_resolver(PlatoonVehicle& vehicle) {
+    // Single-platoon scenarios keep the exact per-call scan (golden
+    // metrics); corridor scenarios route through the sorted snapshot so the
+    // 100 Hz control loop is O(log n) instead of O(n) per vehicle.
+    if (!config_.extra_platoons.empty()) {
+        vehicle.set_radar_target_resolver(
+            [this](const PlatoonVehicle& self) {
+                return resolve_radar_target_indexed(self);
+            });
+        return;
+    }
     vehicle.set_radar_target_resolver(
         [this](const PlatoonVehicle& self) -> const phys::VehicleDynamics* {
             const double my_pos = self.dynamics().position();
@@ -282,6 +434,59 @@ void Scenario::install_radar_resolver(PlatoonVehicle& vehicle) {
             }
             return best != nullptr ? &best->dynamics() : nullptr;
         });
+}
+
+const phys::VehicleDynamics* Scenario::resolve_radar_target_indexed(
+    const PlatoonVehicle& self) {
+    constexpr double kPeriod = 0.05;    // snapshot refresh (sim seconds)
+    constexpr double kMaxSpeed = 60.0;  // corridor speed bound (m/s)
+    const sim::SimTime now = scheduler_.now();
+    if (now - radar_cache_.built_at > kPeriod) {
+        std::size_t max_lane = 0;
+        for (const auto& v : vehicles_)
+            max_lane = std::max<std::size_t>(max_lane, v->lane());
+        radar_cache_.lanes.assign(max_lane + 1, {});
+        for (const auto& v : vehicles_) {
+            radar_cache_.lanes[v->lane()].push_back(
+                {v->dynamics().position() - v->dynamics().length(), v.get()});
+        }
+        for (auto& lane : radar_cache_.lanes) {
+            std::sort(lane.begin(), lane.end(),
+                      [](const RadarCacheEntry& a, const RadarCacheEntry& b) {
+                          if (a.rear_m != b.rear_m) return a.rear_m < b.rear_m;
+                          return a.vehicle->id() < b.vehicle->id();
+                      });
+        }
+        radar_cache_.built_at = now;
+    }
+
+    if (self.lane() >= radar_cache_.lanes.size()) return nullptr;
+    const auto& lane = radar_cache_.lanes[self.lane()];
+    // Stale snapshot: every cached rear bumper is within `slack` of its
+    // fresh position, so scanning from (threshold - slack) and stopping
+    // once the cached rear exceeds my_pos + best_gap + slack evaluates the
+    // exact predicate on every vehicle that could possibly win.
+    const double slack = kMaxSpeed * (now - radar_cache_.built_at) + 2.0;
+    const double my_pos = self.dynamics().position();
+    const double threshold = my_pos - 2.0;
+    auto it = std::lower_bound(
+        lane.begin(), lane.end(), threshold - slack,
+        [](const RadarCacheEntry& e, double bound) { return e.rear_m < bound; });
+    const PlatoonVehicle* best = nullptr;
+    double best_gap = 1e18;
+    for (; it != lane.end(); ++it) {
+        if (best != nullptr && it->rear_m - slack > my_pos + best_gap) break;
+        const PlatoonVehicle* other = it->vehicle;
+        if (other == &self) continue;
+        if (other->lane() != self.lane()) continue;  // changed lanes since build
+        const double gap = other->dynamics().position() -
+                           other->dynamics().length() - my_pos;
+        if (gap > -2.0 && gap < best_gap) {
+            best_gap = gap;
+            best = other;
+        }
+    }
+    return best != nullptr ? &best->dynamics() : nullptr;
 }
 
 }  // namespace platoon::core

@@ -23,6 +23,38 @@ struct SpeedStep {
     double speed_mps;
 };
 
+/// One additional platoon sharing the corridor and the channel. The primary
+/// platoon is described by the top-level ScenarioConfig fields; extra
+/// platoon `p` (1-based) gets platoon id 1+p and node ids 2000 + p*100 + i,
+/// so up to 100 vehicles per platoon never collide with the primary platoon
+/// (100+i), joiners (300), RSUs (1000+i) or attackers (9001+).
+struct PlatoonSpec {
+    std::size_t size = 8;
+    /// Leader start relative to the primary leader (negative = behind).
+    double start_offset_m = -500.0;
+    std::uint8_t lane = 0;
+    /// Added to the primary initial/desired speed (and to every speed
+    /// profile step this platoon's leader follows).
+    double speed_delta_mps = 0.0;
+};
+
+/// Scripted corridor traffic event, applied at an absolute sim time. Events
+/// model the *outcome* of a maneuver where no on-wire protocol exists
+/// (merge, cut-in, handoff); splits go through the real kSplitRequest
+/// maneuver so the survey's maneuver attack surface stays exercised.
+struct CorridorEvent {
+    enum class Kind {
+        kMerge,      ///< Platoon `platoon` merges into the primary platoon.
+        kSplit,      ///< Leader of `platoon` splits it at vehicle `index`.
+        kCutIn,      ///< Vehicle `index` of `platoon` cuts into the primary lane.
+        kRsuHandoff  ///< Platoon `platoon` re-homes reports to RSU `index`.
+    };
+    Kind kind = Kind::kMerge;
+    sim::SimTime at = 10.0;
+    std::size_t platoon = 1;  ///< 0 = primary, 1.. = extra_platoons entry.
+    std::size_t index = 0;    ///< Vehicle slot (kSplit/kCutIn), RSU slot (kRsuHandoff).
+};
+
 struct ScenarioConfig {
     std::uint64_t seed = 42;
     std::size_t platoon_size = 8;
@@ -55,6 +87,11 @@ struct ScenarioConfig {
     bool share_verify_verdicts = true;
     sim::SimTime control_period_s = 0.01;
     sim::SimTime beacon_period_s = 0.1;
+    /// Extra platoons sharing the corridor (empty = classic single-platoon
+    /// scenario, bit-identical to the pre-multi-platoon codebase) and the
+    /// scripted traffic events between them.
+    std::vector<PlatoonSpec> extra_platoons;
+    std::vector<CorridorEvent> corridor;
 };
 
 class Scenario {
@@ -90,6 +127,22 @@ public:
     }
     [[nodiscard]] std::uint32_t platoon_id() const { return 1; }
 
+    /// --- corridor topology --------------------------------------------------
+    /// Platoon 0 is the primary platoon; 1.. index config().extra_platoons.
+    [[nodiscard]] std::size_t platoon_count() const {
+        return 1 + config_.extra_platoons.size();
+    }
+    [[nodiscard]] std::size_t platoon_size(std::size_t platoon) const;
+    /// Node id of slot `index` in corridor platoon `platoon`.
+    [[nodiscard]] static sim::NodeId corridor_node(std::size_t platoon,
+                                                   std::size_t index) {
+        if (platoon == 0) return platoon_node(index);
+        return sim::NodeId{2000u + static_cast<std::uint32_t>(platoon) * 100u +
+                           static_cast<std::uint32_t>(index)};
+    }
+    [[nodiscard]] PlatoonVehicle& corridor_vehicle(std::size_t platoon,
+                                                   std::size_t index);
+
     /// Adds an extra vehicle (joiner, attacker platform, ...) and starts it.
     /// Security material is provisioned per the vehicle's own policy.
     PlatoonVehicle& add_vehicle(VehicleConfig config);
@@ -110,6 +163,24 @@ private:
     void provision(PlatoonVehicle& vehicle, const security::SecurityPolicy& policy);
     void install_radar_resolver(PlatoonVehicle& vehicle);
     void establish_pairwise_keys();
+    void build_extra_platoons();
+    void apply_corridor_event(const CorridorEvent& event);
+    /// Per-lane sorted radar snapshot (multi-platoon scenarios only): the
+    /// brute target scan is O(vehicles) per 100 Hz control step, O(n^2)
+    /// corridor-wide. The snapshot refreshes every kRadarCachePeriod of sim
+    /// time; candidate selection re-checks exact fresh positions inside a
+    /// slack-widened window, so only target *association* latency is
+    /// bounded by the period, never the measured gap.
+    struct RadarCacheEntry {
+        double rear_m = 0.0;  ///< Stale rear-bumper position at build time.
+        PlatoonVehicle* vehicle = nullptr;
+    };
+    struct RadarCache {
+        sim::SimTime built_at = -1e18;
+        std::vector<std::vector<RadarCacheEntry>> lanes;  // indexed by lane
+    };
+    const phys::VehicleDynamics* resolve_radar_target_indexed(
+        const PlatoonVehicle& self);
 
     ScenarioConfig config_;
     sim::Scheduler scheduler_;
@@ -127,6 +198,10 @@ private:
     PlatoonMetrics metrics_;
     crypto::Bytes group_key_;
     sim::RandomStream scenario_rng_;
+    /// (first vehicles_ index, size) per corridor platoon; entry 0 is the
+    /// primary platoon. Single-entry when extra_platoons is empty.
+    std::vector<std::pair<std::size_t, std::size_t>> platoon_spans_;
+    RadarCache radar_cache_;
 };
 
 }  // namespace platoon::core

@@ -150,15 +150,42 @@ void PlatoonVehicle::request_group_key() {
 }
 
 void PlatoonVehicle::prune_peers(sim::SimTime now) {
-    std::erase_if(peers_, [now](const auto& entry) {
-        return entry.second.state.age(now) > 2.0;
-    });
+    // Sweep gate: erase_if walks the whole peer table -- at corridor scale
+    // that is every node in radio range, 100 times per second per vehicle,
+    // and it dominated the highway-scale profile. peers_min_received_ is a
+    // conservative lower bound on every entry's received_at (beacon
+    // refreshes only raise timestamps; the bound only ratchets down), so
+    // when no entry can have aged past the 2 s horizon the sweep is
+    // provably a no-op and the peer table is bit-identical either way.
+    if (peers_min_received_ < now - 2.0) {
+        std::erase_if(peers_, [now](const auto& entry) {
+            return entry.second.state.age(now) > 2.0;
+        });
+        peers_min_received_ = std::numeric_limits<double>::infinity();
+        for (const auto& [wire, peer] : peers_)
+            peers_min_received_ =
+                std::min(peers_min_received_, peer.state.received_at);
+        rebuild_peer_index();
+    }
     if (predecessor_wire_ && !peers_.contains(*predecessor_wire_))
         predecessor_wire_.reset();
     if (leader_wire_ && !peers_.contains(*leader_wire_) &&
         role_ != control::Role::kLeader) {
         // Keep the hint around briefly; CACC freshness checks handle staleness.
     }
+}
+
+void PlatoonVehicle::enable_peer_index() {
+    peer_index_enabled_ = true;
+    rebuild_peer_index();
+}
+
+void PlatoonVehicle::rebuild_peer_index() {
+    if (!peer_index_enabled_) return;
+    platoon_peer_wires_.clear();
+    if (platoon_id_ == 0) return;
+    for (const auto& [wire, peer] : peers_)
+        if (peer.platoon_id == platoon_id_) platoon_peer_wires_.push_back(wire);
 }
 
 void PlatoonVehicle::refresh_topology(double own_position, sim::SimTime now) {
@@ -172,12 +199,12 @@ void PlatoonVehicle::refresh_topology(double own_position, sim::SimTime now) {
     // ghost vehicles exploit.
     std::optional<std::uint32_t> best;
     double best_delta = 1e18;
-    for (const auto& [wire, peer] : peers_) {
-        if (platoon_id_ == 0 || peer.platoon_id != platoon_id_) continue;
-        if (peer.lane != lane_) continue;
-        if (peer.state.age(now) > 1.5) continue;
+    const auto consider = [&](std::uint32_t wire, const Peer& peer) {
+        if (platoon_id_ == 0 || peer.platoon_id != platoon_id_) return;
+        if (peer.lane != lane_) return;
+        if (peer.state.age(now) > 1.5) return;
         if (config_.security.trust_management && !trust_.trusted(wire))
-            continue;
+            return;
         const double delta = peer.state.position_m - own_position;
         if (delta > 0.0 && delta < best_delta) {
             best_delta = delta;
@@ -188,6 +215,16 @@ void PlatoonVehicle::refresh_topology(double own_position, sim::SimTime now) {
         // behind us is someone abusing the leader's identity or role.
         if (peer.platoon_index == 0 && peer.state.position_m > own_position)
             leader_wire_ = wire;
+    };
+    if (peer_index_enabled_) {
+        // Corridor mode: only same-platoon peers can pass the filters, so
+        // scan the maintained index instead of every node in radio range.
+        for (const std::uint32_t wire : platoon_peer_wires_) {
+            const auto it = peers_.find(wire);
+            if (it != peers_.end()) consider(wire, it->second);
+        }
+    } else {
+        for (const auto& [wire, peer] : peers_) consider(wire, peer);
     }
     predecessor_wire_ = best;
 }
@@ -373,6 +410,7 @@ void PlatoonVehicle::control_step() {
                         // In position: engage CACC and notify the leader.
                         role_ = control::Role::kMember;
                         platoon_id_ = join_platoon_;
+                        rebuild_peer_index();
                         net::ManeuverMsg done;
                         done.type = net::ManeuverType::kJoinComplete;
                         done.platoon_id = join_platoon_;
@@ -489,6 +527,19 @@ void PlatoonVehicle::send_typed(net::MsgType type, crypto::BytesView payload) {
         secondary.band = config_.security.secondary_band;
         network_.broadcast(config_.id, std::move(secondary));
     }
+}
+
+void PlatoonVehicle::adopt_platoon(std::uint32_t platoon_id,
+                                   sim::NodeId leader_hint) {
+    platoon_id_ = platoon_id;
+    rebuild_peer_index();
+    config_.leader_hint = leader_hint;
+    role_ = control::Role::kMember;
+    detached_ = false;
+    // Stale wires point into the old platoon; refresh_topology() re-derives
+    // both from the next beacons under the new platoon id.
+    predecessor_wire_.reset();
+    leader_wire_.reset();
 }
 
 void PlatoonVehicle::send_maneuver(const net::ManeuverMsg& msg) {
@@ -643,6 +694,10 @@ void PlatoonVehicle::handle_beacon(const net::Beacon& beacon,
         return;  // surgically ignored until it re-earns trust
     }
     Peer& peer = peers_[envelope.sender];
+    // A fresh insert carries received_at = -1.0 until the claim below is
+    // accepted; track it so the next prune sweep sees it either way.
+    peers_min_received_ =
+        std::min(peers_min_received_, peer.state.received_at);
 
     // Plausibility gate (control-algorithm defense family): consecutive
     // claims from one identity must be kinematically consistent. Two
@@ -680,6 +735,16 @@ void PlatoonVehicle::handle_beacon(const net::Beacon& beacon,
     peer.platoon_id = beacon.platoon_id;
     peer.platoon_index = beacon.platoon_index;
     peer.lane = beacon.lane;
+    if (peer_index_enabled_) {
+        const bool want =
+            platoon_id_ != 0 && peer.platoon_id == platoon_id_;
+        const auto at = std::find(platoon_peer_wires_.begin(),
+                                  platoon_peer_wires_.end(), envelope.sender);
+        if (want && at == platoon_peer_wires_.end())
+            platoon_peer_wires_.push_back(envelope.sender);
+        else if (!want && at != platoon_peer_wires_.end())
+            platoon_peer_wires_.erase(at);
+    }
 
     // SP-VLC chain relay: leader beacons hop member-to-member over VLC so
     // CACC keeps its leader feed when RF is jammed.
@@ -834,6 +899,7 @@ void PlatoonVehicle::handle_maneuver_as_member(const net::ManeuverMsg& msg) {
             // Change lane, leave the platoon, confirm.
             lane_ += 1;
             platoon_id_ = 0;
+            rebuild_peer_index();
             role_ = control::Role::kFree;
             detached_ = false;
             net::ManeuverMsg done;

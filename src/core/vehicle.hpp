@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -133,6 +134,25 @@ public:
     void request_group_key();
     /// Leader sends a maneuver to the platoon (used by examples/tests).
     void send_maneuver(const net::ManeuverMsg& msg);
+
+    /// --- corridor maneuvers (scenario-driven) -------------------------------
+    /// These model the *outcome* of a negotiated corridor event (merge,
+    /// cut-in, RSU handoff along the road); the message-level join/split
+    /// protocols above remain the on-wire path. Topology re-derives from
+    /// beacons, so adopting a platoon simply re-homes the identity and lets
+    /// refresh_topology() find the new predecessor/leader.
+    void adopt_platoon(std::uint32_t platoon_id, sim::NodeId leader_hint);
+    void set_lane(std::uint8_t lane) { lane_ = lane; }
+    void set_rsu_hint(sim::NodeId rsu) { config_.rsu_hint = rsu; }
+    [[nodiscard]] sim::NodeId rsu_hint() const { return config_.rsu_hint; }
+
+    /// Opt into the incrementally-maintained same-platoon peer index used
+    /// by refresh_topology(). At corridor scale the peer table holds every
+    /// node in radio range while only same-platoon entries matter to
+    /// topology, so the full-table scan is O(corridor) per control step.
+    /// Single-platoon scenarios keep the exact legacy scan (bit-identical
+    /// goldens); multi-platoon scenarios enable the index at build time.
+    void enable_peer_index();
 
     /// --- security state ----------------------------------------------------
     [[nodiscard]] crypto::MessageProtection& protection() {
@@ -275,6 +295,9 @@ private:
     /// Derives (predecessor, leader) peer data for the controller.
     void refresh_topology(double own_position, sim::SimTime now);
     void prune_peers(sim::SimTime now);
+    /// Recomputes platoon_peer_wires_ from peers_ (platoon id changes,
+    /// prune sweeps). No-op while the index is disabled.
+    void rebuild_peer_index();
     [[nodiscard]] std::optional<double> beacon_gap(double own_position) const;
     /// Timestamp this vehicle *writes* into outgoing messages: scheduler
     /// time unless a clock-skew fault is active.
@@ -336,6 +359,13 @@ private:
     std::optional<double> last_radar_closing_mps_;
 
     std::unordered_map<std::uint32_t, Peer> peers_;
+    /// Conservative lower bound on every peer's received_at; prune_peers
+    /// skips its full-table sweep while nothing can have expired.
+    sim::SimTime peers_min_received_ = std::numeric_limits<double>::infinity();
+    /// Same-platoon peer wires in arrival order (see enable_peer_index).
+    /// Maintained on beacon upserts, prune sweeps and platoon_id_ changes.
+    bool peer_index_enabled_ = false;
+    std::vector<std::uint32_t> platoon_peer_wires_;
     std::optional<std::uint32_t> predecessor_wire_;
     std::optional<std::uint32_t> leader_wire_;
     std::unordered_set<std::uint64_t> vlc_forwarded_;

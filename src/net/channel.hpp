@@ -10,7 +10,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/random.hpp"
 #include "sim/types.hpp"
@@ -93,15 +93,40 @@ public:
     [[nodiscard]] static PairKey pair_key(sim::NodeId a, sim::NodeId b);
 
 private:
+    /// Open-addressing fading table. The AR(1) state is touched once per
+    /// rx_power/gain computation, which makes this the hottest lookup in
+    /// the simulator at highway scale (hundreds of thousands of live node
+    /// pairs): linear probing over one contiguous power-of-two slot array
+    /// replaces the bucket-chain pointer chase of unordered_map with a
+    /// probe that almost always resolves within one cache line. Same
+    /// states, same draw order -- only the container changed.
+    ///
+    /// Keys and values live in parallel arrays so the probe loop walks a
+    /// dense u64 array (8 bytes per slot, three slots per cache line)
+    /// instead of dragging the 16-byte AR(1) state through the cache on
+    /// every collision; the state array is touched exactly once, at the
+    /// resolved index. The PairKey words are NodeId values (32-bit today),
+    /// so they fit one u64 with the id range asserted at insert; `last_t`
+    /// doubles as both the AR(1) clock and the initialised flag (NaN =
+    /// never drawn). The all-ones packed key (two kInvalidValue ids --
+    /// unregisterable, so no real pair) marks an empty slot.
     struct FadingState {
-        bool initialised = false;
-        sim::SimTime last_t = 0.0;
+        double last_t = 0.0;
         double value_db = 0.0;
     };
+    static constexpr std::uint64_t kEmptySlotKey = ~0ull;
+
+    /// State for `key`, inserted empty (key claimed, last_t = NaN) if
+    /// absent.
+    FadingState& fading_slot(PairKey key);
+    void grow_fading();
 
     ChannelParams params_;
     sim::RandomStream fading_rng_;
-    std::unordered_map<PairKey, FadingState, PairKeyHash> fading_;
+    std::vector<std::uint64_t> fading_keys_;
+    std::vector<FadingState> fading_states_;
+    std::size_t fading_count_ = 0;
 };
+
 
 }  // namespace platoon::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "obs/counters.hpp"
 #include "obs/timer.hpp"
@@ -14,6 +15,11 @@ namespace {
 double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
 double mw_to_dbm(double mw) { return 10.0 * std::log10(std::max(mw, 1e-15)); }
 
+bool brute_force_env() {
+    const char* v = std::getenv("PLATOON_BRUTE_FORCE_NET");
+    return v != nullptr && v[0] == '1';
+}
+
 obs::Counter g_sent{"net.sent"};
 obs::Counter g_sent_forged{"net.sent_forged"};
 obs::Counter g_delivered{"net.delivered"};
@@ -22,6 +28,8 @@ obs::Counter g_dropped_mac{"net.dropped.mac"};
 obs::Counter g_dropped_half_duplex{"net.dropped.half_duplex"};
 obs::Counter g_dropped_range{"net.dropped.range"};
 obs::Counter g_dropped_fault{"net.dropped.fault"};
+obs::Counter g_arena_alloc{"net.arena.alloc"};
+obs::Counter g_arena_reuse{"net.arena.reuse"};
 }  // namespace
 
 Network::Network(sim::Scheduler& scheduler, Params params, std::uint64_t seed)
@@ -29,7 +37,8 @@ Network::Network(sim::Scheduler& scheduler, Params params, std::uint64_t seed)
       params_(params),
       channel_(params.channel, seed),
       rng_(seed, "network.mac"),
-      batch_rng_(seed, "network.batchverify") {}
+      batch_rng_(seed, "network.batchverify"),
+      brute_force_(params.brute_force_delivery || brute_force_env()) {}
 
 void Network::register_node(sim::NodeId id, PositionFn position,
                             ReceiveHandler on_receive) {
@@ -44,9 +53,13 @@ void Network::register_node(sim::NodeId id, PositionFn position,
     PLATOON_EXPECTS(on_receive != nullptr);
     nodes_[id] = Node{std::move(position), std::move(on_receive), traits,
                       false};
+    index_dirty_ = true;
 }
 
-void Network::unregister_node(sim::NodeId id) { nodes_.erase(id); }
+void Network::unregister_node(sim::NodeId id) {
+    nodes_.erase(id);
+    index_dirty_ = true;
+}
 
 bool Network::is_registered(sim::NodeId id) const {
     return nodes_.contains(id);
@@ -56,6 +69,26 @@ double Network::node_position(sim::NodeId id) const {
     const auto it = nodes_.find(id);
     PLATOON_EXPECTS(it != nodes_.end());
     return it->second.position();
+}
+
+void Network::ensure_index() {
+    const sim::SimTime now = scheduler_.now();
+    if (!index_dirty_ && index_.ever_built() &&
+        now - index_.built_at() <= params_.spatial_rebuild_period_s) {
+        return;
+    }
+    std::vector<SpatialIndex::Entry> entries;
+    entries.reserve(nodes_.size());
+    for (const auto& [id, node] : nodes_) {
+        entries.push_back({node.position(), id, node.traits.vlc});
+    }
+    index_.rebuild(std::move(entries), now);
+    index_dirty_ = false;
+}
+
+double Network::index_slack(sim::SimTime now) const {
+    return params_.max_node_speed_mps * (now - index_.built_at()) +
+           params_.spatial_slack_margin_m;
 }
 
 int Network::add_jammer(JammerConfig config) {
@@ -92,7 +125,8 @@ bool Network::medium_busy(sim::NodeId at, Band band) {
     const double my_pos = it->second.position();
     const sim::SimTime now = scheduler_.now();
 
-    for (const auto& tx : active_) {
+    for (const std::uint32_t slot : active_slots_) {
+        const Transmission& tx = slab_[slot]->tx;
         if (tx.frame.band != band || tx.end <= now || tx.from == at) continue;
         const double dist = std::abs(tx.tx_position - my_pos);
         const double rx_dbm = channel_.rx_power_dbm(
@@ -144,9 +178,31 @@ void Network::attempt_transmit(sim::NodeId from, Frame frame, int attempt) {
 }
 
 void Network::prune_finished(sim::SimTime now) {
-    std::erase_if(active_, [now](const Transmission& tx) {
-        return tx.end < now - 0.001;
+    std::erase_if(active_slots_, [this, now](std::uint32_t slot) {
+        Slot& s = *slab_[slot];
+        if (s.tx.end >= now - 0.001) return false;
+        s.live = false;
+        free_slots_.push_back(slot);
+        return true;
     });
+}
+
+std::uint32_t Network::allocate_slot() {
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+        slot = static_cast<std::uint32_t>(slab_.size());
+        slab_.push_back(std::make_unique<Slot>());
+        g_arena_alloc.inc();
+    } else {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        g_arena_reuse.inc();
+    }
+    Slot& s = *slab_[slot];
+    ++s.gen;
+    s.live = true;
+    active_slots_.push_back(slot);
+    return slot;
 }
 
 void Network::start_transmission(sim::NodeId from, Frame frame) {
@@ -155,56 +211,73 @@ void Network::start_transmission(sim::NodeId from, Frame frame) {
     const sim::SimTime now = scheduler_.now();
     prune_finished(now);
 
-    Transmission tx;
-    tx.from = from;
-    tx.start = now;
-    tx.end = now + channel_.airtime(frame.wire_size());
-    tx.tx_position = node_it->second.position();
-    tx.frame = std::move(frame);
-    active_.push_back(std::move(tx));
+    const std::uint32_t slot = allocate_slot();
+    Slot& s = *slab_[slot];
+    s.tx.from = from;
+    s.tx.start = now;
+    s.tx.end = now + channel_.airtime(frame.wire_size());
+    s.tx.tx_position = node_it->second.position();
+    s.tx.frame = std::move(frame);
     node_it->second.transmitting = true;
     ++stats_.sent;
     g_sent.inc();
 
-    // Identify this transmission by its (from, start) pair at finish time;
-    // (a node cannot start two simultaneous transmissions on one band).
-    const sim::SimTime start = now;
-    scheduler_.schedule_at(active_.back().end, [this, from, start] {
-        for (std::size_t i = 0; i < active_.size(); ++i) {
-            if (active_[i].from == from && active_[i].start == start) {
-                finish_transmission(i);
-                return;
-            }
-        }
+    scheduler_.schedule_at(s.tx.end, [this, slot, gen = s.gen] {
+        finish_transmission(slot, gen);
     });
 }
 
-void Network::finish_transmission(std::size_t tx_index) {
-    PLATOON_EXPECTS(tx_index < active_.size());
+void Network::finish_transmission(std::uint32_t slot, std::uint64_t gen) {
+    PLATOON_EXPECTS(slot < slab_.size());
+    if (!slab_[slot]->live || slab_[slot]->gen != gen) return;
     const obs::ScopedTimer timer("net.deliver");
-    // Copy: delivery handlers may trigger new transmissions that mutate
-    // active_.
-    const Transmission tx = active_[tx_index];
+    // Slab slots are heap-stable: handlers may start new transmissions
+    // while this reference is held, and this slot cannot be pruned before
+    // the loop ends (its end time is `now`, inside the prune window).
+    const Transmission& tx = slab_[slot]->tx;
 
     if (auto it = nodes_.find(tx.from); it != nodes_.end())
         it->second.transmitting = false;
 
     const sim::SimTime now = scheduler_.now();
     const double noise_mw = dbm_to_mw(params_.channel.noise_floor_dbm);
+    const std::size_t total_receivers =
+        nodes_.size() - (nodes_.contains(tx.from) ? 1u : 0u);
 
-    // Snapshot receivers: handlers can (un)register nodes.
+    // Reception candidates, sorted by NodeId (deterministic order; handlers
+    // can (un)register nodes, so the set is snapshotted before delivery).
     std::vector<sim::NodeId> receivers;
-    receivers.reserve(nodes_.size());
-    for (const auto& [id, node] : nodes_) {
-        if (id != tx.from) receivers.push_back(id);
+    if (brute_force_) {
+        receivers.reserve(nodes_.size());
+        for (const auto& [id, node] : nodes_) {
+            if (id != tx.from) receivers.push_back(id);
+        }
+    } else {
+        ensure_index();
+        const double reach = params_.max_range_m + index_slack(now);
+        std::vector<SpatialIndex::Entry> window;
+        index_.collect(tx.tx_position - reach, tx.tx_position + reach,
+                       window);
+        receivers.reserve(window.size());
+        for (const SpatialIndex::Entry& e : window) {
+            if (e.id != tx.from) receivers.push_back(e.id);
+        }
+        // Everyone outside the slack-widened window is guaranteed outside
+        // max_range_m at its exact position too (spatial_index.hpp), so the
+        // far tail is bulk-counted without sampling positions.
+        const std::uint64_t far = total_receivers - receivers.size();
+        stats_.dropped_range += far;
+        g_dropped_range.add(far);
     }
-    std::sort(receivers.begin(), receivers.end());  // deterministic order
+    std::sort(receivers.begin(), receivers.end());
 
     // Settle receiver-independent signature facts once, before the fan-out,
     // so each receiver below hits the shared verdict cache. Gated on the
     // envelope mode here (cheaply) as well as inside the hook: unsigned
-    // traffic must not touch batch_rng_.
-    if (verify_prewarm_ && receivers.size() > 1 &&
+    // traffic must not touch batch_rng_. The gate counts *all* registered
+    // receivers, not just in-range candidates, so both delivery paths draw
+    // from batch_rng_ identically.
+    if (verify_prewarm_ && total_receivers > 1 &&
         tx.frame.envelope.mode == crypto::AuthMode::kSignature) {
         verify_prewarm_(tx.frame.envelope, batch_rng_);
     }
@@ -236,7 +309,7 @@ void Network::finish_transmission(std::size_t tx_index) {
             tx.from, rx, dist, tx.start, params_.channel.tx_power_dbm));
         const double interference =
             interference_mw(rx, rx_pos, tx.frame.band, tx.start, tx.end,
-                            tx_index) +
+                            slot) +
             jammer_power_mw(rx_pos, tx.frame.band, rx, now);
         const double sinr_db =
             mw_to_dbm(signal_mw) - mw_to_dbm(noise_mw + interference);
@@ -256,11 +329,11 @@ void Network::finish_transmission(std::size_t tx_index) {
 
 double Network::interference_mw(sim::NodeId rx, double rx_pos, Band band,
                                 sim::SimTime start, sim::SimTime end,
-                                std::optional<std::size_t> self_index) {
+                                std::optional<std::uint32_t> self_slot) {
     double total = 0.0;
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-        if (self_index && i == *self_index) continue;
-        const Transmission& other = active_[i];
+    for (const std::uint32_t slot : active_slots_) {
+        if (self_slot && slot == *self_slot) continue;
+        const Transmission& other = slab_[slot]->tx;
         if (other.frame.band != band) continue;
         if (other.from == rx) continue;  // own tx counted as half-duplex
         const double overlap =
@@ -274,22 +347,43 @@ double Network::interference_mw(sim::NodeId rx, double rx_pos, Band band,
     return total;
 }
 
-void Network::deliver_vlc(sim::NodeId from, const Frame& frame) {
-    // Line-of-sight optical link: reaches only the nearest vehicle ahead and
-    // the nearest behind (the bodies of vehicles block anything further),
-    // within the optical range. Immune to RF jamming by construction; an
-    // ambient-light loss probability models glare (paper Section VI-A.4).
+std::pair<sim::NodeId, sim::NodeId> Network::vlc_targets(sim::NodeId from) {
     const auto from_it = nodes_.find(from);
-    if (from_it == nodes_.end()) return;
+    if (from_it == nodes_.end()) return {};
     const double my_pos = from_it->second.position();
+
+    // Candidates as (id, exact position), gathered either from the whole
+    // registry or from the index window, then scanned in NodeId order so an
+    // exact-distance tie resolves identically on both paths. The window is
+    // widened past the strict-< reach (vlc_range_m + 1.0) by the slack, so
+    // any node that could win the nearest-neighbor scan is inside it.
+    std::vector<std::pair<sim::NodeId, double>> cands;
+    if (brute_force_) {
+        for (const auto& [id, node] : nodes_) {
+            if (id == from || !node.traits.vlc) continue;
+            cands.emplace_back(id, node.position());
+        }
+    } else {
+        ensure_index();
+        const double reach =
+            params_.vlc_range_m + 1.0 + index_slack(scheduler_.now());
+        std::vector<SpatialIndex::Entry> window;
+        index_.collect_vlc(my_pos - reach, my_pos + reach, window);
+        cands.reserve(window.size());
+        for (const SpatialIndex::Entry& e : window) {
+            if (e.id == from) continue;
+            const auto it = nodes_.find(e.id);
+            if (it == nodes_.end()) continue;
+            cands.emplace_back(e.id, it->second.position());
+        }
+    }
+    std::sort(cands.begin(), cands.end());
 
     sim::NodeId ahead, behind;
     double best_ahead = params_.vlc_range_m + 1.0;
     double best_behind = params_.vlc_range_m + 1.0;
-    for (const auto& [id, node] : nodes_) {
-        if (id == from) continue;
-        if (!node.traits.vlc) continue;  // not in the optical chain
-        const double delta = node.position() - my_pos;
+    for (const auto& [id, pos] : cands) {
+        const double delta = pos - my_pos;
         if (delta > 0.0 && delta < best_ahead) {
             best_ahead = delta;
             ahead = id;
@@ -298,6 +392,15 @@ void Network::deliver_vlc(sim::NodeId from, const Frame& frame) {
             behind = id;
         }
     }
+    return {ahead, behind};
+}
+
+void Network::deliver_vlc(sim::NodeId from, const Frame& frame) {
+    // Line-of-sight optical link: reaches only the nearest vehicle ahead and
+    // the nearest behind (the bodies of vehicles block anything further),
+    // within the optical range. Immune to RF jamming by construction; an
+    // ambient-light loss probability models glare (paper Section VI-A.4).
+    const auto [ahead, behind] = vlc_targets(from);
 
     for (const sim::NodeId rx : {ahead, behind}) {
         if (!rx.valid()) continue;

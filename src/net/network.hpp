@@ -8,17 +8,29 @@
 // PER-vs-SINR reception draw. Jamming "fills the frequencies with random
 // noise" (paper Section V-B) by raising the interference floor — which both
 // corrupts receptions and starves the CSMA medium.
+//
+// Delivery scale: reception candidates and VLC neighbor lookups run through
+// a sorted-by-x SpatialIndex so each fan-out costs O(nodes nearby) instead
+// of O(all registered nodes). The index is a stale snapshot; queries widen
+// their window by a slack term so the indexed path stays bit-identical to
+// the O(all-pairs) reference scan (Params::brute_force_delivery or
+// PLATOON_BRUTE_FORCE_NET=1), which tests pin. In-flight Transmissions live
+// in a slab arena (stable slots + free list) so the steady-state hot path
+// performs no per-frame container growth or deep frame copies.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "crypto/secured_message.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
+#include "net/spatial_index.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
@@ -89,6 +101,19 @@ public:
         double aifs_s = 58e-6;
         int max_mac_attempts = 7;
         double max_range_m = 800.0;
+
+        /// Force the O(all-pairs) reference delivery scan instead of the
+        /// spatial index. The env var PLATOON_BRUTE_FORCE_NET=1 flips the
+        /// same switch at construction time; both paths are pinned
+        /// bit-identical by tests/net/test_spatial_delivery.cpp.
+        bool brute_force_delivery = false;
+        /// Snapshot refresh cadence. Between rebuilds, queries widen their
+        /// window by max_node_speed_mps x snapshot age + the safety margin,
+        /// so a longer period trades extra candidates for fewer O(n)
+        /// position sweeps.
+        double spatial_rebuild_period_s = 0.05;
+        double max_node_speed_mps = 60.0;
+        double spatial_slack_margin_m = 10.0;
     };
 
     using ReceiveHandler = std::function<void(const Frame&, const RxInfo&)>;
@@ -117,6 +142,14 @@ public:
 
     /// Queues a broadcast through the band's MAC.
     void broadcast(sim::NodeId from, Frame frame);
+
+    /// The two nodes a VLC frame from `from` can reach: nearest
+    /// optical-chain node ahead and nearest behind (vehicle bodies block
+    /// anything further), within the optical range. Either id may be
+    /// invalid. Exact ties resolve to the lower NodeId on both delivery
+    /// paths.
+    [[nodiscard]] std::pair<sim::NodeId, sim::NodeId> vlc_targets(
+        sim::NodeId from);
 
     /// --- jammers ----------------------------------------------------------
     int add_jammer(JammerConfig config);
@@ -162,6 +195,7 @@ public:
     [[nodiscard]] Channel& channel() { return channel_; }
     [[nodiscard]] const Params& params() const { return params_; }
     [[nodiscard]] double node_position(sim::NodeId id) const;
+    [[nodiscard]] bool brute_force_delivery() const { return brute_force_; }
 
 private:
     struct Node {
@@ -179,19 +213,36 @@ private:
         double tx_position;
     };
 
+    /// Arena slot for an in-flight (or recently finished) Transmission.
+    /// Slots are heap-stable: delivery handlers may start new transmissions
+    /// (growing the slab) while a reference to the finishing slot's
+    /// Transmission is held. The generation guards the finish callback
+    /// against slot reuse.
+    struct Slot {
+        Transmission tx;
+        std::uint64_t gen = 0;
+        bool live = false;
+    };
+
     void attempt_transmit(sim::NodeId from, Frame frame, int attempt);
     void start_transmission(sim::NodeId from, Frame frame);
-    void finish_transmission(std::size_t tx_index);
+    void finish_transmission(std::uint32_t slot, std::uint64_t gen);
     void deliver_vlc(sim::NodeId from, const Frame& frame);
     [[nodiscard]] bool medium_busy(sim::NodeId at, Band band);
     /// Total interference power (mW) at `rx_pos` for `rx` during [start,end],
-    /// excluding transmission `self_index`.
+    /// excluding arena slot `self_slot`.
     double interference_mw(sim::NodeId rx, double rx_pos, Band band,
                            sim::SimTime start, sim::SimTime end,
-                           std::optional<std::size_t> self_index);
+                           std::optional<std::uint32_t> self_slot);
     double jammer_power_mw(double rx_pos, Band band, sim::NodeId rx,
                            sim::SimTime t);
     void prune_finished(sim::SimTime now);
+    [[nodiscard]] std::uint32_t allocate_slot();
+    /// Rebuilds the spatial snapshot when the registry changed or the
+    /// snapshot aged past spatial_rebuild_period_s.
+    void ensure_index();
+    /// Window widening that covers node movement since the snapshot.
+    [[nodiscard]] double index_slack(sim::SimTime now) const;
 
     sim::Scheduler& scheduler_;
     Params params_;
@@ -199,7 +250,15 @@ private:
     sim::RandomStream rng_;
     sim::RandomStream batch_rng_;  ///< Coefficients for batch verification.
     std::unordered_map<sim::NodeId, Node> nodes_;
-    std::vector<Transmission> active_;  // includes recently finished
+    /// Transmission arena: stable slots + LIFO free list. active_slots_
+    /// holds live slots in insertion order -- interference sums iterate it,
+    /// so the float summation order matches the old growing-vector path.
+    std::vector<std::unique_ptr<Slot>> slab_;
+    std::vector<std::uint32_t> free_slots_;
+    std::vector<std::uint32_t> active_slots_;  // includes recently finished
+    SpatialIndex index_;
+    bool index_dirty_ = true;
+    bool brute_force_ = false;
     std::unordered_map<int, JammerConfig> jammers_;
     int next_jammer_id_ = 1;
     FaultLossFn fault_loss_;

@@ -1,0 +1,35 @@
+#include "net/spatial_index.hpp"
+
+#include <algorithm>
+
+namespace platoon::net {
+
+void SpatialIndex::rebuild(std::vector<Entry> entries, sim::SimTime at) {
+    entries_ = std::move(entries);
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) {
+                  if (a.x != b.x) return a.x < b.x;
+                  return a.id < b.id;
+              });
+    built_at_ = at;
+}
+
+void SpatialIndex::collect(double lo, double hi,
+                           std::vector<Entry>& out) const {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), lo,
+        [](const Entry& e, double bound) { return e.x < bound; });
+    for (; it != entries_.end() && it->x <= hi; ++it) out.push_back(*it);
+}
+
+void SpatialIndex::collect_vlc(double lo, double hi,
+                               std::vector<Entry>& out) const {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), lo,
+        [](const Entry& e, double bound) { return e.x < bound; });
+    for (; it != entries_.end() && it->x <= hi; ++it) {
+        if (it->vlc) out.push_back(*it);
+    }
+}
+
+}  // namespace platoon::net

@@ -1,0 +1,48 @@
+// Sorted-by-x neighbor index over the registered radio nodes.
+//
+// The index is a snapshot: positions are sampled once per rebuild from the
+// lazy PositionFn callbacks and then queried many times, so every lookup has
+// to tolerate *stale* coordinates. Callers widen their query window by a
+// slack term (max node speed x snapshot age, plus a safety margin) so that a
+// node whose stale x falls outside the window is guaranteed to also fail the
+// exact range check -- that guarantee is what lets Network bulk-count the
+// non-candidates as out-of-range without sampling their positions, and what
+// keeps the indexed delivery path bit-identical to the brute-force scan
+// (pinned by tests/net/test_spatial_delivery.cpp).
+#pragma once
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace platoon::net {
+
+class SpatialIndex {
+public:
+    struct Entry {
+        double x = 0.0;
+        sim::NodeId id;
+        bool vlc = false;  ///< Participates in the optical chain.
+    };
+
+    /// Replaces the snapshot. Entries are sorted by (x, id); the id
+    /// tie-break keeps the stored order deterministic when two nodes share a
+    /// coordinate (callers still re-sort query results by NodeId).
+    void rebuild(std::vector<Entry> entries, sim::SimTime at);
+
+    /// Appends every entry with stale x in [lo, hi] to `out` (in x order).
+    void collect(double lo, double hi, std::vector<Entry>& out) const;
+
+    /// As collect(), but only entries with the vlc trait.
+    void collect_vlc(double lo, double hi, std::vector<Entry>& out) const;
+
+    [[nodiscard]] sim::SimTime built_at() const { return built_at_; }
+    [[nodiscard]] bool ever_built() const { return built_at_ >= 0.0; }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+private:
+    std::vector<Entry> entries_;  // sorted by (x, id)
+    sim::SimTime built_at_ = -1.0;
+};
+
+}  // namespace platoon::net

@@ -170,12 +170,142 @@ void apply_security_overrides(const obs::Json& sec, const std::string& path,
     }
 }
 
+// Corridor topology: extra platoons sharing the channel plus scripted
+// traffic events between them (core::PlatoonSpec / core::CorridorEvent).
+
+void apply_platoons_override(const obs::Json& arr, const std::string& path,
+                             core::ScenarioConfig& config, Diag& diag) {
+    static const std::set<std::string> kKeys = {"size", "start_offset_m",
+                                                "lane", "speed_delta_mps"};
+    if (!arr.is_array() || arr.as_array().empty()) {
+        diag.fail(path, "expected a non-empty array of platoon objects");
+        return;
+    }
+    const obs::Json::Array& items = arr.as_array();
+    if (items.size() > 63) {
+        // corridor_node() packs platoon*100 + index below the attacker id
+        // range (9001+); 63 platoons of 99 tops out at node 8399.
+        diag.fail(path, "at most 63 extra platoons fit the node-id space");
+        return;
+    }
+    config.extra_platoons.clear();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const std::string at = path + "[" + std::to_string(i) + "]";
+        if (!items[i].is_object()) {
+            diag.fail(at, "expected an object");
+            return;
+        }
+        check_keys(items[i], at, kKeys, diag);
+        if (diag.failed) return;
+        core::PlatoonSpec spec;
+        const obs::Json& size = items[i].at("size");
+        if (!size.is_null()) {
+            std::int64_t n = 0;
+            if (!want_int(size, at + ".size", 2, 99, diag, &n)) return;
+            spec.size = static_cast<std::size_t>(n);
+        }
+        const obs::Json& offset = items[i].at("start_offset_m");
+        if (!offset.is_null() &&
+            !want_double(offset, at + ".start_offset_m", -1e6, 1e6, diag,
+                         &spec.start_offset_m))
+            return;
+        const obs::Json& lane = items[i].at("lane");
+        if (!lane.is_null()) {
+            std::int64_t n = 0;
+            if (!want_int(lane, at + ".lane", 0, 7, diag, &n)) return;
+            spec.lane = static_cast<std::uint8_t>(n);
+        }
+        const obs::Json& delta = items[i].at("speed_delta_mps");
+        if (!delta.is_null() &&
+            !want_double(delta, at + ".speed_delta_mps", -20.0, 20.0, diag,
+                         &spec.speed_delta_mps))
+            return;
+        config.extra_platoons.push_back(spec);
+    }
+}
+
+const std::vector<std::string>& corridor_event_names() {
+    static const std::vector<std::string> kNames = {"merge", "split",
+                                                    "cut-in", "rsu-handoff"};
+    return kNames;
+}
+
+std::optional<core::CorridorEvent::Kind> corridor_event_from_name(
+    const std::string& name) {
+    using Kind = core::CorridorEvent::Kind;
+    if (name == "merge") return Kind::kMerge;
+    if (name == "split") return Kind::kSplit;
+    if (name == "cut-in") return Kind::kCutIn;
+    if (name == "rsu-handoff") return Kind::kRsuHandoff;
+    return std::nullopt;
+}
+
+void apply_corridor_override(const obs::Json& arr, const std::string& path,
+                             core::ScenarioConfig& config, Diag& diag) {
+    static const std::set<std::string> kKeys = {"event", "at_s", "platoon",
+                                                "index"};
+    if (!arr.is_array() || arr.as_array().empty()) {
+        diag.fail(path, "expected a non-empty array of event objects");
+        return;
+    }
+    const obs::Json::Array& items = arr.as_array();
+    config.corridor.clear();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const std::string at = path + "[" + std::to_string(i) + "]";
+        if (!items[i].is_object()) {
+            diag.fail(at, "expected an object");
+            return;
+        }
+        check_keys(items[i], at, kKeys, diag);
+        if (diag.failed) return;
+        core::CorridorEvent event;
+        std::string name;
+        if (items[i].at("event").is_null()) {
+            diag.fail(at, "missing required key 'event'");
+            return;
+        }
+        if (!want_string(items[i].at("event"), at + ".event", diag, &name))
+            return;
+        const auto kind = corridor_event_from_name(name);
+        if (!kind) {
+            diag.fail(at + ".event",
+                      "unknown corridor event '" + name + "'" +
+                          suggest(name, corridor_event_names()) +
+                          "; expected one of: " +
+                          join_names(corridor_event_names()));
+            return;
+        }
+        event.kind = *kind;
+        if (items[i].at("at_s").is_null()) {
+            diag.fail(at, "missing required key 'at_s'");
+            return;
+        }
+        if (!want_double(items[i].at("at_s"), at + ".at_s", 0.0, 1e6, diag,
+                         &event.at))
+            return;
+        const obs::Json& platoon = items[i].at("platoon");
+        if (!platoon.is_null()) {
+            std::int64_t n = 0;
+            if (!want_int(platoon, at + ".platoon", 0, 63, diag, &n)) return;
+            event.platoon = static_cast<std::size_t>(n);
+        }
+        const obs::Json& index = items[i].at("index");
+        if (!index.is_null()) {
+            std::int64_t n = 0;
+            if (!want_int(index, at + ".index", 0, 98, diag, &n)) return;
+            event.index = static_cast<std::size_t>(n);
+        }
+        config.corridor.push_back(event);
+    }
+}
+
 void apply_overrides(const obs::Json& overrides, const std::string& path,
                      core::ScenarioConfig& config, Diag& diag) {
     static const std::set<std::string> kKeys = {
         "platoon_size",     "controller",       "initial_speed_mps",
         "initial_gap_m",    "rsu_count",        "control_period_s",
-        "beacon_period_s",  "share_verify_verdicts", "security"};
+        "beacon_period_s",  "share_verify_verdicts", "security",
+        "platoons",         "corridor"};
     if (!overrides.is_object()) {
         diag.fail(path, "expected an object");
         return;
@@ -225,6 +355,12 @@ void apply_overrides(const obs::Json& overrides, const std::string& path,
                 return;
         } else if (key == "security") {
             apply_security_overrides(value, at, config.security, diag);
+            if (diag.failed) return;
+        } else if (key == "platoons") {
+            apply_platoons_override(value, at, config, diag);
+            if (diag.failed) return;
+        } else if (key == "corridor") {
+            apply_corridor_override(value, at, config, diag);
             if (diag.failed) return;
         }
     }
@@ -496,6 +632,50 @@ void check_cell(const CompiledCell& cell, const fault::FaultPlan& plan,
         check_index(d.vehicle_index, "sensor-dropout");
     for (const auto& d : plan.clock_drifts)
         check_index(d.vehicle_index, "clock-drift");
+    if (diag.failed) return;
+
+    // Corridor events must point at platoons/vehicles/RSUs that exist once
+    // every override has been merged.
+    const std::size_t platoon_count = 1 + cell.config.extra_platoons.size();
+    for (std::size_t i = 0; i < cell.config.corridor.size(); ++i) {
+        const core::CorridorEvent& event = cell.config.corridor[i];
+        const std::string at = path + " corridor[" + std::to_string(i) + "]";
+        if (event.platoon >= platoon_count) {
+            diag.fail(at, "platoon " + std::to_string(event.platoon) +
+                              " out of range: the corridor has " +
+                              std::to_string(platoon_count) +
+                              " platoon(s) (0 = primary; add 'platoons' "
+                              "overrides for more)");
+            return;
+        }
+        using Kind = core::CorridorEvent::Kind;
+        if (event.kind == Kind::kMerge && event.platoon == 0) {
+            diag.fail(at, "the primary platoon cannot merge into itself; "
+                          "pick an extra platoon (1..)");
+            return;
+        }
+        if (event.kind == Kind::kSplit || event.kind == Kind::kCutIn) {
+            const std::size_t size =
+                event.platoon == 0
+                    ? cell.config.platoon_size
+                    : cell.config.extra_platoons[event.platoon - 1].size;
+            if (event.index >= size) {
+                diag.fail(at, "index " + std::to_string(event.index) +
+                                  " out of range for platoon " +
+                                  std::to_string(event.platoon) + " of size " +
+                                  std::to_string(size));
+                return;
+            }
+        }
+        if (event.kind == Kind::kRsuHandoff &&
+            event.index >= cell.config.rsu_count) {
+            diag.fail(at, "rsu-handoff to RSU " + std::to_string(event.index) +
+                              " but rsu_count is " +
+                              std::to_string(cell.config.rsu_count) +
+                              "; raise overrides.rsu_count");
+            return;
+        }
+    }
 }
 
 }  // namespace

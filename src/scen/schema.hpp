@@ -33,11 +33,27 @@
 //
 // Config overrides (validated key-by-key; unknown keys are errors):
 //   platoon_size, controller, initial_speed_mps, initial_gap_m, rsu_count,
-//   control_period_s, beacon_period_s, share_verify_verdicts, and a nested
+//   control_period_s, beacon_period_s, share_verify_verdicts, a nested
 //   "security" object (auth_mode, encrypt_payloads, freshness_window_s,
 //   check_replay, pseudonym_rotation_s, vpd_ada, trust_management,
 //   hybrid_comms, sensor_fusion, firewall, antivirus, report_misbehavior,
-//   join_rate_limit_s).
+//   join_rate_limit_s), and the corridor topology:
+//
+//   "platoons": [                          // extra platoons on the corridor
+//     {"size": 16, "start_offset_m": -600.0, "lane": 1,
+//      "speed_delta_mps": 2.0},            // all fields optional
+//     ...                                  // up to 63 (node-id space)
+//   ],
+//   "corridor": [                          // scripted traffic events
+//     {"event": "merge",       "at_s": 20.0, "platoon": 1},
+//     {"event": "split",       "at_s": 30.0, "platoon": 2, "index": 8},
+//     {"event": "cut-in",      "at_s": 25.0, "platoon": 3, "index": 4},
+//     {"event": "rsu-handoff", "at_s": 40.0, "platoon": 0, "index": 1}
+//   ]
+//
+//   "platoon" 0 is the primary platoon, 1.. index the "platoons" array;
+//   event/platoon/vehicle/RSU references are cross-checked per cell after
+//   all overrides merge.
 //
 // Cell enumeration order is deterministic and documented: grids in file
 // order; within a grid defenses -> faults -> attacks -> attacked, each axis

@@ -1,0 +1,136 @@
+// Multi-platoon corridor topology: extra platoons behind the primary, and
+// the four scenario-driven corridor events (merge / split / cut-in / RSU
+// handoff) that reshape it mid-run. These are the scenario-layer semantics
+// the scale_corridor description and bench_scale build on.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "phys/vehicle_dynamics.hpp"
+
+namespace pc = platoon::core;
+using platoon::sim::NodeId;
+
+namespace {
+
+pc::ScenarioConfig base_config() {
+    pc::ScenarioConfig config;
+    config.seed = 3;
+    config.platoon_size = 5;
+    config.extra_platoons = {
+        {.size = 4, .start_offset_m = -400.0, .lane = 1},
+        {.size = 3, .start_offset_m = -800.0, .lane = 2, .speed_delta_mps = 1.0},
+    };
+    return config;
+}
+
+TEST(Corridor, ExtraPlatoonsBuildBehindThePrimary) {
+    pc::Scenario scenario(base_config());
+    EXPECT_EQ(scenario.platoon_count(), 3u);
+    EXPECT_EQ(scenario.platoon_size(0), 5u);
+    EXPECT_EQ(scenario.platoon_size(1), 4u);
+    EXPECT_EQ(scenario.platoon_size(2), 3u);
+    EXPECT_EQ(scenario.vehicle_count(), 12u);
+
+    // Each extra platoon carries a distinct platoon id, its spec's lane,
+    // and starts its leader start_offset_m behind the primary leader.
+    const double primary_x =
+        scenario.leader().dynamics().state().position_m;
+    for (std::size_t p = 1; p < 3; ++p) {
+        pc::PlatoonVehicle& leader = scenario.corridor_vehicle(p, 0);
+        EXPECT_EQ(leader.platoon_id(), scenario.platoon_id() + p);
+        EXPECT_EQ(leader.lane(), p);
+        EXPECT_NEAR(leader.dynamics().state().position_m,
+                    primary_x - 400.0 * static_cast<double>(p), 1e-9);
+        // Followers line up behind their own leader, not the primary.
+        for (std::size_t i = 1; i < scenario.platoon_size(p); ++i) {
+            EXPECT_LT(
+                scenario.corridor_vehicle(p, i).dynamics().state().position_m,
+                scenario.corridor_vehicle(p, i - 1)
+                    .dynamics()
+                    .state()
+                    .position_m);
+            EXPECT_EQ(scenario.corridor_vehicle(p, i).platoon_id(),
+                      leader.platoon_id());
+        }
+    }
+}
+
+TEST(Corridor, MergeAdoptsPrimaryIdentityAndLane) {
+    pc::ScenarioConfig config = base_config();
+    config.corridor = {{pc::CorridorEvent::Kind::kMerge, 2.0, 1, 0}};
+    pc::Scenario scenario(config);
+
+    scenario.run_until(1.0);
+    EXPECT_EQ(scenario.corridor_vehicle(1, 0).platoon_id(), 2u)
+        << "merged before its corridor event fired";
+
+    scenario.run_until(3.0);
+    for (std::size_t i = 0; i < scenario.platoon_size(1); ++i) {
+        pc::PlatoonVehicle& v = scenario.corridor_vehicle(1, i);
+        EXPECT_EQ(v.platoon_id(), scenario.platoon_id()) << "slot " << i;
+        EXPECT_EQ(v.lane(), 0u) << "slot " << i;
+    }
+    // Platoon 2 is untouched.
+    EXPECT_EQ(scenario.corridor_vehicle(2, 0).platoon_id(), 3u);
+    EXPECT_EQ(scenario.corridor_vehicle(2, 0).lane(), 2u);
+}
+
+TEST(Corridor, SplitDetachesTheTailOnWire) {
+    // kSplit goes over the radio as a kSplitRequest from the platoon's own
+    // leader: everyone at or behind the subject slot detaches; the head of
+    // the platoon keeps driving CACC.
+    pc::ScenarioConfig config = base_config();
+    config.corridor = {{pc::CorridorEvent::Kind::kSplit, 2.0, 1, 2}};
+    pc::Scenario scenario(config);
+    scenario.run_until(4.0);
+
+    EXPECT_FALSE(scenario.corridor_vehicle(1, 1).detached());
+    EXPECT_TRUE(scenario.corridor_vehicle(1, 2).detached());
+    EXPECT_TRUE(scenario.corridor_vehicle(1, 3).detached());
+    for (std::size_t i = 0; i < scenario.platoon_size(0); ++i)
+        EXPECT_FALSE(scenario.vehicle(i).detached()) << "primary slot " << i;
+}
+
+TEST(Corridor, CutInMovesOneVehicleIntoThePrimaryLane) {
+    pc::ScenarioConfig config = base_config();
+    config.corridor = {{pc::CorridorEvent::Kind::kCutIn, 2.0, 2, 1}};
+    pc::Scenario scenario(config);
+    scenario.run_until(3.0);
+
+    EXPECT_EQ(scenario.corridor_vehicle(2, 1).lane(), 0u);
+    // Its platoon mates stay in their lane -- a cut-in is a single vehicle.
+    EXPECT_EQ(scenario.corridor_vehicle(2, 0).lane(), 2u);
+    EXPECT_EQ(scenario.corridor_vehicle(2, 2).lane(), 2u);
+}
+
+TEST(Corridor, RsuHandoffRehomesReportsAndToleratesMissingRsu) {
+    pc::ScenarioConfig config = base_config();
+    config.rsu_count = 2;
+    config.corridor = {
+        {pc::CorridorEvent::Kind::kRsuHandoff, 2.0, 1, 1},
+        // Out-of-range RSU slot: the event must be a no-op, not a crash.
+        {pc::CorridorEvent::Kind::kRsuHandoff, 2.5, 2, 9},
+    };
+    pc::Scenario scenario(config);
+    const NodeId target = scenario.rsus().at(1)->id();
+    scenario.run_until(3.0);
+    EXPECT_EQ(scenario.corridor_vehicle(1, 0).rsu_hint(), target);
+    EXPECT_EQ(scenario.corridor_vehicle(1, 3).rsu_hint(), target);
+}
+
+TEST(Corridor, RunsStablyThroughAFullEventSequence) {
+    // Smoke the whole corridor choreography end to end: spacing stays
+    // bounded and beacons keep flowing after every event has fired.
+    pc::ScenarioConfig config = base_config();
+    config.corridor = {{pc::CorridorEvent::Kind::kCutIn, 3.0, 2, 1},
+                       {pc::CorridorEvent::Kind::kMerge, 5.0, 1, 0},
+                       {pc::CorridorEvent::Kind::kSplit, 7.0, 2, 1}};
+    pc::Scenario scenario(config);
+    scenario.run_until(12.0);
+    const auto metrics = scenario.summarize().as_map();
+    EXPECT_GT(metrics.at("pdr"), 0.5);
+    EXPECT_LT(metrics.at("spacing_rms_m"), 10.0);
+    EXPECT_GT(scenario.network().stats().sent, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,21 @@
+// Fixture: a bench driver that defines the counters its own committed
+// baseline pins (the bench_scale pattern -- per-tier totals registered in
+// the bench TU, not in src/). The counter-contract rule must index these,
+// otherwise every baseline key they export would be flagged as a ghost.
+// Never compiled.
+namespace obs {
+struct Counter {
+    explicit Counter(const char*) {}
+    void add(long) {}
+};
+struct ScopedTimer {
+    explicit ScopedTimer(const char*) {}
+};
+}  // namespace obs
+
+static obs::Counter tier_events("bench_scale.tier1.events");
+
+void run_tier() {
+    const obs::ScopedTimer timer("bench_scale.tier1");
+    tier_events.add(1);
+}

@@ -1,0 +1,17 @@
+// Fixture: the slab-arena counters of the message hot path, as src/-side
+// definitions the baseline contract resolves against (mirrors
+// src/net/network.cpp's net.arena.{alloc,reuse}). Never compiled.
+namespace obs {
+struct Counter {
+    explicit Counter(const char*) {}
+    void add(long) {}
+};
+}  // namespace obs
+
+static obs::Counter arena_alloc("net.arena.alloc");
+static obs::Counter arena_reuse("net.arena.reuse");
+
+void track_arena(bool fresh) {
+    if (fresh) arena_alloc.add(1);
+    else arena_reuse.add(1);
+}

@@ -269,6 +269,23 @@ TEST(Platoonlint, FlagsBaselineCounterWithNoDefinition) {
         << r.output;
 }
 
+TEST(Platoonlint, BenchTuCountersSatisfyTheBaselineContract) {
+    // The bench_scale pattern: per-tier counters are registered in the
+    // bench TU itself (bench/bench_counters.cpp), and net.arena.* lives in
+    // src/net/. Both kinds must resolve -- only the deliberate ghost key
+    // may fire, so the fixture baseline yields exactly one finding.
+    const RunResult r =
+        run_lint(fixture_args("bench/baselines/BENCH_fixture.json"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_EQ(r.output.find("'bench_scale.tier1.events'"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("'net.arena.alloc'"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("'net.arena.reuse'"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
 TEST(Platoonlint, FlagsStreamNameCollisionFromSingleFile) {
     // The collision is cross-TU (owner lives in src/sim/) but must be
     // reported even when only the colliding file is linted.

@@ -1,0 +1,300 @@
+// Pins the spatial-index delivery path bit-identical to the O(all-pairs)
+// brute-force reference scan (Network::Params::brute_force_delivery /
+// PLATOON_BRUTE_FORCE_NET=1).
+//
+// The index is allowed to change HOW candidate receivers are found, never
+// WHAT is observable: reception sets, per-frame SINR bits, obs counters and
+// end-to-end scenario metrics must match exactly, because the shared fading
+// RNG makes any divergence in rx_power call order cascade globally. The
+// property test sweeps node densities and seeds with mobile nodes, jammer
+// pseudo-nodes (static and mobile) and a fast adjacent-lane attacker in the
+// mix; the VLC tests cover the optical-chain neighbor query that rides the
+// same sorted snapshot.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <tuple>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "net/network.hpp"
+#include "obs/counters.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace pn = platoon::net;
+namespace pc = platoon::core;
+namespace obs = platoon::obs;
+using platoon::sim::NodeId;
+using platoon::sim::Scheduler;
+
+namespace {
+
+/// One decoded frame, with the SINR captured bit-for-bit: "close enough"
+/// floats would hide a divergent fading draw.
+struct RxEvent {
+    std::uint32_t receiver = 0;
+    std::uint32_t sender = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t sinr_bits = 0;
+    std::uint64_t time_bits = 0;
+
+    friend bool operator==(const RxEvent&, const RxEvent&) = default;
+};
+
+struct RunLog {
+    std::vector<RxEvent> receptions;
+    std::map<std::string, std::uint64_t> counters;
+    pn::NetworkStats stats;
+};
+
+pn::Frame make_frame(std::uint32_t sender, std::uint64_t seq) {
+    pn::Frame f;
+    f.envelope.sender = sender;
+    f.envelope.seq = seq;
+    f.envelope.payload = pn::Beacon{}.encode();
+    return f;
+}
+
+/// Runs one randomized traffic pattern: `nodes` stations spread over the
+/// corridor (every third one mobile), a continuous jammer mid-corridor, a
+/// duty-cycled mobile jammer sweeping through, and a fast mobile attacker
+/// node that also transmits. Deterministic given (seed, nodes, brute).
+RunLog run_pattern(std::uint64_t seed, std::size_t nodes, bool brute) {
+    Scheduler scheduler;
+    pn::Network::Params params;
+    params.brute_force_delivery = brute;
+    pn::Network network(scheduler, params, seed);
+
+    RunLog log;
+    obs::set_enabled(true);
+    obs::reset_counters();
+
+    // Corridor length scales with density so every tier keeps viable links
+    // (a handful of nodes over kilometres would never decode anything).
+    const double span = 30.0 * static_cast<double>(nodes);
+    platoon::sim::RandomStream layout(seed, "test.spatial.layout");
+    for (std::size_t i = 0; i < nodes; ++i) {
+        const auto id = static_cast<std::uint32_t>(1 + i);
+        const double start = layout.uniform(0.0, span);
+        const double speed =
+            (i % 3 == 0) ? layout.uniform(20.0, 35.0) : 0.0;
+        network.register_node(
+            NodeId{id},
+            [&scheduler, start, speed] {
+                return start + speed * scheduler.now();
+            },
+            [&log, id](const pn::Frame& frame, const pn::RxInfo& info) {
+                log.receptions.push_back(
+                    {id, frame.envelope.sender, frame.envelope.seq,
+                     std::bit_cast<std::uint64_t>(info.sinr_db),
+                     std::bit_cast<std::uint64_t>(info.rx_time)});
+            });
+    }
+
+    // Jammer pseudo-nodes: one parked mid-corridor, one mobile sweeping the
+    // corridor at 40 m/s with a 50% duty cycle. Deliberately weak (-20 dBm):
+    // a jammer above the carrier-sense threshold would simply freeze CSMA
+    // corridor-wide, whereas what this test needs from jammers is their
+    // per-reception fading draws on the shared RNG -- the thing a delivery
+    // path that visits candidates in a different order would corrupt.
+    network.add_jammer({.position_m = span / 2.0, .power_dbm = -20.0});
+    pn::JammerConfig mobile_jam;
+    mobile_jam.power_dbm = -20.0;
+    mobile_jam.duty_cycle = 0.5;
+    mobile_jam.mobile = true;
+    mobile_jam.position_fn = [&scheduler] { return 40.0 * scheduler.now(); };
+    network.add_jammer(mobile_jam);
+
+    // A fast mobile attacker that transmits its own traffic from the far
+    // end -- exercises candidates entering/leaving the index window.
+    const std::uint32_t attacker = 9000;
+    network.register_node(
+        NodeId{attacker},
+        [&scheduler, span] { return span + 100.0 - 50.0 * scheduler.now(); },
+        [&log, attacker](const pn::Frame& frame, const pn::RxInfo& info) {
+            log.receptions.push_back(
+                {attacker, frame.envelope.sender, frame.envelope.seq,
+                 std::bit_cast<std::uint64_t>(info.sinr_db),
+                 std::bit_cast<std::uint64_t>(info.rx_time)});
+        });
+
+    // Staggered broadcasts: every node beacons at 10 Hz with a per-node
+    // phase, the attacker at 20 Hz.
+    std::uint64_t seq = 0;
+    for (std::size_t i = 0; i < nodes; ++i) {
+        const auto id = static_cast<std::uint32_t>(1 + i);
+        const double phase = layout.uniform(0.0, 0.1);
+        for (int k = 0; k < 20; ++k)
+            scheduler.schedule_at(phase + 0.1 * k,
+                                  [&network, id, s = ++seq] {
+                                      network.broadcast(NodeId{id},
+                                                        make_frame(id, s));
+                                  });
+    }
+    for (int k = 0; k < 40; ++k)
+        scheduler.schedule_at(0.013 + 0.05 * k,
+                              [&network, attacker, s = ++seq] {
+                                  network.broadcast(
+                                      NodeId{attacker},
+                                      make_frame(attacker, s));
+                              });
+
+    scheduler.run_until(2.0);
+    log.counters = obs::counter_snapshot();
+    log.stats = network.stats();
+    return log;
+}
+
+TEST(SpatialDelivery, PropertyBruteForceAndIndexAreByteIdentical) {
+    // Density sweep x seed sweep. Any mismatch in the reception multiset,
+    // its SINR bits, or a single counter means the index changed an
+    // observable and would silently drift every golden in the repo.
+    for (const std::size_t nodes : {4, 24, 64}) {
+        for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+            const RunLog brute = run_pattern(seed, nodes, true);
+            const RunLog index = run_pattern(seed, nodes, false);
+
+            ASSERT_FALSE(brute.receptions.empty())
+                << "degenerate pattern at nodes=" << nodes
+                << " seed=" << seed;
+            ASSERT_EQ(brute.receptions.size(), index.receptions.size())
+                << "nodes=" << nodes << " seed=" << seed;
+            for (std::size_t i = 0; i < brute.receptions.size(); ++i)
+                ASSERT_EQ(brute.receptions[i], index.receptions[i])
+                    << "reception " << i << " diverged at nodes=" << nodes
+                    << " seed=" << seed;
+            EXPECT_EQ(brute.counters, index.counters)
+                << "obs counters diverged at nodes=" << nodes
+                << " seed=" << seed;
+            EXPECT_EQ(brute.stats.sent, index.stats.sent);
+            EXPECT_EQ(brute.stats.delivered, index.stats.delivered);
+        }
+    }
+}
+
+TEST(SpatialDelivery, EnvVarForcesBruteForce) {
+    ::setenv("PLATOON_BRUTE_FORCE_NET", "1", 1);
+    Scheduler scheduler;
+    pn::Network forced(scheduler, {}, 1);
+    ::unsetenv("PLATOON_BRUTE_FORCE_NET");
+    pn::Network normal(scheduler, {}, 1);
+    EXPECT_TRUE(forced.brute_force_delivery());
+    EXPECT_FALSE(normal.brute_force_delivery());
+}
+
+// --- VLC ------------------------------------------------------------------
+
+struct VlcFixture : ::testing::Test {
+    Scheduler scheduler;
+
+    std::unique_ptr<pn::Network> build(bool brute) {
+        pn::Network::Params params;
+        params.brute_force_delivery = brute;
+        return std::make_unique<pn::Network>(scheduler, params, 5);
+    }
+
+    static void add_vlc_node(pn::Network& network, std::uint32_t id,
+                             double position) {
+        pn::Network::NodeTraits traits;
+        traits.vlc = true;
+        network.register_node(
+            NodeId{id}, [position] { return position; },
+            [](const pn::Frame&, const pn::RxInfo&) {}, traits);
+    }
+};
+
+TEST_F(VlcFixture, FarPlatoonsNeverAppearAsVlcNeighbors) {
+    // Regression for the spatial-index rewrite of vlc_targets: a second
+    // platoon parked kilometres behind must not be returned as the rear
+    // optical neighbor of the near platoon's tail, no matter that it holds
+    // the nearest *registered* nodes in that direction.
+    for (const bool brute : {true, false}) {
+        auto network = build(brute);
+        for (std::uint32_t i = 0; i < 4; ++i)
+            add_vlc_node(*network, 1 + i, 100.0 - 10.0 * i);  // 100..70 m
+        for (std::uint32_t i = 0; i < 4; ++i)
+            add_vlc_node(*network, 100 + i, -5000.0 - 10.0 * i);
+
+        // Interior node: both neighbors are in-platoon.
+        auto [ahead, behind] = network->vlc_targets(NodeId{2});
+        EXPECT_EQ(ahead, NodeId{1}) << "brute=" << brute;
+        EXPECT_EQ(behind, NodeId{3}) << "brute=" << brute;
+
+        // Tail of the near platoon: nothing within optical range behind --
+        // the far platoon is 5 km away and must not leak through.
+        auto [tail_ahead, tail_behind] = network->vlc_targets(NodeId{4});
+        EXPECT_EQ(tail_ahead, NodeId{3}) << "brute=" << brute;
+        EXPECT_FALSE(tail_behind.valid())
+            << "far platoon leaked into VLC reach, brute=" << brute;
+
+        // Leader of the far platoon: its forward gap to the near platoon is
+        // 5 km of empty road.
+        auto [far_ahead, far_behind] = network->vlc_targets(NodeId{100});
+        EXPECT_FALSE(far_ahead.valid()) << "brute=" << brute;
+        EXPECT_EQ(far_behind, NodeId{101}) << "brute=" << brute;
+    }
+}
+
+TEST_F(VlcFixture, VlcTargetsMatchBruteForceOnRandomScatter) {
+    platoon::sim::RandomStream layout(99, "test.spatial.vlc");
+    std::vector<double> xs;
+    for (int i = 0; i < 40; ++i) xs.push_back(layout.uniform(0.0, 600.0));
+
+    auto brute = build(true);
+    auto index = build(false);
+    for (std::uint32_t i = 0; i < xs.size(); ++i) {
+        add_vlc_node(*brute, 1 + i, xs[i]);
+        add_vlc_node(*index, 1 + i, xs[i]);
+    }
+    for (std::uint32_t i = 0; i < xs.size(); ++i) {
+        const auto expect = brute->vlc_targets(NodeId{1 + i});
+        const auto got = index->vlc_targets(NodeId{1 + i});
+        EXPECT_EQ(expect.first, got.first) << "node " << (1 + i);
+        EXPECT_EQ(expect.second, got.second) << "node " << (1 + i);
+    }
+}
+
+// --- end-to-end scenario identity -----------------------------------------
+
+pc::ScenarioConfig corridor_config() {
+    pc::ScenarioConfig config;
+    config.seed = 11;
+    config.platoon_size = 6;
+    config.extra_platoons = {{.size = 5, .start_offset_m = -400.0, .lane = 1},
+                             {.size = 4,
+                              .start_offset_m = -800.0,
+                              .lane = 1,
+                              .speed_delta_mps = 1.0}};
+    config.corridor = {{pc::CorridorEvent::Kind::kCutIn, 4.0, 2, 1},
+                       {pc::CorridorEvent::Kind::kMerge, 6.0, 1, 0}};
+    return config;
+}
+
+TEST(SpatialDelivery, CorridorScenarioMetricsIdenticalUnderBruteForce) {
+    // Full pipeline cross-check: a three-platoon corridor with maneuvers,
+    // run through both delivery paths, must produce identical metric maps
+    // -- every mean and RMS in there folds thousands of per-frame SINR
+    // draws, so this catches divergence anywhere in the stack.
+    auto run = [](bool brute) {
+        if (brute) ::setenv("PLATOON_BRUTE_FORCE_NET", "1", 1);
+        pc::Scenario scenario(corridor_config());
+        if (brute) ::unsetenv("PLATOON_BRUTE_FORCE_NET");
+        scenario.run_until(8.0);
+        return scenario.summarize().as_map();
+    };
+    const auto reference = run(true);
+    const auto indexed = run(false);
+    ASSERT_EQ(reference.size(), indexed.size());
+    for (const auto& [name, value] : reference) {
+        const auto it = indexed.find(name);
+        ASSERT_NE(it, indexed.end()) << name;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(value),
+                  std::bit_cast<std::uint64_t>(it->second))
+            << name << " diverged between delivery paths";
+    }
+}
+
+}  // namespace

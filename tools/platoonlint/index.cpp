@@ -340,6 +340,16 @@ bool NameIndex::stream_declared(const std::string& name) const {
 }
 
 void index_source(const SourceFile& src, NameIndex& index) {
+    if (starts_with(src.rel, "bench/")) {
+        // Bench drivers may define the deterministic counters their own
+        // baselines pin (bench_scale.tier*.{events,messages} live in the
+        // bench_scale TU, not in src/): take their Counter/ScopedTimer
+        // definitions into the name index so the baseline contract
+        // resolves. Stream uses, registry entries and literals stay
+        // scoped to src/ -- the layering rules do not bind bench code.
+        index_counters(src, index);
+        return;
+    }
     if (!in_src(src.rel)) return;
     index_counters(src, index);
     index_stream_uses(src, index);

@@ -4,12 +4,13 @@
 // not latched, so a stream that returns to normal stops alarming and the
 // per-message scoring stays honest.
 //
-// All three are textbook sequential tests (EWMA control chart, one-sided
-// CUSUM, consecutive-exceedance gate) with exactly predictable detection
-// delays on synthetic step inputs; the unit tests pin those delays.
+// All three are textbook sequential tests (two-sided EWMA control chart,
+// two-sided CUSUM, consecutive-exceedance gate) with exactly predictable
+// detection delays on synthetic step inputs; the unit tests pin those delays.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 
 namespace platoon::detect {
@@ -18,9 +19,14 @@ namespace platoon::detect {
 /// zero and warms toward the stream mean, so a single outlier first sample
 /// cannot alarm; on a constant step of height `s` the statistic reaches
 /// s*(1-(1-alpha)^n) after n samples, giving an exact, testable delay.
+///
+/// The chart is two-sided: |EWMA| is compared against the threshold, so a
+/// negative-direction step (slow-down spoof, negative spacing injection)
+/// alarms with the same delay as a positive one. The detector bank happens
+/// to feed absolute residuals, but the primitive must not rely on that.
 struct EwmaParams {
     double alpha = 0.3;      ///< Smoothing weight of the newest sample.
-    double threshold = 4.5;  ///< Alarm when the EWMA exceeds this.
+    double threshold = 4.5;  ///< Alarm when |EWMA| exceeds this.
 };
 
 class EwmaDetector {
@@ -31,7 +37,7 @@ public:
     /// Ingests one sample; returns the post-update alarm state.
     bool update(double sample) {
         value_ = (1.0 - params_.alpha) * value_ + params_.alpha * sample;
-        alarmed_ = value_ > params_.threshold;
+        alarmed_ = std::abs(value_) > params_.threshold;
         return alarmed_;
     }
 
@@ -48,11 +54,16 @@ private:
     bool alarmed_ = false;
 };
 
-/// One-sided CUSUM: S <- max(0, S + sample - drift), alarm when S exceeds
-/// the threshold. `drift` is the per-sample allowance (set above the honest
-/// stream mean so S hovers at zero between attacks); on a constant step of
-/// height s > drift the alarm fires after ceil(threshold / (s - drift))
-/// samples.
+/// Two-sided CUSUM: the classic pair of one-sided charts,
+///   S+ <- max(0, S+ + sample - drift)     (upward shifts)
+///   S- <- max(0, S- - sample - drift)     (downward shifts)
+/// alarming when either statistic exceeds the threshold. `drift` is the
+/// per-sample allowance (set above the honest stream mean so both charts
+/// hover at zero between attacks); on a constant step of height |s| > drift
+/// the alarm fires after ceil(threshold / (|s| - drift)) samples in either
+/// direction. On a non-negative input stream (e.g. the bank's absolute
+/// residuals) the negative chart stays pinned at zero, so the two-sided
+/// form is bit-identical to the historical one-sided chart there.
 struct CusumParams {
     double drift = 3.0;
     double threshold = 12.0;
@@ -65,20 +76,28 @@ public:
 
     bool update(double sample) {
         statistic_ = std::max(0.0, statistic_ + sample - params_.drift);
-        alarmed_ = statistic_ > params_.threshold;
+        negative_statistic_ =
+            std::max(0.0, negative_statistic_ - sample - params_.drift);
+        alarmed_ = statistic_ > params_.threshold ||
+                   negative_statistic_ > params_.threshold;
         return alarmed_;
     }
 
     [[nodiscard]] double statistic() const { return statistic_; }
+    [[nodiscard]] double negative_statistic() const {
+        return negative_statistic_;
+    }
     [[nodiscard]] bool alarmed() const { return alarmed_; }
     void reset() {
         statistic_ = 0.0;
+        negative_statistic_ = 0.0;
         alarmed_ = false;
     }
 
 private:
     CusumParams params_;
     double statistic_ = 0.0;
+    double negative_statistic_ = 0.0;
     bool alarmed_ = false;
 };
 

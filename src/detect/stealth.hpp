@@ -1,0 +1,66 @@
+// Stealth-frontier evaluation: glues the attacker optimization loop
+// (security/stealth/) to the detection harness. For each injection kind the
+// search proposes candidate profiles; this layer runs each candidate over
+// the seeded replications (scenario + profiled attack + detector bank),
+// folds impact and per-detector alarm counts bit-identically at any
+// PLATOON_JOBS via core::run_grid, and compiles the per-detector
+// stealth-impact Pareto frontiers the Table VI bench prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "scen/schema.hpp"
+#include "security/stealth/search.hpp"
+
+namespace platoon::detect {
+
+/// Resolved stealth-frontier experiment description (the scen layer parses
+/// `overrides.stealth` into its own mirror of this and the bench converts;
+/// scen cannot include security, so the structs stay separate).
+struct StealthSpec {
+    std::vector<security::stealth::InjectionKind> injections;
+    security::stealth::ProfileBounds bounds;
+    std::size_t cem_iterations = 2;
+    std::size_t cem_population = 12;
+    std::size_t cem_elites = 4;
+    std::size_t victim_index = 3;
+    double start_s = 20.0;    ///< Attack window opens (TTD anchor).
+    double horizon_s = 70.0;  ///< Replication length.
+    std::vector<std::uint64_t> seeds = {42};
+};
+
+/// The impact the attacker maximizes: attacked-minus-clean peak absolute
+/// spacing error, averaged over the replication seeds.
+inline constexpr const char* kStealthImpactMetric = "spacing_max_abs_m";
+
+struct StealthKindResult {
+    security::stealth::InjectionKind kind;
+    security::stealth::SearchResult search;
+    /// Per-detector Pareto frontier over every evaluated candidate, indexed
+    /// like the bank (frontiers[d] pairs with detectors[d]).
+    std::vector<std::vector<security::stealth::FrontierPoint>> frontiers;
+};
+
+struct StealthFrontierResult {
+    std::vector<std::string> detectors;       ///< Bank order.
+    std::vector<std::size_t> gate_detectors;  ///< Threshold-gate indices.
+    std::vector<double> clean_impact;         ///< Clean metric per seed.
+    std::vector<StealthKindResult> kinds;     ///< In spec.injections order.
+};
+
+[[nodiscard]] StealthFrontierResult run_stealth_frontier(
+    const core::ScenarioConfig& base, const StealthSpec& spec,
+    unsigned jobs = 0);
+
+/// Lowers a validated `overrides.stealth` block onto the concrete spec
+/// (scen carries injection names as strings because it sits below security
+/// in the layering DAG; this is the one sanctioned crossing). Replication
+/// seeds enumerate base_seed, base_seed+1, ... as the description's seed
+/// axis does. Asserts on names the scen validator would have rejected.
+[[nodiscard]] StealthSpec stealth_spec_from(
+    const scen::StealthOverrides& overrides, std::uint64_t base_seed);
+
+}  // namespace platoon::detect

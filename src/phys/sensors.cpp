@@ -26,6 +26,7 @@ std::optional<RadarSensor::Measurement> RadarSensor::read() {
     Measurement m{gap + rng_->normal(0.0, params_.range_noise_m),
                   (self_->speed() - target_->speed()) +
                       rng_->normal(0.0, params_.rate_noise_mps)};
+    if (spoof_bias_m_) m.gap_m += *spoof_bias_m_;
     return m;
 }
 

@@ -81,8 +81,19 @@ public:
     void jam(bool on) { jammed_ = on; }
     [[nodiscard]] bool jammed() const { return jammed_; }
     void spoof_set(Measurement fake) { spoof_ = fake; }
-    void spoof_clear() { spoof_.reset(); }
+    void spoof_clear() {
+        spoof_.reset();
+        spoof_bias_m_.reset();
+    }
     [[nodiscard]] bool spoofed() const { return spoof_.has_value(); }
+    /// Additive range bias (stealthy spoof): the radar keeps tracking the
+    /// real target but reads `bias_m` meters long. Applied after noise, so
+    /// biased and clean reads consume identical RNG draws.
+    void spoof_bias_set(double bias_m) { spoof_bias_m_ = bias_m; }
+    void spoof_bias_clear() { spoof_bias_m_.reset(); }
+    [[nodiscard]] bool bias_spoofed() const {
+        return spoof_bias_m_.has_value();
+    }
 
 private:
     const VehicleDynamics* self_;
@@ -91,6 +102,7 @@ private:
     sim::RandomStream* rng_;
     bool jammed_ = false;
     std::optional<Measurement> spoof_;
+    std::optional<double> spoof_bias_m_;
 };
 
 /// Wheel odometry: dead-reckoned speed, immune to RF attacks; drift-free in

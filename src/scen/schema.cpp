@@ -299,13 +299,178 @@ void apply_corridor_override(const obs::Json& arr, const std::string& path,
     }
 }
 
+// Stealth-frontier block (`overrides.stealth`, top-level only).
+
+template <typename T, typename Lookup, typename ExpandAll>
+std::vector<T> parse_name_axis(const obs::Json& axis, const std::string& path,
+                               const std::vector<std::string>& known,
+                               Lookup lookup, ExpandAll expand_all,
+                               Diag& diag);
+
+/// Parses one {"min": x, "max": y, "steps": n} axis of the search box.
+void parse_stealth_axis(const obs::Json& axis, const std::string& path,
+                        double lo, double hi, double* min_out,
+                        double* max_out, std::size_t* steps_out, Diag& diag) {
+    static const std::set<std::string> kKeys = {"min", "max", "steps"};
+    if (!axis.is_object()) {
+        diag.fail(path, "expected an object {\"min\", \"max\", \"steps\"}");
+        return;
+    }
+    check_keys(axis, path, kKeys, diag);
+    if (diag.failed) return;
+    const obs::Json& min = axis.at("min");
+    if (!min.is_null() &&
+        !want_double(min, path + ".min", lo, hi, diag, min_out))
+        return;
+    const obs::Json& max = axis.at("max");
+    if (!max.is_null() &&
+        !want_double(max, path + ".max", lo, hi, diag, max_out))
+        return;
+    if (*max_out < *min_out) {
+        diag.fail(path, "max must be >= min");
+        return;
+    }
+    const obs::Json& steps = axis.at("steps");
+    if (!steps.is_null()) {
+        std::int64_t n = 0;
+        if (!want_int(steps, path + ".steps", 1, 32, diag, &n)) return;
+        *steps_out = static_cast<std::size_t>(n);
+    }
+}
+
+void parse_stealth_overrides(const obs::Json& doc, const std::string& path,
+                             StealthOverrides& out, Diag& diag) {
+    static const std::set<std::string> kKeys = {
+        "injections", "victim_index", "start_s",       "horizon_s",
+        "amplitude",  "ramp",         "duty",          "duty_period_s",
+        "onset_max_s", "cem",         "seeds"};
+    if (!doc.is_object()) {
+        diag.fail(path, "expected an object");
+        return;
+    }
+    check_keys(doc, path, kKeys, diag);
+    if (diag.failed) return;
+
+    const obs::Json& injections = doc.at("injections");
+    if (injections.is_null()) {
+        diag.fail(path, "missing required key 'injections'");
+        return;
+    }
+    const std::vector<std::string> known = stealth_injection_names();
+    out.injections = parse_name_axis<std::string>(
+        injections, path + ".injections", known,
+        [&](const std::string& name) -> std::optional<std::string> {
+            for (const std::string& k : known)
+                if (k == name) return name;
+            return std::nullopt;
+        },
+        [&] { return known; }, diag);
+    if (diag.failed) return;
+
+    const obs::Json& victim = doc.at("victim_index");
+    if (!victim.is_null()) {
+        std::int64_t n = 0;
+        if (!want_int(victim, path + ".victim_index", 1, 63, diag, &n))
+            return;
+        out.victim_index = static_cast<std::size_t>(n);
+    }
+    const obs::Json& start = doc.at("start_s");
+    if (!start.is_null() &&
+        !want_double(start, path + ".start_s", 0.0, 1e6, diag, &out.start_s))
+        return;
+    const obs::Json& horizon = doc.at("horizon_s");
+    if (!horizon.is_null() &&
+        !want_double(horizon, path + ".horizon_s", 1.0, 1e6, diag,
+                     &out.horizon_s))
+        return;
+    if (out.horizon_s <= out.start_s) {
+        diag.fail(path, "horizon_s must be greater than start_s (the "
+                        "injection window must fit inside the replication)");
+        return;
+    }
+    if (!doc.at("amplitude").is_null()) {
+        parse_stealth_axis(doc.at("amplitude"), path + ".amplitude", 0.0,
+                           100.0, &out.amplitude_min, &out.amplitude_max,
+                           &out.amplitude_steps, diag);
+        if (diag.failed) return;
+    }
+    if (!doc.at("ramp").is_null()) {
+        parse_stealth_axis(doc.at("ramp"), path + ".ramp", 0.0, 100.0,
+                           &out.ramp_min, &out.ramp_max, &out.ramp_steps,
+                           diag);
+        if (diag.failed) return;
+    }
+    if (!doc.at("duty").is_null()) {
+        parse_stealth_axis(doc.at("duty"), path + ".duty", 0.01, 1.0,
+                           &out.duty_min, &out.duty_max, &out.duty_steps,
+                           diag);
+        if (diag.failed) return;
+    }
+    const obs::Json& period = doc.at("duty_period_s");
+    if (!period.is_null() &&
+        !want_double(period, path + ".duty_period_s", 0.1, 600.0, diag,
+                     &out.duty_period_s))
+        return;
+    const obs::Json& onset = doc.at("onset_max_s");
+    if (!onset.is_null() &&
+        !want_double(onset, path + ".onset_max_s", 0.0, 60.0, diag,
+                     &out.onset_max_s))
+        return;
+    if (!doc.at("cem").is_null()) {
+        const obs::Json& cem = doc.at("cem");
+        static const std::set<std::string> kCemKeys = {"iterations",
+                                                       "population", "elites"};
+        if (!cem.is_object()) {
+            diag.fail(path + ".cem", "expected an object");
+            return;
+        }
+        check_keys(cem, path + ".cem", kCemKeys, diag);
+        if (diag.failed) return;
+        std::int64_t n = 0;
+        if (!cem.at("iterations").is_null()) {
+            if (!want_int(cem.at("iterations"), path + ".cem.iterations", 0,
+                          32, diag, &n))
+                return;
+            out.cem_iterations = static_cast<std::size_t>(n);
+        }
+        if (!cem.at("population").is_null()) {
+            if (!want_int(cem.at("population"), path + ".cem.population", 2,
+                          256, diag, &n))
+                return;
+            out.cem_population = static_cast<std::size_t>(n);
+        }
+        if (!cem.at("elites").is_null()) {
+            if (!want_int(cem.at("elites"), path + ".cem.elites", 2, 256,
+                          diag, &n))
+                return;
+            out.cem_elites = static_cast<std::size_t>(n);
+        }
+        if (out.cem_elites > out.cem_population) {
+            diag.fail(path + ".cem",
+                      "elites must not exceed population (the CEM refits "
+                      "on the elite subset of each sampled population)");
+            return;
+        }
+    }
+    const obs::Json& seeds = doc.at("seeds");
+    if (!seeds.is_null()) {
+        std::int64_t n = 0;
+        if (!want_int(seeds, path + ".seeds", 1, 64, diag, &n)) return;
+        out.seeds = static_cast<std::size_t>(n);
+    }
+}
+
+/// `stealth` receives the parsed top-level block; grid overrides pass
+/// nullptr, which turns the key into a diagnostic (the search runs once per
+/// description, so a per-grid stealth block cannot mean anything).
 void apply_overrides(const obs::Json& overrides, const std::string& path,
-                     core::ScenarioConfig& config, Diag& diag) {
+                     core::ScenarioConfig& config, Diag& diag,
+                     std::optional<StealthOverrides>* stealth = nullptr) {
     static const std::set<std::string> kKeys = {
         "platoon_size",     "controller",       "initial_speed_mps",
         "initial_gap_m",    "rsu_count",        "control_period_s",
         "beacon_period_s",  "share_verify_verdicts", "security",
-        "platoons",         "corridor"};
+        "platoons",         "corridor",         "stealth"};
     if (!overrides.is_object()) {
         diag.fail(path, "expected an object");
         return;
@@ -361,6 +526,19 @@ void apply_overrides(const obs::Json& overrides, const std::string& path,
             if (diag.failed) return;
         } else if (key == "corridor") {
             apply_corridor_override(value, at, config, diag);
+            if (diag.failed) return;
+        } else if (key == "stealth") {
+            if (stealth == nullptr) {
+                diag.fail(at,
+                          "stealth is only valid in the top-level overrides "
+                          "block (the frontier search runs once per "
+                          "description, not once per grid)");
+                return;
+            }
+            if (!stealth->has_value()) {
+                stealth->emplace();
+                parse_stealth_overrides(value, at, **stealth, diag);
+            }
             if (diag.failed) return;
         }
     }
@@ -680,6 +858,13 @@ void check_cell(const CompiledCell& cell, const fault::FaultPlan& plan,
 
 }  // namespace
 
+std::vector<std::string> stealth_injection_names() {
+    // Mirrors security::stealth::injection_names() (scen sits below
+    // security in the layering DAG, so the list cannot be included); the
+    // scen test suite pins the two lists equal.
+    return {"gps-spoof", "sensor-spoof", "fake-maneuver"};
+}
+
 std::string coverage_key(core::AttackKind attack, core::DefenseKind defense,
                          std::string_view fault) {
     std::string key = core::to_string(attack);
@@ -861,7 +1046,7 @@ std::optional<Compiled> compile(const obs::Json& doc, std::string* error) {
                             if (!doc.at("overrides").is_null()) {
                                 apply_overrides(doc.at("overrides"),
                                                 "overrides", cell.config,
-                                                diag);
+                                                diag, &out.stealth);
                                 if (diag.failed) break;
                             }
                             if (!grid.at("overrides").is_null()) {
@@ -893,6 +1078,21 @@ std::optional<Compiled> compile(const obs::Json& doc, std::string* error) {
                 if (diag.failed) break;
             }
             if (diag.failed) break;
+        }
+    }
+
+    // The stealth block names a victim by platoon index; every compiled
+    // cell must actually contain that member once overrides merge.
+    if (!diag.failed && out.stealth.has_value()) {
+        for (const CompiledCell& cell : out.cells) {
+            if (out.stealth->victim_index < cell.config.platoon_size)
+                continue;
+            diag.fail("overrides.stealth.victim_index",
+                      "victim_index " +
+                          std::to_string(out.stealth->victim_index) +
+                          " out of range for platoon_size " +
+                          std::to_string(cell.config.platoon_size));
+            break;
         }
     }
 

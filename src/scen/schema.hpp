@@ -55,6 +55,24 @@
 //   event/platoon/vehicle/RSU references are cross-checked per cell after
 //   all overrides merge.
 //
+//   The stealth-frontier experiment (the Table VI bench) is described by a
+//   top-level-only "stealth" block (rejected inside grid overrides -- the
+//   search runs once per description, not once per cell):
+//
+//   "stealth": {
+//     "injections": ["sensor-spoof", "gps-spoof", "fake-maneuver"],
+//     "victim_index": 3,                   // platoon member under injection
+//     "start_s": 20.0,                     // attack window opens
+//     "horizon_s": 70.0,                   // replication length
+//     "amplitude": {"min": 0.5, "max": 5.0, "steps": 4},   // meters
+//     "ramp":      {"min": 0.0, "max": 4.0, "steps": 2},   // meters/s
+//     "duty":      {"min": 0.25, "max": 1.0, "steps": 3},  // fraction
+//     "duty_period_s": 8.0,                // burst period
+//     "onset_max_s": 2.0,                  // CEM onset-jitter range
+//     "cem": {"iterations": 2, "population": 12, "elites": 4},
+//     "seeds": 1                           // replications per candidate
+//   }
+//
 // Cell enumeration order is deterministic and documented: grids in file
 // order; within a grid defenses -> faults -> attacks -> attacked, each axis
 // in its declared order. The Table benches index into this order, and the
@@ -110,9 +128,44 @@ struct Description {
     std::size_t grid_count = 0;
 };
 
+/// Parsed `overrides.stealth` block: the attacker-optimization experiment
+/// the Table VI bench runs against the description's base config. scen sits
+/// below security in the layering DAG, so the injection vocabulary is
+/// mirrored here as validated strings (stealth_injection_names()) instead
+/// of security::stealth::InjectionKind values; detect::stealth_spec_from()
+/// lowers the block onto the concrete search spec, and a scen test pins the
+/// two vocabularies equal so they cannot drift.
+struct StealthOverrides {
+    std::vector<std::string> injections;  ///< Validated injection names.
+    std::size_t victim_index = 3;
+    double start_s = 20.0;
+    double horizon_s = 70.0;
+    double amplitude_min = 0.5;
+    double amplitude_max = 6.0;
+    std::size_t amplitude_steps = 5;
+    double ramp_min = 0.0;
+    double ramp_max = 4.0;
+    std::size_t ramp_steps = 2;
+    double duty_min = 0.25;
+    double duty_max = 1.0;
+    std::size_t duty_steps = 4;
+    double duty_period_s = 8.0;
+    double onset_max_s = 2.0;
+    std::size_t cem_iterations = 2;
+    std::size_t cem_population = 12;
+    std::size_t cem_elites = 4;
+    std::size_t seeds = 1;  ///< Replication seeds per candidate.
+};
+
+/// The names `overrides.stealth.injections` accepts, mirroring
+/// security::stealth::injection_names() (see StealthOverrides).
+[[nodiscard]] std::vector<std::string> stealth_injection_names();
+
 struct Compiled {
     Description description;
     std::vector<CompiledCell> cells;
+    /// Present when the description carries an `overrides.stealth` block.
+    std::optional<StealthOverrides> stealth;
 };
 
 /// Compiles a parsed description document. On failure returns nullopt and,

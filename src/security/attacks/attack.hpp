@@ -18,8 +18,22 @@ namespace platoon::security {
 
 /// When the attack is active.
 struct AttackWindow {
+    /// Sentinel for "the attack never stops". Any configured stop below the
+    /// sentinel is a real stop -- attacks must test via has_stop(), never by
+    /// comparing against ad-hoc magic numbers (a historical `< 1e17` check
+    /// silently treated stops in [1e17, 1e18) as "never").
+    static constexpr sim::SimTime kNeverStops = 1e18;
+
     sim::SimTime start_s = 20.0;
-    sim::SimTime stop_s = 1e18;
+    sim::SimTime stop_s = kNeverStops;
+
+    /// True when a finite stop time was configured.
+    [[nodiscard]] bool has_stop() const { return stop_s < kNeverStops; }
+
+    /// True while `now` lies inside [start_s, stop_s].
+    [[nodiscard]] bool active_at(sim::SimTime now) const {
+        return now >= start_s && now <= stop_s;
+    }
 };
 
 /// Lifetime contract: an Attack must be destroyed BEFORE the Scenario it

@@ -13,14 +13,17 @@ void DosAttack::attach(core::Scenario& scenario) {
         track_vehicle(scenario, 0, -60.0));
     radio_->start(nullptr);
 
-    scenario.scheduler().schedule_every(params_.window.start_s,
-                                        1.0 / params_.request_rate_hz,
-                                        [this] { flood_one(); });
+    inject_handle_ = scenario.scheduler().schedule_every(
+        params_.window.start_s, 1.0 / params_.request_rate_hz,
+        [this] { flood_one(); });
 }
 
 void DosAttack::flood_one() {
     const sim::SimTime now = scenario_->scheduler().now();
-    if (now > params_.window.stop_s) return;
+    if (!params_.window.active_at(now)) {
+        scenario_->scheduler().cancel(inject_handle_);
+        return;
+    }
 
     const std::uint32_t fake_id =
         params_.rotate_identities ? next_fake_id_++ : 8000u;

@@ -15,7 +15,7 @@ namespace platoon::security {
 class DosAttack final : public Attack {
 public:
     struct Params {
-        AttackWindow window{15.0, 1e18};
+        AttackWindow window{15.0};
         double request_rate_hz = 20.0;
         bool rotate_identities = true;  ///< Fresh fake id per request.
     };
@@ -40,6 +40,7 @@ private:
     Params params_;
     std::unique_ptr<AttackerRadio> radio_;
     core::Scenario* scenario_ = nullptr;
+    sim::EventHandle inject_handle_;
     crypto::MessageProtection protection_;
     std::uint32_t next_fake_id_ = 8000;
     std::uint64_t requests_ = 0;

@@ -23,8 +23,7 @@ void EavesdropAttack::attach(core::Scenario& scenario) {
 
     radio_->start([this](const net::Frame& frame, const net::RxInfo& info) {
         const sim::SimTime now = scenario_->scheduler().now();
-        if (now < params_.window.start_s || now > params_.window.stop_s)
-            return;
+        if (!params_.window.active_at(now)) return;
         ++heard_;
         payload_bytes_captured_ += frame.envelope.payload.size();
         if (frame.type != net::MsgType::kBeacon) return;

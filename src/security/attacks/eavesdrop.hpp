@@ -19,7 +19,7 @@ namespace platoon::security {
 class EavesdropAttack final : public Attack {
 public:
     struct Params {
-        AttackWindow window{0.0, 1e18};
+        AttackWindow window{0.0};
         bool mobile = false;      ///< Tail the platoon vs. roadside post.
         double post_position_m = 2500.0;
     };

@@ -1,5 +1,7 @@
 #include "security/attacks/fake_maneuver.hpp"
 
+#include <algorithm>
+
 #include "sim/assert.hpp"
 
 namespace platoon::security {
@@ -33,14 +35,16 @@ void FakeManeuverAttack::attach(core::Scenario& scenario) {
         }
     });
 
-    scenario.scheduler().schedule_every(params_.window.start_s,
-                                        params_.repeat_period_s,
-                                        [this] { inject(); });
+    inject_handle_ = scenario.scheduler().schedule_every(
+        params_.window.start_s, params_.repeat_period_s, [this] { inject(); });
 }
 
 void FakeManeuverAttack::inject() {
     const sim::SimTime now = scenario_->scheduler().now();
-    if (now > params_.window.stop_s) return;
+    if (!params_.window.active_at(now)) {
+        scenario_->scheduler().cancel(inject_handle_);
+        return;
+    }
     if (leader_wire_ == sim::NodeId::kInvalidValue) {
         // Fall back to the well-known slot id (open networks leak it anyway).
         leader_wire_ = core::Scenario::platoon_node(0).value;
@@ -66,14 +70,23 @@ void FakeManeuverAttack::inject() {
     };
 
     switch (params_.variant) {
-        case Variant::kGapOpen:
-            // Every member opens an entrance gap for a vehicle that will
-            // never come.
-            for (std::size_t i = 1; i < platoon_size; ++i) {
+        case Variant::kGapOpen: {
+            // Members open an entrance gap for a vehicle that will never
+            // come. The default bursts to everyone at once; a bounded
+            // fan-out rotates through the members round-robin instead.
+            const std::size_t members = platoon_size - 1;
+            const std::size_t fanout =
+                params_.targets_per_burst == 0
+                    ? members
+                    : std::min(params_.targets_per_burst, members);
+            for (std::size_t n = 0; n < fanout; ++n) {
+                const std::size_t i = 1 + (next_target_ + n) % members;
                 send(net::ManeuverType::kGapOpen,
                      scenario_->vehicle(i).wire_id(), params_.gap_open_m);
             }
+            next_target_ = (next_target_ + fanout) % members;
             break;
+        }
         case Variant::kSplit:
             send(net::ManeuverType::kSplitRequest,
                  scenario_->vehicle(platoon_size / 2).wire_id(), 0.0);

@@ -21,10 +21,14 @@ public:
     };
 
     struct Params {
-        AttackWindow window{20.0, 1e18};
+        AttackWindow window{20.0};
         Variant variant = Variant::kGapOpen;
         double gap_open_m = 30.0;
         sim::SimTime repeat_period_s = 5.0;  ///< Keep re-asserting the lie.
+        /// kGapOpen fan-out per burst: 0 targets every member at once (the
+        /// loud default); a stealthy attacker rotates through N members per
+        /// burst to stay under the maneuver-rate flood gate.
+        std::size_t targets_per_burst = 0;
     };
 
     FakeManeuverAttack() : FakeManeuverAttack(Params{}) {}
@@ -43,9 +47,11 @@ private:
     Params params_;
     std::unique_ptr<AttackerRadio> radio_;
     core::Scenario* scenario_ = nullptr;
+    sim::EventHandle inject_handle_;
     crypto::MessageProtection protection_;
     std::uint32_t leader_wire_ = sim::NodeId::kInvalidValue;
     std::uint64_t injected_ = 0;
+    std::size_t next_target_ = 0;  ///< kGapOpen round-robin cursor.
 };
 
 }  // namespace platoon::security

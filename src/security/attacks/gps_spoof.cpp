@@ -7,27 +7,44 @@ namespace platoon::security {
 void GpsSpoofAttack::attach(core::Scenario& scenario) {
     scenario_ = &scenario;
 
-    scenario.scheduler().schedule_every(
+    inject_handle_ = scenario.scheduler().schedule_every(
         params_.window.start_s + params_.lock_on_delay_s,
         params_.update_period_s, [this] {
             const sim::SimTime now = scenario_->scheduler().now();
             auto& victim = scenario_->vehicle(params_.victim_index);
-            if (now > params_.window.stop_s) {
+            if (!params_.window.active_at(now)) {
                 if (locked_) {
                     victim.gps().spoof_clear();
                     victim.clear_beacon_truth();
                     locked_ = false;
                 }
+                scenario_->scheduler().cancel(inject_handle_);
                 return;
+            }
+            if (params_.shape) {
+                // Shaped profile: the offset follows the envelope, releasing
+                // the receiver between bursts so residual statistics drain.
+                offset_m_ = params_.shape->value_at(
+                    now - params_.window.start_s - params_.lock_on_delay_s);
+                if (offset_m_ <= 0.0) {
+                    if (locked_) {
+                        victim.gps().spoof_clear();
+                        victim.clear_beacon_truth();
+                        locked_ = false;
+                    }
+                    return;
+                }
+            } else {
+                offset_m_ = std::min(
+                    params_.max_offset_m,
+                    offset_m_ +
+                        params_.walk_rate_mps * params_.update_period_s);
             }
             locked_ = true;
             // The victim is honest but its position claims are poisoned:
             // taint its beacon stream so detection scoring knows which
             // messages carried attacker-induced data.
             victim.set_beacon_truth(oracle_label(kind(), victim.id()));
-            offset_m_ = std::min(
-                params_.max_offset_m,
-                offset_m_ + params_.walk_rate_mps * params_.update_period_s);
             victim.gps().spoof_set_offset(offset_m_);
         });
 }

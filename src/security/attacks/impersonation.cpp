@@ -38,14 +38,16 @@ void ImpersonationAttack::attach(core::Scenario& scenario) {
         track_vehicle(scenario, scenario.config().platoon_size - 1, -40.0));
     radio_->start(nullptr);
 
-    scenario.scheduler().schedule_every(params_.window.start_s,
-                                        params_.repeat_period_s,
-                                        [this] { inject(); });
+    inject_handle_ = scenario.scheduler().schedule_every(
+        params_.window.start_s, params_.repeat_period_s, [this] { inject(); });
 }
 
 void ImpersonationAttack::inject() {
     const sim::SimTime now = scenario_->scheduler().now();
-    if (now > params_.window.stop_s) return;
+    if (!params_.window.active_at(now)) {
+        scenario_->scheduler().cancel(inject_handle_);
+        return;
+    }
 
     if (params_.send_dissolve) {
         net::ManeuverMsg msg;

@@ -17,7 +17,7 @@ namespace platoon::security {
 class ImpersonationAttack final : public Attack {
 public:
     struct Params {
-        AttackWindow window{20.0, 1e18};
+        AttackWindow window{20.0};
         std::size_t victim_index = 0;   ///< Whose identity is stolen.
         /// What the impersonator does with the identity.
         bool send_dissolve = false;     ///< Forged leader dissolve command.
@@ -42,6 +42,7 @@ private:
     Params params_;
     std::unique_ptr<AttackerRadio> radio_;
     core::Scenario* scenario_ = nullptr;
+    sim::EventHandle inject_handle_;
     crypto::MessageProtection protection_;  ///< Configured like the victim's.
     std::uint32_t victim_wire_ = sim::NodeId::kInvalidValue;
     std::uint64_t injected_ = 0;

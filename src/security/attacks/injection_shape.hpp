@@ -1,0 +1,44 @@
+// Shaped-injection envelope: the common parameterization of the injection
+// attacks (gps_spoof, sensor_spoof, fake_maneuver) a detector-aware attacker
+// tunes. A shape turns a constant offset into a profile -- ramped onset,
+// duty-cycled bursts, deterministic onset jitter -- which is exactly the
+// knob space the stealth search (src/security/stealth/) optimizes over:
+// ramp slow enough to stay under the innovation gate, bursts short enough
+// to drain the CUSUM between them, amplitude under the EWMA threshold.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace platoon::security {
+
+/// Piecewise envelope for an injected magnitude as a function of time since
+/// the attack's nominal onset. The value is 0 before `onset_delay_s`, then
+/// inside each active fraction of a duty period it ramps from 0 at
+/// `ramp_per_s` up to `amplitude` (a non-positive ramp steps instantly);
+/// outside the active fraction it is 0 (the injection clears instantly,
+/// letting per-peer CUSUM statistics drain).
+struct InjectionShape {
+    double amplitude = 0.0;      ///< Peak injected magnitude (meters).
+    double ramp_per_s = 0.0;     ///< Rise rate per burst; <=0 means step.
+    double duty_cycle = 1.0;     ///< Active fraction of each duty period.
+    double duty_period_s = 10.0; ///< Burst repetition period.
+    double onset_delay_s = 0.0;  ///< Jitter after the attack window opens.
+
+    /// Envelope value `t_since_start` seconds after the attack window opens
+    /// (lock-on delays included by the caller). Always in [0, amplitude].
+    [[nodiscard]] double value_at(double t_since_start) const {
+        const double t = t_since_start - onset_delay_s;
+        if (t < 0.0) return 0.0;
+        double since_burst = t;
+        if (duty_cycle < 1.0) {
+            const double phase = std::fmod(t, duty_period_s);
+            if (phase >= duty_cycle * duty_period_s) return 0.0;
+            since_burst = phase;
+        }
+        if (ramp_per_s <= 0.0) return amplitude;
+        return std::min(amplitude, ramp_per_s * since_burst);
+    }
+};
+
+}  // namespace platoon::security

@@ -27,7 +27,7 @@ void JammingAttack::attach(core::Scenario& scenario) {
         }
     });
 
-    if (params_.window.stop_s < 1e17) {
+    if (params_.window.has_stop()) {
         scenario.scheduler().schedule_at(params_.window.stop_s, [this] {
             for (const int id : jammer_ids_)
                 scenario_->network().remove_jammer(id);

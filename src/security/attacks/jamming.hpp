@@ -14,7 +14,7 @@ namespace platoon::security {
 class JammingAttack final : public Attack {
 public:
     struct Params {
-        AttackWindow window{20.0, 1e18};
+        AttackWindow window{20.0};
         double power_dbm = 40.0;   ///< High-power wideband noise source.
         double duty_cycle = 1.0;   ///< 1.0 = continuous jammer.
         bool mobile = true;        ///< Drives along with the platoon.

@@ -26,14 +26,17 @@ void ReplayAttack::attach(core::Scenario& scenario) {
         if (buffer_.size() > params_.buffer_limit) buffer_.pop_front();
     });
 
-    scenario.scheduler().schedule_every(
+    inject_handle_ = scenario.scheduler().schedule_every(
         params_.window.start_s, 1.0 / params_.replay_rate_hz,
         [this] { replay_one(); });
 }
 
 void ReplayAttack::replay_one() {
     const sim::SimTime now = scenario_->scheduler().now();
-    if (now > params_.window.stop_s) return;
+    if (!params_.window.active_at(now)) {
+        scenario_->scheduler().cancel(inject_handle_);
+        return;
+    }
 
     // Replay the oldest frame that is at least replay_delay_s old: stale
     // enough to conflict with current truth, fresh enough to look alive.

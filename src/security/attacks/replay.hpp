@@ -15,7 +15,7 @@ namespace platoon::security {
 class ReplayAttack final : public Attack {
 public:
     struct Params {
-        AttackWindow window{20.0, 1e18};
+        AttackWindow window{20.0};
         /// Which platoon slot to record (0 = leader -- the juiciest target:
         /// its beacons steer everyone).
         std::size_t target_index = 0;
@@ -44,6 +44,7 @@ private:
     Params params_;
     std::unique_ptr<AttackerRadio> radio_;
     core::Scenario* scenario_ = nullptr;
+    sim::EventHandle inject_handle_;
     std::uint32_t target_wire_ = sim::NodeId::kInvalidValue;
     struct Recorded {
         net::Frame frame;

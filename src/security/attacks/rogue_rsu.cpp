@@ -13,14 +13,17 @@ void RogueRsuAttack::attach(core::Scenario& scenario) {
         [pos = params_.position_m] { return pos; });
     radio_->start(nullptr);
 
-    scenario.scheduler().schedule_every(params_.window.start_s,
-                                        params_.broadcast_period_s,
-                                        [this] { broadcast_poison(); });
+    inject_handle_ = scenario.scheduler().schedule_every(
+        params_.window.start_s, params_.broadcast_period_s,
+        [this] { broadcast_poison(); });
 }
 
 void RogueRsuAttack::broadcast_poison() {
     const sim::SimTime now = scenario_->scheduler().now();
-    if (now > params_.window.stop_s) return;
+    if (!params_.window.active_at(now)) {
+        scenario_->scheduler().cancel(inject_handle_);
+        return;
+    }
 
     if (params_.poison_crl) {
         // "Revoke" the first N member credentials. Against an open platoon

@@ -25,7 +25,7 @@ namespace platoon::security {
 class RogueRsuAttack final : public Attack {
 public:
     struct Params {
-        AttackWindow window{20.0, 1e18};
+        AttackWindow window{20.0};
         double position_m = 2600.0;      ///< Fixed roadside post.
         bool poison_crl = true;          ///< Broadcast fake revocations.
         bool offer_bogus_group_key = true;
@@ -54,6 +54,7 @@ private:
     Params params_;
     std::unique_ptr<AttackerRadio> radio_;
     core::Scenario* scenario_ = nullptr;
+    sim::EventHandle inject_handle_;
     crypto::MessageProtection protection_;  ///< No TA credential!
     std::uint64_t broadcasts_ = 0;
 };

@@ -5,6 +5,34 @@ namespace platoon::security {
 void SensorSpoofAttack::attach(core::Scenario& scenario) {
     scenario_ = &scenario;
 
+    if (params_.mode == Mode::kBias) {
+        // Shaped additive bias: refreshed periodically so the envelope can
+        // ramp and duty-cycle; clears itself (and stops rescheduling) once
+        // the window closes.
+        const InjectionShape shape = params_.shape.value_or(InjectionShape{});
+        bias_handle_ = scenario.scheduler().schedule_every(
+            params_.window.start_s, params_.update_period_s, [this, shape] {
+                const sim::SimTime now = scenario_->scheduler().now();
+                auto& victim = scenario_->vehicle(params_.victim_index);
+                if (!params_.window.active_at(now)) {
+                    victim.radar().spoof_bias_clear();
+                    active_ = false;
+                    bias_m_ = 0.0;
+                    scenario_->scheduler().cancel(bias_handle_);
+                    return;
+                }
+                bias_m_ = shape.value_at(now - params_.window.start_s);
+                if (bias_m_ == 0.0) {
+                    victim.radar().spoof_bias_clear();
+                    active_ = false;
+                } else {
+                    victim.radar().spoof_bias_set(bias_m_);
+                    active_ = true;
+                }
+            });
+        return;
+    }
+
     scenario.scheduler().schedule_at(params_.window.start_s, [this] {
         auto& victim = scenario_->vehicle(params_.victim_index);
         active_ = true;
@@ -15,7 +43,7 @@ void SensorSpoofAttack::attach(core::Scenario& scenario) {
                 {params_.phantom_gap_m, params_.phantom_closing_mps});
         }
     });
-    if (params_.window.stop_s < 1e17) {
+    if (params_.window.has_stop()) {
         scenario.scheduler().schedule_at(params_.window.stop_s, [this] {
             auto& victim = scenario_->vehicle(params_.victim_index);
             active_ = false;
@@ -26,7 +54,14 @@ void SensorSpoofAttack::attach(core::Scenario& scenario) {
 }
 
 void SensorSpoofAttack::collect(core::MetricMap& out) const {
-    out["attack.sensor_mode"] = params_.mode == Mode::kJam ? 0.0 : 1.0;
+    switch (params_.mode) {
+        case Mode::kJam: out["attack.sensor_mode"] = 0.0; break;
+        case Mode::kSpoof: out["attack.sensor_mode"] = 1.0; break;
+        case Mode::kBias:
+            out["attack.sensor_mode"] = 2.0;
+            out["attack.sensor_bias_m"] = bias_m_;
+            break;
+    }
 }
 
 }  // namespace platoon::security

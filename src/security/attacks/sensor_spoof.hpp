@@ -6,7 +6,10 @@
 // cross-check) discards the lying radar.
 #pragma once
 
+#include <optional>
+
 #include "security/attacks/attack.hpp"
+#include "security/attacks/injection_shape.hpp"
 
 namespace platoon::security {
 
@@ -15,6 +18,7 @@ public:
     enum class Mode : std::uint8_t {
         kJam,    ///< Blind the radar (no measurement at all).
         kSpoof,  ///< Phantom target at a closing distance.
+        kBias,   ///< Additive gap bias shaped by an InjectionShape.
     };
 
     struct Params {
@@ -23,6 +27,11 @@ public:
         Mode mode = Mode::kSpoof;
         double phantom_gap_m = 2.5;       ///< Claimed gap (dangerously close).
         double phantom_closing_mps = 3.0; ///< Claimed closing speed.
+        /// kBias envelope: the radar still tracks the real target, but its
+        /// range reads `shape.value_at(...)` meters long -- the stealthy
+        /// alternative to replacing the measurement outright.
+        std::optional<InjectionShape> shape;
+        sim::SimTime update_period_s = 0.1;  ///< kBias envelope refresh.
     };
 
     SensorSpoofAttack() : SensorSpoofAttack(Params{}) {}
@@ -30,8 +39,12 @@ public:
 
     void attach(core::Scenario& scenario) override;
     [[nodiscard]] std::string name() const override {
-        return params_.mode == Mode::kJam ? "sensor-jamming"
-                                          : "sensor-spoofing";
+        switch (params_.mode) {
+            case Mode::kJam: return "sensor-jamming";
+            case Mode::kBias: return "sensor-bias";
+            case Mode::kSpoof: break;
+        }
+        return "sensor-spoofing";
     }
     [[nodiscard]] core::AttackKind kind() const override {
         return core::AttackKind::kSensorSpoofing;
@@ -41,7 +54,9 @@ public:
 private:
     Params params_;
     core::Scenario* scenario_ = nullptr;
+    sim::EventHandle bias_handle_;
     bool active_ = false;
+    double bias_m_ = 0.0;
 };
 
 }  // namespace platoon::security

@@ -15,19 +15,22 @@ void SybilAttack::attach(core::Scenario& scenario) {
         track_vehicle(scenario, scenario.config().platoon_size / 2, 3.0));
     radio_->start(nullptr);
 
-    scenario.scheduler().schedule_every(params_.window.start_s,
-                                        params_.beacon_period_s,
-                                        [this] { emit_ghost_beacons(); });
+    beacon_handle_ = scenario.scheduler().schedule_every(
+        params_.window.start_s, params_.beacon_period_s,
+        [this] { emit_ghost_beacons(); });
     if (params_.send_join_requests) {
-        scenario.scheduler().schedule_every(params_.window.start_s,
-                                            params_.join_request_period_s,
-                                            [this] { emit_join_requests(); });
+        join_handle_ = scenario.scheduler().schedule_every(
+            params_.window.start_s, params_.join_request_period_s,
+            [this] { emit_join_requests(); });
     }
 }
 
 void SybilAttack::emit_ghost_beacons() {
     const sim::SimTime now = scenario_->scheduler().now();
-    if (now > params_.window.stop_s) return;
+    if (!params_.window.active_at(now)) {
+        scenario_->scheduler().cancel(beacon_handle_);
+        return;
+    }
 
     const std::size_t platoon_size = scenario_->config().platoon_size;
     for (std::size_t g = 0; g < params_.ghosts; ++g) {
@@ -61,7 +64,10 @@ void SybilAttack::emit_ghost_beacons() {
 
 void SybilAttack::emit_join_requests() {
     const sim::SimTime now = scenario_->scheduler().now();
-    if (now > params_.window.stop_s) return;
+    if (!params_.window.active_at(now)) {
+        scenario_->scheduler().cancel(join_handle_);
+        return;
+    }
     for (std::size_t g = 0; g < params_.ghosts; ++g) {
         net::ManeuverMsg msg;
         msg.type = net::ManeuverType::kJoinRequest;

@@ -17,7 +17,7 @@ namespace platoon::security {
 class SybilAttack final : public Attack {
 public:
     struct Params {
-        AttackWindow window{20.0, 1e18};
+        AttackWindow window{20.0};
         std::size_t ghosts = 3;
         /// Members whose gaps the ghosts haunt (victim follows the ghost).
         std::size_t first_victim_index = 2;
@@ -47,6 +47,8 @@ private:
     Params params_;
     std::unique_ptr<AttackerRadio> radio_;
     core::Scenario* scenario_ = nullptr;
+    sim::EventHandle beacon_handle_;
+    sim::EventHandle join_handle_;
     crypto::MessageProtection protection_;  ///< kNone: ghosts cannot sign.
     std::uint64_t beacons_ = 0;
     std::uint64_t join_requests_ = 0;

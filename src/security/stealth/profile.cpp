@@ -1,0 +1,95 @@
+#include "security/stealth/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "security/attacks/fake_maneuver.hpp"
+#include "security/attacks/gps_spoof.hpp"
+#include "security/attacks/sensor_spoof.hpp"
+
+namespace platoon::security::stealth {
+
+std::string_view to_string(InjectionKind kind) {
+    switch (kind) {
+        case InjectionKind::kGpsSpoof: return "gps-spoof";
+        case InjectionKind::kSensorSpoof: return "sensor-spoof";
+        case InjectionKind::kFakeManeuver: return "fake-maneuver";
+    }
+    return "unknown";
+}
+
+std::optional<InjectionKind> injection_from_name(std::string_view name) {
+    if (name == "gps-spoof") return InjectionKind::kGpsSpoof;
+    if (name == "sensor-spoof") return InjectionKind::kSensorSpoof;
+    if (name == "fake-maneuver") return InjectionKind::kFakeManeuver;
+    return std::nullopt;
+}
+
+std::vector<std::string> injection_names() {
+    return {std::string(to_string(InjectionKind::kGpsSpoof)),
+            std::string(to_string(InjectionKind::kSensorSpoof)),
+            std::string(to_string(InjectionKind::kFakeManeuver))};
+}
+
+bool is_static(const InjectionProfile& profile) {
+    return profile.shape.duty_cycle >= 1.0 && profile.shape.ramp_per_s <= 0.0 &&
+           profile.shape.onset_delay_s == 0.0;
+}
+
+std::string profile_key(const InjectionProfile& profile) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s|a=%.4f|r=%.4f|d=%.4f|p=%.4f|o=%.4f",
+                  std::string(to_string(profile.kind)).c_str(),
+                  profile.shape.amplitude, profile.shape.ramp_per_s,
+                  profile.shape.duty_cycle, profile.shape.duty_period_s,
+                  profile.shape.onset_delay_s);
+    return buf;
+}
+
+std::unique_ptr<Attack> make_profiled_attack(const InjectionProfile& profile,
+                                             const AttackWindow& window,
+                                             std::size_t victim_index,
+                                             std::size_t platoon_size) {
+    switch (profile.kind) {
+        case InjectionKind::kGpsSpoof: {
+            GpsSpoofAttack::Params params;
+            params.window = window;
+            params.victim_index = victim_index;
+            params.shape = profile.shape;
+            return std::make_unique<GpsSpoofAttack>(params);
+        }
+        case InjectionKind::kSensorSpoof: {
+            SensorSpoofAttack::Params params;
+            params.window = window;
+            params.victim_index = victim_index;
+            params.mode = SensorSpoofAttack::Mode::kBias;
+            params.shape = profile.shape;
+            return std::make_unique<SensorSpoofAttack>(params);
+        }
+        case InjectionKind::kFakeManeuver: {
+            // Amplitude is the gap-open lie; duty scales the per-burst
+            // fan-out (1.0 = every member, the classic loud attack); the
+            // onset jitter shifts the injection start.
+            FakeManeuverAttack::Params params;
+            params.window = window;
+            params.window.start_s += profile.shape.onset_delay_s;
+            params.variant = FakeManeuverAttack::Variant::kGapOpen;
+            params.gap_open_m = profile.shape.amplitude;
+            params.repeat_period_s = profile.shape.duty_period_s;
+            const std::size_t members = platoon_size > 1 ? platoon_size - 1 : 1;
+            if (profile.shape.duty_cycle >= 1.0) {
+                params.targets_per_burst = 0;  // everyone at once
+            } else {
+                const double scaled = std::round(profile.shape.duty_cycle *
+                                                 static_cast<double>(members));
+                params.targets_per_burst = static_cast<std::size_t>(
+                    std::clamp(scaled, 1.0, static_cast<double>(members)));
+            }
+            return std::make_unique<FakeManeuverAttack>(params);
+        }
+    }
+    return nullptr;
+}
+
+}  // namespace platoon::security::stealth

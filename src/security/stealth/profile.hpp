@@ -1,0 +1,73 @@
+// Detector-aware injection profiles: the knob space a stealthy attacker
+// tunes (paper §VI open challenges; arxiv 2510.14119). A profile names one
+// of the shapeable injection attacks and the envelope it drives; the search
+// (stealth/search.hpp) optimizes profiles against the detector bank, and
+// make_profiled_attack() lowers a profile onto the concrete Attack.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "security/attacks/attack.hpp"
+#include "security/attacks/injection_shape.hpp"
+
+namespace platoon::security::stealth {
+
+/// The shapeable injection attacks. These are deliberately distinct names
+/// from core::AttackKind: gps_spoof and sensor_spoof share a single
+/// AttackKind (kSensorSpoofing), so the taxonomy cannot address them
+/// individually -- the stealth vocabulary can.
+enum class InjectionKind : std::uint8_t {
+    kGpsSpoof,      ///< Walked/shaped GPS position offset on the victim.
+    kSensorSpoof,   ///< Additive radar range bias on the victim.
+    kFakeManeuver,  ///< Forged leader gap-open maneuvers.
+};
+
+[[nodiscard]] std::string_view to_string(InjectionKind kind);
+[[nodiscard]] std::optional<InjectionKind> injection_from_name(
+    std::string_view name);
+/// All injection names, in enum order ("gps-spoof", "sensor-spoof",
+/// "fake-maneuver") -- the vocabulary `overrides.stealth.injections` accepts.
+[[nodiscard]] std::vector<std::string> injection_names();
+
+/// One candidate the search evaluates: which attack, shaped how.
+struct InjectionProfile {
+    InjectionKind kind = InjectionKind::kSensorSpoof;
+    InjectionShape shape;
+};
+
+/// A profile is "static" when its envelope degenerates to the classic
+/// constant-offset attack: full duty, instant step, no onset jitter. The
+/// best zero-alarm static profile is the comparator the searched shaped
+/// profiles must beat.
+[[nodiscard]] bool is_static(const InjectionProfile& profile);
+
+/// Stable text key (fixed-precision) for deterministic sorting/dedup.
+[[nodiscard]] std::string profile_key(const InjectionProfile& profile);
+
+/// The box the search explores, plus the coarse-grid resolution.
+struct ProfileBounds {
+    double amplitude_min = 0.5;   ///< Meters (gap-open meters for maneuver).
+    double amplitude_max = 6.0;
+    double ramp_min = 0.0;        ///< 0 = instant step.
+    double ramp_max = 4.0;
+    double duty_min = 0.25;
+    double duty_max = 1.0;
+    double duty_period_s = 8.0;   ///< Fixed burst period.
+    double onset_max_s = 2.0;     ///< Onset jitter range (CEM only).
+    std::size_t amplitude_steps = 5;
+    std::size_t ramp_steps = 2;
+    std::size_t duty_steps = 4;
+};
+
+/// Lowers a profile onto the concrete attack, victimizing
+/// `victim_index` inside `window`. `platoon_size` sizes the fake-maneuver
+/// fan-out (duty scales how many members each burst targets).
+[[nodiscard]] std::unique_ptr<Attack> make_profiled_attack(
+    const InjectionProfile& profile, const AttackWindow& window,
+    std::size_t victim_index, std::size_t platoon_size);
+
+}  // namespace platoon::security::stealth

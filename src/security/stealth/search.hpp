@@ -1,0 +1,85 @@
+// The attacker optimization loop: coarse grid refine + cross-entropy method
+// over injection profiles, maximizing spacing-error impact subject to not
+// tripping the detector bank's innovation/EWMA/CUSUM gates. The search is
+// detector-blind about internals -- it only sees the black-box Outcome an
+// evaluator returns -- and fully deterministic: every stochastic choice
+// draws from the named "stealth.search" stream (src/sim/streams.def), and
+// candidate batches are evaluated by the caller, who is responsible for
+// folding replications bit-identically at any PLATOON_JOBS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "security/stealth/profile.hpp"
+
+namespace platoon::security::stealth {
+
+/// What the defense saw while one candidate profile ran.
+struct Outcome {
+    /// Spacing-error impact vs the clean run (averaged over seeds).
+    double impact = 0.0;
+    /// Flags from the three threshold gates the search must stay under
+    /// (innovation gate, EWMA residual, CUSUM residual), summed over seeds.
+    std::uint64_t gate_alarms = 0;
+    /// Flags from the whole bank (all detectors), summed over seeds.
+    std::uint64_t total_alarms = 0;
+    /// Per-detector flag totals, in bank order.
+    std::vector<std::uint64_t> detector_flags;
+};
+
+struct Evaluated {
+    InjectionProfile profile;
+    Outcome outcome;
+};
+
+/// A feasible candidate never tripped a threshold gate.
+[[nodiscard]] inline bool feasible(const Outcome& outcome) {
+    return outcome.gate_alarms == 0;
+}
+
+struct SearchSpec {
+    InjectionKind kind = InjectionKind::kSensorSpoof;
+    ProfileBounds bounds;
+    std::size_t cem_iterations = 2;
+    std::size_t cem_population = 12;
+    std::size_t cem_elites = 4;
+    std::uint64_t seed = 42;  ///< Master seed for the "stealth.search" stream.
+};
+
+/// Evaluates one batch of candidates (one search round). Implementations
+/// fan the (profile x replication-seed) product out via core::run_grid so
+/// the whole search is bit-identical at any job count.
+using BatchEvaluator = std::function<std::vector<Outcome>(
+    const std::vector<InjectionProfile>&)>;
+
+struct SearchResult {
+    /// Every candidate in evaluation order (grid first, then CEM rounds).
+    std::vector<Evaluated> evaluated;
+    /// Highest-impact feasible candidate; nullopt if nothing was feasible.
+    std::optional<Evaluated> best_stealthy;
+    /// Highest-impact feasible *static* candidate (full duty, instant step,
+    /// no onset jitter): the classic constant-offset attacker the shaped
+    /// profiles must strictly beat.
+    std::optional<Evaluated> best_static;
+};
+
+[[nodiscard]] SearchResult search(const SearchSpec& spec,
+                                  const BatchEvaluator& evaluate);
+
+/// One point on a per-detector stealth-impact frontier.
+struct FrontierPoint {
+    std::uint64_t alarms = 0;  ///< Flags of that one detector.
+    double impact = 0.0;
+    InjectionProfile profile;
+};
+
+/// Non-dominated set over (alarms ascending, impact ascending): the most
+/// impact achievable at each alarm budget against detector
+/// `detector_index`. Deterministic: ties resolve by profile key.
+[[nodiscard]] std::vector<FrontierPoint> pareto_frontier(
+    const std::vector<Evaluated>& evaluated, std::size_t detector_index);
+
+}  // namespace platoon::security::stealth

@@ -25,6 +25,19 @@ TEST(EwmaDetector, ExactDetectionDelayOnStep) {
     EXPECT_DOUBLE_EQ(ewma.value(), 3.5);
 }
 
+TEST(EwmaDetector, ExactDetectionDelayOnNegativeStep) {
+    // The chart is two-sided: a step of height -4 walks the EWMA to -2, -3,
+    // -3.5 and |EWMA| first strictly exceeds 3 at the third post-change
+    // sample -- the mirror image of the positive-step pin above.
+    pd::EwmaDetector ewma({/*alpha=*/0.5, /*threshold=*/3.0});
+    EXPECT_FALSE(ewma.update(-4.0));
+    EXPECT_DOUBLE_EQ(ewma.value(), -2.0);
+    EXPECT_FALSE(ewma.update(-4.0));
+    EXPECT_DOUBLE_EQ(ewma.value(), -3.0);
+    EXPECT_TRUE(ewma.update(-4.0));
+    EXPECT_DOUBLE_EQ(ewma.value(), -3.5);
+}
+
 TEST(EwmaDetector, NoFalseAlarmBelowThreshold) {
     // A stream capped at the threshold can approach but never cross it.
     pd::EwmaDetector ewma({/*alpha=*/0.3, /*threshold=*/2.0});
@@ -49,6 +62,32 @@ TEST(CusumDetector, ExactDetectionDelayOnStep) {
     }
     EXPECT_TRUE(cusum.update(2.0));
     EXPECT_DOUBLE_EQ(cusum.statistic(), 6.0);
+}
+
+TEST(CusumDetector, ExactDetectionDelayOnNegativeStep) {
+    // Two-sided CUSUM: a step of height -2 leaves the positive chart at
+    // zero while S- grows by exactly 1 per sample, first strictly
+    // exceeding 5 at the sixth post-change sample -- the same delay the
+    // positive-step pin shows for S+.
+    pd::CusumDetector cusum({/*drift=*/1.0, /*threshold=*/5.0});
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FALSE(cusum.update(-2.0)) << "sample " << i;
+        EXPECT_DOUBLE_EQ(cusum.statistic(), 0.0);
+    }
+    EXPECT_TRUE(cusum.update(-2.0));
+    EXPECT_DOUBLE_EQ(cusum.negative_statistic(), 6.0);
+    EXPECT_DOUBLE_EQ(cusum.statistic(), 0.0);
+}
+
+TEST(CusumDetector, TwoSidedIsOneSidedOnNonNegativeStreams) {
+    // On a non-negative stream (the bank feeds absolute residuals) the
+    // negative chart stays pinned at zero: the two-sided form is
+    // bit-identical to the historical one-sided chart there.
+    pd::CusumDetector cusum({/*drift=*/1.0, /*threshold=*/5.0});
+    for (int i = 0; i < 100; ++i) {
+        cusum.update(static_cast<double>(i % 3));
+        EXPECT_DOUBLE_EQ(cusum.negative_statistic(), 0.0);
+    }
 }
 
 TEST(CusumDetector, ZeroFalseAlarmsBelowDrift) {

@@ -1,0 +1,152 @@
+// End-to-end tests for the stealth-frontier evaluation layer: the search
+// over real simulated replications must be bit-identical at any job count
+// (the Table VI bench's determinism contract), and the windowed shaped
+// attacks must actually stop -- the schedule_every callback cancels itself
+// once the window closes instead of re-arming forever (the bugfix the
+// search loop exposed).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "detect/harness.hpp"
+#include "detect/stealth.hpp"
+#include "security/attacks/sensor_spoof.hpp"
+#include "security/stealth/profile.hpp"
+
+namespace {
+
+namespace pd = platoon::detect;
+namespace sec = platoon::security;
+namespace stealth = platoon::security::stealth;
+
+/// A deliberately tiny spec (8 grid candidates + one 4-candidate CEM round,
+/// 40 s horizon) so the whole frontier runs in a few seconds of test time.
+pd::StealthSpec tiny_spec() {
+    pd::StealthSpec spec;
+    spec.injections = {stealth::InjectionKind::kSensorSpoof};
+    spec.bounds.amplitude_min = 0.5;
+    spec.bounds.amplitude_max = 3.0;
+    spec.bounds.amplitude_steps = 2;
+    spec.bounds.ramp_min = 0.0;
+    spec.bounds.ramp_max = 2.0;
+    spec.bounds.ramp_steps = 2;
+    spec.bounds.duty_min = 0.5;
+    spec.bounds.duty_max = 1.0;
+    spec.bounds.duty_steps = 2;
+    spec.bounds.duty_period_s = 8.0;
+    spec.bounds.onset_max_s = 1.0;
+    spec.cem_iterations = 1;
+    spec.cem_population = 4;
+    spec.cem_elites = 2;
+    spec.victim_index = 3;
+    spec.start_s = 10.0;
+    spec.horizon_s = 40.0;
+    spec.seeds = {42};
+    return spec;
+}
+
+TEST(StealthFrontier, BitIdenticalAtAnyJobCount) {
+    const pd::StealthSpec spec = tiny_spec();
+    const auto config = pd::detection_config(42);
+    const pd::StealthFrontierResult serial =
+        pd::run_stealth_frontier(config, spec, /*jobs=*/1);
+    const pd::StealthFrontierResult parallel =
+        pd::run_stealth_frontier(config, spec, /*jobs=*/4);
+
+    ASSERT_EQ(serial.kinds.size(), 1u);
+    ASSERT_EQ(parallel.kinds.size(), 1u);
+    const stealth::SearchResult& a = serial.kinds[0].search;
+    const stealth::SearchResult& b = parallel.kinds[0].search;
+
+    // Candidate-by-candidate bit identity: same profiles proposed (the CEM
+    // saw the same elites), same impacts, same per-detector alarm counts.
+    ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+    for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+        EXPECT_EQ(stealth::profile_key(a.evaluated[i].profile),
+                  stealth::profile_key(b.evaluated[i].profile));
+        EXPECT_EQ(a.evaluated[i].outcome.impact, b.evaluated[i].outcome.impact);
+        EXPECT_EQ(a.evaluated[i].outcome.detector_flags,
+                  b.evaluated[i].outcome.detector_flags);
+    }
+
+    // Same Pareto frontiers, point for point.
+    ASSERT_EQ(serial.kinds[0].frontiers.size(),
+              parallel.kinds[0].frontiers.size());
+    for (std::size_t d = 0; d < serial.kinds[0].frontiers.size(); ++d) {
+        const auto& fa = serial.kinds[0].frontiers[d];
+        const auto& fb = parallel.kinds[0].frontiers[d];
+        ASSERT_EQ(fa.size(), fb.size()) << serial.detectors[d];
+        for (std::size_t i = 0; i < fa.size(); ++i) {
+            EXPECT_EQ(fa[i].alarms, fb[i].alarms);
+            EXPECT_EQ(fa[i].impact, fb[i].impact);
+            EXPECT_EQ(stealth::profile_key(fa[i].profile),
+                      stealth::profile_key(fb[i].profile));
+        }
+    }
+}
+
+TEST(StealthFrontier, GateDetectorsAreTheThresholdTests) {
+    const pd::StealthFrontierResult result = pd::run_stealth_frontier(
+        pd::detection_config(42), tiny_spec(), /*jobs=*/1);
+    ASSERT_EQ(result.gate_detectors.size(), 3u);
+    for (const std::size_t d : result.gate_detectors) {
+        const std::string& name = result.detectors[d];
+        EXPECT_TRUE(name == "innovation-gate" || name == "ewma-residual" ||
+                    name == "cusum-residual")
+            << name;
+    }
+}
+
+TEST(WindowedShapedAttack, BiasClearsWhenTheWindowCloses) {
+    // Regression for the schedule_every leak: a shaped sensor-spoof with a
+    // finite window must clear the radar bias at stop and cancel its own
+    // refresh callback -- before the fix the callback re-armed forever and
+    // a long-horizon replication kept paying for (and reapplying) it.
+    auto config = pd::detection_config(42);
+    platoon::core::Scenario scenario(config);
+
+    sec::SensorSpoofAttack::Params params;
+    params.victim_index = 3;
+    params.mode = sec::SensorSpoofAttack::Mode::kBias;
+    params.window.start_s = 5.0;
+    params.window.stop_s = 15.0;
+    sec::InjectionShape shape;
+    shape.amplitude = 2.0;
+    params.shape = shape;
+    sec::SensorSpoofAttack attack(params);
+    attack.attach(scenario);
+
+    scenario.run_until(10.0);
+    EXPECT_TRUE(scenario.vehicle(3).radar().bias_spoofed())
+        << "bias must be applied inside the window";
+
+    scenario.run_until(30.0);
+    EXPECT_FALSE(scenario.vehicle(3).radar().bias_spoofed())
+        << "bias must clear once the window closes";
+    platoon::core::MetricMap metrics;
+    attack.collect(metrics);
+    EXPECT_EQ(metrics["attack.sensor_bias_m"], 0.0);
+}
+
+TEST(WindowedShapedAttack, InfiniteWindowKeepsInjecting) {
+    // The complementary direction: the default window (kNeverStops) must
+    // not be mistaken for a finite stop -- the bias persists.
+    auto config = pd::detection_config(42);
+    platoon::core::Scenario scenario(config);
+
+    sec::SensorSpoofAttack::Params params;
+    params.victim_index = 3;
+    params.mode = sec::SensorSpoofAttack::Mode::kBias;
+    params.window = sec::AttackWindow{};  // Defaults to kNeverStops.
+    params.window.start_s = 5.0;
+    sec::InjectionShape shape;
+    shape.amplitude = 2.0;
+    params.shape = shape;
+    sec::SensorSpoofAttack attack(params);
+    attack.attach(scenario);
+
+    scenario.run_until(30.0);
+    EXPECT_TRUE(scenario.vehicle(3).radar().bias_spoofed());
+}
+
+}  // namespace

@@ -1,0 +1,15 @@
+// Fixture: the legitimate owner of "fixture.stealth" -- the stealth-search
+// pattern, where an optimization loop in src/security/ draws every
+// stochastic choice from one named stream. Must lint clean: the name is
+// declared in the manifest and spelled only here. Never compiled.
+namespace sim {
+struct RandomStream {
+    RandomStream(unsigned long, const char*) {}
+    double normal(double mean, double) { return mean; }
+};
+}  // namespace sim
+
+double propose_candidate(unsigned long seed) {
+    sim::RandomStream stream(seed, "fixture.stealth");
+    return stream.normal(1.0, 0.25);
+}

@@ -279,11 +279,25 @@ TEST(Platoonlint, BenchTuCountersSatisfyTheBaselineContract) {
     EXPECT_EQ(r.exit_code, 1) << r.output;
     EXPECT_EQ(r.output.find("'bench_scale.tier1.events'"), std::string::npos)
         << r.output;
+    EXPECT_EQ(r.output.find("'bench_table6.fixture.best_impact_mm'"),
+              std::string::npos)
+        << r.output;
     EXPECT_EQ(r.output.find("'net.arena.alloc'"), std::string::npos)
         << r.output;
     EXPECT_EQ(r.output.find("'net.arena.reuse'"), std::string::npos)
         << r.output;
     EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Platoonlint, StealthStreamOwnerLintsClean) {
+    // The stealth-search pattern: a src/security/ file that owns one
+    // manifest stream. Declared and spelled by exactly its owner, so both
+    // the owner file and the manifest entry must pass the stream-registry
+    // rule (the manifest's only finding stays the seeded fixture.unused).
+    const RunResult r =
+        run_lint(fixture_args("src/security/stealth_probe.cpp"));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("1 files clean"), std::string::npos) << r.output;
 }
 
 TEST(Platoonlint, FlagsStreamNameCollisionFromSingleFile) {

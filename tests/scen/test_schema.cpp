@@ -10,6 +10,7 @@
 #include "eval/harness.hpp"
 #include "obs/json.hpp"
 #include "scen/schema.hpp"
+#include "security/stealth/profile.hpp"
 
 namespace pc = platoon::core;
 namespace ps = platoon::scen;
@@ -312,4 +313,130 @@ TEST(ScenSchema, UnreadableFilePrefixesPathInError) {
     EXPECT_FALSE(compiled.has_value());
     EXPECT_NE(error.find("/nonexistent/missing.json"), std::string::npos)
         << error;
+}
+
+// --- overrides.stealth (the Table VI stealth-frontier block) ---------------
+
+TEST(ScenSchema, CommittedStealthFrontierDescriptionCarriesTheSearchBox) {
+    std::string error;
+    const auto compiled = ps::compile_file(
+        std::string(PLATOON_SCENARIO_DIR) + "/stealth_frontier.json", &error);
+    ASSERT_TRUE(compiled.has_value()) << error;
+    ASSERT_TRUE(compiled->stealth.has_value());
+    const ps::StealthOverrides& s = *compiled->stealth;
+    ASSERT_EQ(s.injections.size(), 3u);
+    EXPECT_EQ(s.injections[0], "sensor-spoof");
+    EXPECT_EQ(s.injections[1], "gps-spoof");
+    EXPECT_EQ(s.injections[2], "fake-maneuver");
+    EXPECT_EQ(s.victim_index, 3u);
+    EXPECT_DOUBLE_EQ(s.start_s, 20.0);
+    EXPECT_DOUBLE_EQ(s.horizon_s, 70.0);
+    EXPECT_DOUBLE_EQ(s.amplitude_min, 0.5);
+    EXPECT_DOUBLE_EQ(s.amplitude_max, 5.0);
+    EXPECT_EQ(s.amplitude_steps, 4u);
+    EXPECT_EQ(s.ramp_steps, 2u);
+    EXPECT_EQ(s.duty_steps, 3u);
+    EXPECT_DOUBLE_EQ(s.duty_period_s, 8.0);
+    EXPECT_DOUBLE_EQ(s.onset_max_s, 2.0);
+    EXPECT_EQ(s.cem_iterations, 2u);
+    EXPECT_EQ(s.cem_population, 12u);
+    EXPECT_EQ(s.cem_elites, 4u);
+    EXPECT_EQ(s.seeds, 1u);
+    // The bench uses the description's single compiled cell as its base
+    // config; the victim index must address a real platoon member there.
+    ASSERT_EQ(compiled->cells.size(), 1u);
+    EXPECT_LT(s.victim_index, compiled->cells[0].config.platoon_size);
+}
+
+TEST(ScenSchema, StealthVocabularyMatchesTheSecurityLayer) {
+    // scen cannot include security (layering), so it hardcodes a mirror of
+    // the injection vocabulary; this cross-check pins the two lists equal
+    // so adding an InjectionKind without teaching the schema fails loudly.
+    EXPECT_EQ(ps::stealth_injection_names(),
+              platoon::security::stealth::injection_names());
+}
+
+TEST(ScenSchema, StealthWithoutInjectionsIsRejected) {
+    const std::string error = compile_error(R"({
+      "name": "t",
+      "overrides": {"stealth": {"victim_index": 3}},
+      "grids": [{"axes": {"attacks": ["replay"]}}]
+    })");
+    EXPECT_NE(error.find("overrides.stealth"), std::string::npos) << error;
+    EXPECT_NE(error.find("injections"), std::string::npos) << error;
+}
+
+TEST(ScenSchema, UnknownStealthKeyIsRejectedWithPath) {
+    const std::string error = compile_error(R"({
+      "name": "t",
+      "overrides": {"stealth": {"injections": ["gps-spoof"], "ampltude":
+        {"min": 1.0}}},
+      "grids": [{"axes": {"attacks": ["replay"]}}]
+    })");
+    EXPECT_NE(error.find("overrides.stealth"), std::string::npos) << error;
+    EXPECT_NE(error.find("ampltude"), std::string::npos) << error;
+}
+
+TEST(ScenSchema, UnknownInjectionNameSuggestsNearMiss) {
+    const std::string error = compile_error(R"({
+      "name": "t",
+      "overrides": {"stealth": {"injections": ["gps_spoof"]}},
+      "grids": [{"axes": {"attacks": ["replay"]}}]
+    })");
+    EXPECT_NE(error.find("gps_spoof"), std::string::npos) << error;
+    EXPECT_NE(error.find("gps-spoof"), std::string::npos) << error;
+}
+
+TEST(ScenSchema, StealthInsideGridOverridesIsRejected) {
+    const std::string error = compile_error(R"({
+      "name": "t",
+      "grids": [{
+        "axes": {"attacks": ["replay"]},
+        "overrides": {"stealth": {"injections": ["gps-spoof"]}}
+      }]
+    })");
+    EXPECT_NE(error.find("top-level"), std::string::npos) << error;
+}
+
+TEST(ScenSchema, StealthAxisMaxBelowMinIsRejected) {
+    const std::string error = compile_error(R"({
+      "name": "t",
+      "overrides": {"stealth": {"injections": ["gps-spoof"],
+        "amplitude": {"min": 3.0, "max": 1.0}}},
+      "grids": [{"axes": {"attacks": ["replay"]}}]
+    })");
+    EXPECT_NE(error.find("overrides.stealth.amplitude"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("max must be >= min"), std::string::npos) << error;
+}
+
+TEST(ScenSchema, StealthHorizonMustExceedStart) {
+    const std::string error = compile_error(R"({
+      "name": "t",
+      "overrides": {"stealth": {"injections": ["gps-spoof"],
+        "start_s": 50.0, "horizon_s": 40.0}},
+      "grids": [{"axes": {"attacks": ["replay"]}}]
+    })");
+    EXPECT_NE(error.find("horizon_s"), std::string::npos) << error;
+}
+
+TEST(ScenSchema, StealthVictimOutsidePlatoonIsRejected) {
+    const std::string error = compile_error(R"({
+      "name": "t",
+      "overrides": {"stealth": {"injections": ["gps-spoof"],
+        "victim_index": 60}},
+      "grids": [{"axes": {"attacks": ["replay"]}}]
+    })");
+    EXPECT_NE(error.find("overrides.stealth.victim_index"), std::string::npos)
+        << error;
+}
+
+TEST(ScenSchema, StealthCemElitesCannotExceedPopulation) {
+    const std::string error = compile_error(R"({
+      "name": "t",
+      "overrides": {"stealth": {"injections": ["gps-spoof"],
+        "cem": {"population": 4, "elites": 8}}},
+      "grids": [{"axes": {"attacks": ["replay"]}}]
+    })");
+    EXPECT_NE(error.find("elites"), std::string::npos) << error;
 }

@@ -1,0 +1,278 @@
+// Unit tests for the stealth-attack building blocks: AttackWindow semantics
+// (the bugfix this PR ships -- stops in [1e17, 1e18) used to be silently
+// treated as "never"), the InjectionShape envelope, profile keys, and the
+// attacker optimization loop against a synthetic (simulation-free)
+// evaluator, where the search's determinism and champion contracts can be
+// checked exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "security/attacks/attack.hpp"
+#include "security/attacks/injection_shape.hpp"
+#include "security/stealth/profile.hpp"
+#include "security/stealth/search.hpp"
+
+namespace {
+
+namespace sec = platoon::security;
+namespace stealth = platoon::security::stealth;
+
+TEST(AttackWindow, DefaultWindowNeverStops) {
+    const sec::AttackWindow window;
+    EXPECT_FALSE(window.has_stop());
+    EXPECT_FALSE(window.active_at(0.0));
+    EXPECT_TRUE(window.active_at(window.start_s));
+    EXPECT_TRUE(window.active_at(1e16));
+    EXPECT_TRUE(window.active_at(5e17));  // The historical 1e17 bug zone.
+}
+
+TEST(AttackWindow, LargeFiniteStopIsARealStop) {
+    // Regression for the magic-number bug: a stop of 5e17 is finite (it is
+    // below the 1e18 sentinel) and must deactivate the attack -- the old
+    // `stop_s < 1e17` comparison classified it as "never stops".
+    sec::AttackWindow window;
+    window.start_s = 10.0;
+    window.stop_s = 5e17;
+    EXPECT_TRUE(window.has_stop());
+    EXPECT_TRUE(window.active_at(5e17));
+    EXPECT_FALSE(window.active_at(5e17 * (1.0 + 1e-15)));
+}
+
+TEST(AttackWindow, ActiveAtBoundariesAreInclusive) {
+    sec::AttackWindow window;
+    window.start_s = 20.0;
+    window.stop_s = 50.0;
+    EXPECT_TRUE(window.has_stop());
+    EXPECT_FALSE(window.active_at(19.999));
+    EXPECT_TRUE(window.active_at(20.0));
+    EXPECT_TRUE(window.active_at(50.0));
+    EXPECT_FALSE(window.active_at(50.001));
+}
+
+TEST(AttackWindow, SentinelItselfMeansNever) {
+    sec::AttackWindow window;
+    window.stop_s = sec::AttackWindow::kNeverStops;
+    EXPECT_FALSE(window.has_stop());
+}
+
+TEST(InjectionShape, StaticShapeIsAConstantStep) {
+    sec::InjectionShape shape;
+    shape.amplitude = 2.0;
+    EXPECT_DOUBLE_EQ(shape.value_at(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(shape.value_at(100.0), 2.0);
+}
+
+TEST(InjectionShape, RampRisesLinearlyThenSaturates) {
+    sec::InjectionShape shape;
+    shape.amplitude = 4.0;
+    shape.ramp_per_s = 1.0;
+    EXPECT_DOUBLE_EQ(shape.value_at(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(shape.value_at(2.0), 2.0);
+    EXPECT_DOUBLE_EQ(shape.value_at(4.0), 4.0);
+    EXPECT_DOUBLE_EQ(shape.value_at(50.0), 4.0);
+}
+
+TEST(InjectionShape, DutyCycleGatesAndRestartsTheRamp) {
+    // duty 0.5 over an 8 s period: active on [0,4), silent on [4,8), and
+    // the ramp restarts from zero at each burst.
+    sec::InjectionShape shape;
+    shape.amplitude = 4.0;
+    shape.ramp_per_s = 2.0;
+    shape.duty_cycle = 0.5;
+    shape.duty_period_s = 8.0;
+    EXPECT_DOUBLE_EQ(shape.value_at(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(shape.value_at(3.0), 4.0);   // Saturated inside burst.
+    EXPECT_DOUBLE_EQ(shape.value_at(5.0), 0.0);   // Silent half.
+    EXPECT_DOUBLE_EQ(shape.value_at(7.999), 0.0);
+    EXPECT_DOUBLE_EQ(shape.value_at(9.0), 2.0);   // Next burst ramps anew.
+}
+
+TEST(InjectionShape, OnsetDelayShiftsTheWholeEnvelope) {
+    sec::InjectionShape shape;
+    shape.amplitude = 3.0;
+    shape.onset_delay_s = 1.5;
+    EXPECT_DOUBLE_EQ(shape.value_at(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(shape.value_at(1.5), 3.0);
+}
+
+TEST(Profile, StaticMeansFullDutyInstantStepNoJitter) {
+    stealth::InjectionProfile p;
+    p.shape.amplitude = 1.0;
+    EXPECT_TRUE(stealth::is_static(p));
+    p.shape.duty_cycle = 0.5;
+    EXPECT_FALSE(stealth::is_static(p));
+    p.shape.duty_cycle = 1.0;
+    p.shape.ramp_per_s = 0.5;
+    EXPECT_FALSE(stealth::is_static(p));
+    p.shape.ramp_per_s = 0.0;
+    p.shape.onset_delay_s = 0.1;
+    EXPECT_FALSE(stealth::is_static(p));
+}
+
+TEST(Profile, KeyIsStableAndDistinguishesProfiles) {
+    stealth::InjectionProfile a;
+    a.kind = stealth::InjectionKind::kGpsSpoof;
+    a.shape.amplitude = 1.25;
+    stealth::InjectionProfile b = a;
+    EXPECT_EQ(stealth::profile_key(a), stealth::profile_key(b));
+    b.shape.amplitude = 1.26;
+    EXPECT_NE(stealth::profile_key(a), stealth::profile_key(b));
+    b = a;
+    b.kind = stealth::InjectionKind::kSensorSpoof;
+    EXPECT_NE(stealth::profile_key(a), stealth::profile_key(b));
+}
+
+TEST(Profile, NameRoundTrip) {
+    for (const std::string& name : stealth::injection_names()) {
+        const auto kind = stealth::injection_from_name(name);
+        ASSERT_TRUE(kind.has_value()) << name;
+        EXPECT_EQ(stealth::to_string(*kind), name);
+    }
+    EXPECT_FALSE(stealth::injection_from_name("gps_spoof").has_value());
+}
+
+/// Synthetic evaluator: a pure function of the profile, so search behavior
+/// can be pinned without a simulation. Impact grows with amplitude*duty;
+/// the gates trip above amplitude 3; one non-gate detector flags above 1.
+stealth::Outcome synthetic_outcome(const stealth::InjectionProfile& p) {
+    stealth::Outcome out;
+    out.impact = p.shape.amplitude * p.shape.duty_cycle;
+    const std::uint64_t gate = p.shape.amplitude > 3.0 ? 5 : 0;
+    const std::uint64_t other = p.shape.amplitude > 1.0 ? 7 : 0;
+    out.detector_flags = {gate, 0, 0, other};
+    out.gate_alarms = gate;
+    out.total_alarms = gate + other;
+    return out;
+}
+
+std::vector<stealth::Outcome> synthetic_evaluate(
+    const std::vector<stealth::InjectionProfile>& batch) {
+    std::vector<stealth::Outcome> out;
+    for (const stealth::InjectionProfile& p : batch)
+        out.push_back(synthetic_outcome(p));
+    return out;
+}
+
+stealth::SearchSpec tiny_spec() {
+    stealth::SearchSpec spec;
+    spec.kind = stealth::InjectionKind::kSensorSpoof;
+    spec.bounds.amplitude_min = 0.5;
+    spec.bounds.amplitude_max = 5.0;
+    spec.bounds.amplitude_steps = 4;
+    spec.bounds.ramp_min = 0.0;
+    spec.bounds.ramp_max = 2.0;
+    spec.bounds.ramp_steps = 2;
+    spec.bounds.duty_min = 0.25;
+    spec.bounds.duty_max = 1.0;
+    spec.bounds.duty_steps = 3;
+    spec.cem_iterations = 2;
+    spec.cem_population = 8;
+    spec.cem_elites = 3;
+    spec.seed = 42;
+    return spec;
+}
+
+TEST(StealthSearch, EvaluatesGridPlusCemPopulations) {
+    const stealth::SearchSpec spec = tiny_spec();
+    const stealth::SearchResult result =
+        stealth::search(spec, synthetic_evaluate);
+    EXPECT_EQ(result.evaluated.size(),
+              4u * 2u * 3u + spec.cem_iterations * spec.cem_population);
+}
+
+TEST(StealthSearch, IsDeterministic) {
+    // Two runs with the same spec draw the same "stealth.search" sequence
+    // and must produce identical candidate lists and champions.
+    const stealth::SearchSpec spec = tiny_spec();
+    const stealth::SearchResult a = stealth::search(spec, synthetic_evaluate);
+    const stealth::SearchResult b = stealth::search(spec, synthetic_evaluate);
+    ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+    for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+        EXPECT_EQ(stealth::profile_key(a.evaluated[i].profile),
+                  stealth::profile_key(b.evaluated[i].profile));
+        EXPECT_EQ(a.evaluated[i].outcome.impact, b.evaluated[i].outcome.impact);
+    }
+    ASSERT_TRUE(a.best_stealthy.has_value());
+    ASSERT_TRUE(b.best_stealthy.has_value());
+    EXPECT_EQ(stealth::profile_key(a.best_stealthy->profile),
+              stealth::profile_key(b.best_stealthy->profile));
+}
+
+TEST(StealthSearch, ChampionsRespectTheirContracts) {
+    const stealth::SearchResult result =
+        stealth::search(tiny_spec(), synthetic_evaluate);
+
+    // The stealthy champion is feasible and impact-maximal among feasible.
+    ASSERT_TRUE(result.best_stealthy.has_value());
+    EXPECT_TRUE(stealth::feasible(result.best_stealthy->outcome));
+    for (const stealth::Evaluated& e : result.evaluated) {
+        if (!stealth::feasible(e.outcome)) continue;
+        EXPECT_LE(e.outcome.impact, result.best_stealthy->outcome.impact);
+    }
+
+    // The static champion is feasible, static, and no better than the
+    // overall champion (it competes in the same pool).
+    ASSERT_TRUE(result.best_static.has_value());
+    EXPECT_TRUE(stealth::is_static(result.best_static->profile));
+    EXPECT_TRUE(stealth::feasible(result.best_static->outcome));
+    EXPECT_LE(result.best_static->outcome.impact,
+              result.best_stealthy->outcome.impact);
+}
+
+TEST(StealthSearch, NoFeasibleCandidateMeansNoChampion) {
+    const auto always_alarming =
+        [](const std::vector<stealth::InjectionProfile>& batch) {
+            std::vector<stealth::Outcome> out;
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                stealth::Outcome o;
+                o.impact = 1.0;
+                o.gate_alarms = 3;
+                o.total_alarms = 3;
+                o.detector_flags = {3};
+                out.push_back(o);
+            }
+            return out;
+        };
+    const stealth::SearchResult result =
+        stealth::search(tiny_spec(), always_alarming);
+    EXPECT_FALSE(result.best_stealthy.has_value());
+    EXPECT_FALSE(result.best_static.has_value());
+}
+
+TEST(ParetoFrontier, KeepsOnlyNonDominatedPoints) {
+    const auto candidate = [](double amplitude, std::uint64_t alarms,
+                              double impact) {
+        stealth::Evaluated e;
+        e.profile.shape.amplitude = amplitude;
+        e.outcome.impact = impact;
+        e.outcome.detector_flags = {alarms};
+        return e;
+    };
+    const std::vector<stealth::Evaluated> evaluated = {
+        candidate(1.0, 0, 2.0),  // Frontier: best at zero alarms.
+        candidate(1.1, 0, 1.0),  // Dominated (same alarms, less impact).
+        candidate(1.2, 3, 1.5),  // Dominated (more alarms, less impact).
+        candidate(1.3, 3, 5.0),  // Frontier: impact gain buys the alarms.
+        candidate(1.4, 7, 5.0),  // Dominated (more alarms, equal impact).
+        candidate(1.5, 9, 6.0),  // Frontier.
+    };
+    const std::vector<stealth::FrontierPoint> frontier =
+        stealth::pareto_frontier(evaluated, 0);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier[0].alarms, 0u);
+    EXPECT_DOUBLE_EQ(frontier[0].impact, 2.0);
+    EXPECT_EQ(frontier[1].alarms, 3u);
+    EXPECT_DOUBLE_EQ(frontier[1].impact, 5.0);
+    EXPECT_EQ(frontier[2].alarms, 9u);
+    EXPECT_DOUBLE_EQ(frontier[2].impact, 6.0);
+}
+
+TEST(ParetoFrontier, MissingDetectorColumnYieldsEmptyFrontier) {
+    stealth::Evaluated e;
+    e.outcome.detector_flags = {1, 2};
+    EXPECT_TRUE(stealth::pareto_frontier({e}, 5).empty());
+}
+
+}  // namespace
